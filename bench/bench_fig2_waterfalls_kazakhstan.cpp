@@ -1,0 +1,37 @@
+// Regenerates Figure 2: packet waterfalls for Strategies 9-11 against
+// Kazakhstan's in-path HTTP censor.
+#include <cstdio>
+
+#include "eval/trial.h"
+#include "eval/waterfall.h"
+
+namespace caya {
+namespace {
+
+void render(int id) {
+  const auto& strategy = published_strategy(id);
+  Environment env({.country = Country::kKazakhstan,
+                   .protocol = AppProtocol::kHttp,
+                   .seed = 7});
+  ConnectionOptions options;
+  options.server_strategy = parsed_strategy(id);
+  options.record_trace = true;
+  const TrialResult result = env.run_connection(options);
+
+  std::printf("Strategy %d: %s  (%s)\n%s\n", id, strategy.name.c_str(),
+              result.success ? "successful run" : "FAILED run",
+              strategy.dsl.c_str());
+  WaterfallOptions wopts;
+  wopts.max_rows = 26;
+  std::printf("%s\n", render_waterfall(result.trace, wopts).c_str());
+}
+
+}  // namespace
+}  // namespace caya
+
+int main() {
+  std::printf("Figure 2: server-side evasion strategies that are successful "
+              "against HTTP in Kazakhstan.\n\n");
+  for (int id = 9; id <= 11; ++id) caya::render(id);
+  return 0;
+}

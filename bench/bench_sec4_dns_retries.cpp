@@ -1,0 +1,69 @@
+// Regenerates §4.2's DNS-over-TCP retry analysis: RFC 7766 retries amplify
+// any per-connection success rate p to 1-(1-p)^k after k tries. Chrome
+// retries 4 times, Python's DNS library 3; the paper standardizes on 3.
+#include <cmath>
+#include <cstdio>
+
+#include "eval/rates.h"
+#include "eval/strategies.h"
+
+namespace caya {
+namespace {
+
+double measure_with_tries(int tries, std::uint64_t seed) {
+  constexpr std::size_t kTrials = 200;
+  RateCounter counter;
+  for (std::size_t i = 0; i < kTrials; ++i) {
+    Environment env({.country = Country::kChina,
+                     .protocol = AppProtocol::kDnsOverTcp,
+                     .seed = seed + i});
+    // Re-plumb the trial manually so we can control max_tries.
+    const ClientRequest request = client_request(Country::kChina);
+    const Ipv4Address answer = Ipv4Address::parse("198.51.100.7");
+    Engine engine(parsed_strategy(1), Rng(seed + i));
+    env.network().set_server_processor(&engine);
+
+    DnsServer server(env.loop(), env.network(), eval_server_addr(), 53,
+                     answer);
+    ClientAppConfig config;
+    config.client_addr = eval_client_addr();
+    config.server_addr = eval_server_addr();
+    config.client_port = 41000;
+    config.server_port = 53;
+    DnsClient client(env.loop(), env.network(), config, request.dns_qname,
+                     answer, tries);
+    client.on_new_attempt = [&server] { server.reopen(); };
+    env.network().set_server(&server);
+    client.start();
+    env.loop().run(200000);
+    counter.record(client.succeeded());
+    env.loop().clear();
+    env.network().set_server_processor(nullptr);
+    env.network().set_client(nullptr);
+    env.network().set_server(nullptr);
+  }
+  return counter.rate();
+}
+
+}  // namespace
+}  // namespace caya
+
+int main() {
+  using namespace caya;
+  std::printf("§4.2: DNS-over-TCP retry amplification for Strategy 1 "
+              "(China).\n\n");
+  std::printf("%-8s %-10s %-22s\n", "tries", "measured", "1-(1-p1)^k "
+              "predicted");
+
+  const double p1 = measure_with_tries(1, 70'000);
+  for (int tries = 1; tries <= 5; ++tries) {
+    const double measured =
+        measure_with_tries(tries, 70'000 + 1000u * tries);
+    const double predicted = 1.0 - std::pow(1.0 - p1, tries);
+    std::printf("%-8d %7.0f%%   %7.0f%%\n", tries, measured * 100,
+                predicted * 100);
+  }
+  std::printf("\nPaper: a 50%% per-try strategy reaches 87.5%% with 3 tries;"
+              " Table 2's DNS column\nreports 3-try rates.\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Regenerates Table 1: client vantage points and protocols per country.
+#include <cstdio>
+#include <string>
+
+#include "eval/country.h"
+
+int main() {
+  using namespace caya;
+  std::printf("Table 1: Client locations and protocols used in our "
+              "experiments.\n\n");
+  std::printf("%-12s %-36s %s\n", "Country", "Vantage Points", "Protocols");
+  for (const auto& row : vantage_table()) {
+    std::string vps;
+    for (const auto& vp : row.vantage_points) {
+      if (!vps.empty()) vps += ", ";
+      vps += vp;
+    }
+    std::string protos;
+    for (const auto proto : row.protocols) {
+      if (!protos.empty()) protos += ", ";
+      protos += std::string(to_string(proto));
+    }
+    std::printf("%-12s %-36s %s\n", std::string(to_string(row.country)).c_str(),
+                vps.c_str(), protos.c_str());
+  }
+  std::printf("\nServer-side training countries: ");
+  bool first = true;
+  for (const auto& c : server_countries()) {
+    std::printf("%s%s", first ? "" : ", ", c.c_str());
+    first = false;
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+#include "apps/dns_app.h"
+
+namespace caya {
+
+DnsServer::DnsServer(EventLoop& loop, Network& net, Ipv4Address addr,
+                     std::uint16_t port, Ipv4Address answer)
+    : loop_(loop), net_(net), addr_(addr), port_(port), answer_(answer) {
+  make_conn();
+}
+
+void DnsServer::make_conn() {
+  conn_ = std::make_unique<TcpEndpoint>(
+      loop_,
+      TcpEndpoint::Config{.local_addr = addr_, .local_port = port_,
+                          .isn = 50000},
+      [this](Packet pkt) { net_.send_from_server(std::move(pkt)); });
+  conn_->on_data = [this](const Bytes&) { on_bytes(); };
+  conn_->listen();
+  answered_ = false;
+}
+
+void DnsServer::reopen() { make_conn(); }
+
+void DnsServer::deliver(const Packet& pkt) { conn_->deliver(pkt); }
+
+void DnsServer::on_bytes() {
+  if (answered_) return;
+  const auto qname = parse_dns_qname(std::span(conn_->received()));
+  if (!qname) return;  // incomplete query
+  answered_ = true;
+  // Echo the query ID: re-parse the first two bytes past the length prefix.
+  const auto& buf = conn_->received();
+  const std::uint16_t id =
+      static_cast<std::uint16_t>(buf[2] << 8 | buf[3]);
+  conn_->send_data(
+      build_dns_response({.id = id, .qname = *qname, .address = answer_}));
+}
+
+DnsClient::DnsClient(EventLoop& loop, Network& net, ClientAppConfig config,
+                     std::string qname, Ipv4Address expected_answer,
+                     int max_tries)
+    : loop_(loop),
+      net_(net),
+      config_(config),
+      qname_(std::move(qname)),
+      expected_(expected_answer),
+      max_tries_(max_tries) {}
+
+void DnsClient::start() { attempt(); }
+
+void DnsClient::attempt() {
+  if (success_ || attempt_ >= max_tries_) {
+    gave_up_ = !success_;
+    return;
+  }
+  ++attempt_;
+  if (on_new_attempt) on_new_attempt();
+
+  TcpEndpoint::Config cfg{
+      .local_addr = config_.client_addr,
+      .local_port = static_cast<std::uint16_t>(config_.client_port + attempt_),
+      .remote_addr = config_.server_addr,
+      .remote_port = config_.server_port,
+      .isn = config_.isn + static_cast<std::uint32_t>(attempt_) * 10000,
+      .os = config_.os};
+  conn_ = std::make_unique<TcpEndpoint>(loop_, cfg, [this](Packet pkt) {
+    net_.send_from_client(std::move(pkt));
+  });
+  net_.set_client(this);
+
+  const std::uint16_t id = static_cast<std::uint16_t>(0x1000 + attempt_);
+  conn_->on_established = [this, id] {
+    conn_->send_data(build_dns_query({.id = id, .qname = qname_}));
+  };
+  conn_->on_data = [this](const Bytes&) { on_bytes(); };
+  conn_->on_reset = [this] {
+    // RFC 7766: retry unanswered queries when the connection closes early.
+    loop_.schedule_in(duration::ms(50), [this] { attempt(); });
+  };
+  conn_->connect();
+}
+
+void DnsClient::deliver(const Packet& pkt) {
+  if (conn_) conn_->deliver(pkt);
+}
+
+void DnsClient::on_bytes() {
+  const auto response = parse_dns_response(std::span(conn_->received()));
+  if (!response) return;
+  if (response->qname == qname_ && response->address == expected_) {
+    success_ = true;
+  }
+}
+
+}  // namespace caya

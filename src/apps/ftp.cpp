@@ -1,0 +1,83 @@
+#include "apps/ftp.h"
+
+namespace caya {
+
+std::vector<std::string> LineBuffer::update(const Bytes& stream) {
+  std::vector<std::string> out;
+  while (true) {
+    // Find the next CRLF past what we've already consumed.
+    std::size_t i = consumed_;
+    while (i + 1 < stream.size() &&
+           !(stream[i] == '\r' && stream[i + 1] == '\n')) {
+      ++i;
+    }
+    if (i + 1 >= stream.size()) return out;
+    out.emplace_back(stream.begin() + static_cast<std::ptrdiff_t>(consumed_),
+                     stream.begin() + static_cast<std::ptrdiff_t>(i));
+    consumed_ = i + 2;
+  }
+}
+
+FtpServer::FtpServer(EventLoop& loop, Network& net, Ipv4Address addr,
+                     std::uint16_t port)
+    : conn_(loop,
+            {.local_addr = addr, .local_port = port, .isn = 50000},
+            [&net](Packet pkt) { net.send_from_server(std::move(pkt)); }) {
+  conn_.on_established = [this] {
+    conn_.send_data(to_bytes("220 caya FTP server ready\r\n"));
+  };
+  conn_.on_data = [this](const Bytes&) {
+    for (const auto& line : lines_.update(conn_.received())) on_line(line);
+  };
+  conn_.listen();
+}
+
+void FtpServer::on_line(const std::string& line) {
+  if (line.rfind("USER", 0) == 0) {
+    conn_.send_data(to_bytes("331 Please specify the password\r\n"));
+  } else if (line.rfind("PASS", 0) == 0) {
+    conn_.send_data(to_bytes("230 Login successful\r\n"));
+  } else if (line.rfind("RETR", 0) == 0) {
+    retr_seen_ = true;
+    conn_.send_data(
+        to_bytes("150 Opening BINARY mode data connection\r\n"
+                 "226 Transfer complete\r\n"));
+  } else if (line.rfind("QUIT", 0) == 0) {
+    conn_.send_data(to_bytes("221 Goodbye\r\n"));
+  } else {
+    conn_.send_data(to_bytes("500 Unknown command\r\n"));
+  }
+}
+
+FtpClient::FtpClient(EventLoop& loop, Network& net, ClientAppConfig config,
+                     std::string filename)
+    : conn_(loop,
+            {.local_addr = config.client_addr,
+             .local_port = config.client_port,
+             .remote_addr = config.server_addr,
+             .remote_port = config.server_port,
+             .isn = config.isn,
+             .os = config.os},
+            [&net](Packet pkt) { net.send_from_client(std::move(pkt)); }),
+      filename_(std::move(filename)) {
+  conn_.on_data = [this](const Bytes&) {
+    for (const auto& line : lines_.update(conn_.received())) on_line(line);
+  };
+  conn_.on_reset = [this] { reset_ = true; };
+}
+
+void FtpClient::start() { conn_.connect(); }
+
+void FtpClient::on_line(const std::string& line) {
+  if (line.rfind("220", 0) == 0) {
+    conn_.send_data(to_bytes("USER anonymous\r\n"));
+  } else if (line.rfind("331", 0) == 0) {
+    conn_.send_data(to_bytes("PASS guest\r\n"));
+  } else if (line.rfind("230", 0) == 0) {
+    conn_.send_data(to_bytes("RETR " + filename_ + "\r\n"));
+  } else if (line.rfind("226", 0) == 0) {
+    complete_ = true;
+  }
+}
+
+}  // namespace caya

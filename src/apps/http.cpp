@@ -1,0 +1,62 @@
+#include "apps/http.h"
+
+namespace caya {
+
+HttpServer::HttpServer(EventLoop& loop, Network& net, Ipv4Address addr,
+                       std::uint16_t port, std::string body)
+    : conn_(loop,
+            {.local_addr = addr, .local_port = port, .isn = 50000},
+            [&net](Packet pkt) { net.send_from_server(std::move(pkt)); }),
+      body_(std::move(body)) {
+  conn_.on_data = [this](const Bytes&) { on_bytes(); };
+  conn_.listen();
+}
+
+std::string HttpServer::expected_response() const {
+  return "HTTP/1.1 200 OK\r\nContent-Length: " + std::to_string(body_.size()) +
+         "\r\nConnection: keep-alive\r\n\r\n" + body_;
+}
+
+void HttpServer::on_bytes() {
+  if (request_seen_) return;
+  const std::string text = to_string(conn_.received());
+  if (text.find("\r\n\r\n") == std::string::npos) return;  // incomplete
+  request_seen_ = true;
+  conn_.send_data(to_bytes(expected_response()));
+}
+
+HttpClient::HttpClient(EventLoop& loop, Network& net, ClientAppConfig config,
+                       std::string host, std::string path,
+                       std::string expected_response)
+    : conn_(loop,
+            {.local_addr = config.client_addr,
+             .local_port = config.client_port,
+             .remote_addr = config.server_addr,
+             .remote_port = config.server_port,
+             .isn = config.isn,
+             .os = config.os},
+            [&net](Packet pkt) { net.send_from_client(std::move(pkt)); }),
+      host_(std::move(host)),
+      path_(std::move(path)),
+      expected_(std::move(expected_response)) {
+  conn_.on_established = [this] { conn_.send_data(to_bytes(request_line())); };
+  conn_.on_data = [this](const Bytes&) {
+    response_ = to_string(conn_.received());
+  };
+  conn_.on_reset = [this] { reset_ = true; };
+}
+
+std::string HttpClient::request_line() const {
+  return "GET " + path_ + " HTTP/1.1\r\nHost: " + host_ +
+         "\r\nUser-Agent: caya/1.0\r\nAccept: */*\r\n\r\n";
+}
+
+void HttpClient::start() { conn_.connect(); }
+
+bool HttpClient::succeeded() const {
+  // Paper's criterion: connection not forcibly torn down and the client
+  // received the correct, unaltered data.
+  return !reset_ && response_ == expected_;
+}
+
+}  // namespace caya

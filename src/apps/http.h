@@ -1,0 +1,74 @@
+// Minimal HTTP/1.1 client and server.
+//
+// The client issues a GET whose URL or Host header carries the censored
+// token (the paper's §4.2 trigger configuration); success requires receiving
+// the server's exact response — an injected block page or a torn-down
+// connection both count as censorship.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "netsim/network.h"
+#include "tcpstack/tcp_endpoint.h"
+
+namespace caya {
+
+/// Endpoint placement shared by all client apps.
+struct ClientAppConfig {
+  Ipv4Address client_addr = Ipv4Address::parse("10.0.0.2");
+  Ipv4Address server_addr = Ipv4Address::parse("93.184.216.34");
+  std::uint16_t client_port = 40000;
+  std::uint16_t server_port = 80;
+  OsProfile os = OsProfile::linux_default();
+  std::uint32_t isn = 1000;
+};
+
+class HttpServer : public Endpoint {
+ public:
+  HttpServer(EventLoop& loop, Network& net, Ipv4Address addr,
+             std::uint16_t port, std::string body);
+
+  void deliver(const Packet& pkt) override { conn_.deliver(pkt); }
+  [[nodiscard]] TcpEndpoint& endpoint() noexcept { return conn_; }
+  [[nodiscard]] const std::string& body() const noexcept { return body_; }
+  [[nodiscard]] std::string expected_response() const;
+  [[nodiscard]] bool request_seen() const noexcept { return request_seen_; }
+
+ private:
+  void on_bytes();
+
+  TcpEndpoint conn_;
+  std::string body_;
+  bool request_seen_ = false;
+};
+
+class HttpClient : public Endpoint {
+ public:
+  /// `path` may carry the censored keyword ("/?q=ultrasurf"); `host` is the
+  /// Host header (the trigger in India/Iran/Kazakhstan).
+  HttpClient(EventLoop& loop, Network& net, ClientAppConfig config,
+             std::string host, std::string path,
+             std::string expected_response);
+
+  void start();
+  void deliver(const Packet& pkt) override { conn_.deliver(pkt); }
+
+  [[nodiscard]] bool succeeded() const;
+  [[nodiscard]] bool was_reset() const noexcept { return reset_; }
+  [[nodiscard]] const std::string& response() const noexcept {
+    return response_;
+  }
+  [[nodiscard]] TcpEndpoint& endpoint() noexcept { return conn_; }
+  [[nodiscard]] std::string request_line() const;
+
+ private:
+  TcpEndpoint conn_;
+  std::string host_;
+  std::string path_;
+  std::string expected_;
+  std::string response_;
+  bool reset_ = false;
+};
+
+}  // namespace caya

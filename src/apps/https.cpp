@@ -1,0 +1,42 @@
+#include "apps/https.h"
+
+namespace caya {
+
+HttpsServer::HttpsServer(EventLoop& loop, Network& net, Ipv4Address addr,
+                         std::uint16_t port)
+    : conn_(loop,
+            {.local_addr = addr, .local_port = port, .isn = 50000},
+            [&net](Packet pkt) { net.send_from_server(std::move(pkt)); }) {
+  conn_.on_data = [this](const Bytes&) { on_bytes(); };
+  conn_.listen();
+}
+
+void HttpsServer::on_bytes() {
+  if (hello_seen_) return;
+  if (!parse_sni(std::span(conn_.received()))) return;  // incomplete hello
+  hello_seen_ = true;
+  conn_.send_data(build_server_hello());
+}
+
+HttpsClient::HttpsClient(EventLoop& loop, Network& net,
+                         ClientAppConfig config, std::string sni)
+    : conn_(loop,
+            {.local_addr = config.client_addr,
+             .local_port = config.client_port,
+             .remote_addr = config.server_addr,
+             .remote_port = config.server_port,
+             .isn = config.isn,
+             .os = config.os},
+            [&net](Packet pkt) { net.send_from_client(std::move(pkt)); }),
+      sni_(std::move(sni)) {
+  conn_.on_established = [this] { conn_.send_data(build_client_hello(sni_)); };
+  conn_.on_reset = [this] { reset_ = true; };
+}
+
+void HttpsClient::start() { conn_.connect(); }
+
+bool HttpsClient::succeeded() const {
+  return !reset_ && conn_.received() == build_server_hello();
+}
+
+}  // namespace caya

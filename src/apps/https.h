@@ -1,0 +1,49 @@
+// "HTTPS": a TLS handshake shaped like the real thing — the client sends a
+// ClientHello carrying the forbidden hostname in its SNI extension, which is
+// the trigger surface for HTTPS censorship in China and Iran (§4.2).
+#pragma once
+
+#include <string>
+
+#include "apps/http.h"
+#include "apps/tls.h"
+
+namespace caya {
+
+class HttpsServer : public Endpoint {
+ public:
+  HttpsServer(EventLoop& loop, Network& net, Ipv4Address addr,
+              std::uint16_t port);
+
+  void deliver(const Packet& pkt) override { conn_.deliver(pkt); }
+  [[nodiscard]] TcpEndpoint& endpoint() noexcept { return conn_; }
+  [[nodiscard]] bool hello_seen() const noexcept { return hello_seen_; }
+
+ private:
+  void on_bytes();
+
+  TcpEndpoint conn_;
+  bool hello_seen_ = false;
+};
+
+class HttpsClient : public Endpoint {
+ public:
+  HttpsClient(EventLoop& loop, Network& net, ClientAppConfig config,
+              std::string sni);
+
+  void start();
+  void deliver(const Packet& pkt) override { conn_.deliver(pkt); }
+
+  /// Success = the full, unaltered ServerHello arrived and the connection
+  /// survived.
+  [[nodiscard]] bool succeeded() const;
+  [[nodiscard]] bool was_reset() const noexcept { return reset_; }
+  [[nodiscard]] TcpEndpoint& endpoint() noexcept { return conn_; }
+
+ private:
+  TcpEndpoint conn_;
+  std::string sni_;
+  bool reset_ = false;
+};
+
+}  // namespace caya

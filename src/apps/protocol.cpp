@@ -1,0 +1,44 @@
+#include "apps/protocol.h"
+
+namespace caya {
+
+std::string_view to_string(AppProtocol proto) noexcept {
+  switch (proto) {
+    case AppProtocol::kDnsOverTcp:
+      return "DNS";
+    case AppProtocol::kFtp:
+      return "FTP";
+    case AppProtocol::kHttp:
+      return "HTTP";
+    case AppProtocol::kHttps:
+      return "HTTPS";
+    case AppProtocol::kSmtp:
+      return "SMTP";
+  }
+  return "?";
+}
+
+std::uint16_t default_port(AppProtocol proto) noexcept {
+  switch (proto) {
+    case AppProtocol::kDnsOverTcp:
+      return 53;
+    case AppProtocol::kFtp:
+      return 21;
+    case AppProtocol::kHttp:
+      return 80;
+    case AppProtocol::kHttps:
+      return 443;
+    case AppProtocol::kSmtp:
+      return 25;
+  }
+  return 0;
+}
+
+const std::vector<AppProtocol>& all_protocols() {
+  static const std::vector<AppProtocol> protocols = {
+      AppProtocol::kDnsOverTcp, AppProtocol::kFtp, AppProtocol::kHttp,
+      AppProtocol::kHttps, AppProtocol::kSmtp};
+  return protocols;
+}
+
+}  // namespace caya

@@ -1,0 +1,16 @@
+// The five application protocols the paper trains over (§4.2).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace caya {
+
+enum class AppProtocol { kDnsOverTcp, kFtp, kHttp, kHttps, kSmtp };
+
+[[nodiscard]] std::string_view to_string(AppProtocol proto) noexcept;
+[[nodiscard]] std::uint16_t default_port(AppProtocol proto) noexcept;
+[[nodiscard]] const std::vector<AppProtocol>& all_protocols();
+
+}  // namespace caya

@@ -1,0 +1,106 @@
+#include "apps/smtp.h"
+
+namespace caya {
+
+SmtpServer::SmtpServer(EventLoop& loop, Network& net, Ipv4Address addr,
+                       std::uint16_t port)
+    : conn_(loop,
+            {.local_addr = addr, .local_port = port, .isn = 50000},
+            [&net](Packet pkt) { net.send_from_server(std::move(pkt)); }) {
+  conn_.on_established = [this] {
+    conn_.send_data(to_bytes("220 mail.example.com ESMTP caya\r\n"));
+  };
+  conn_.on_data = [this](const Bytes&) {
+    for (const auto& line : lines_.update(conn_.received())) on_line(line);
+  };
+  conn_.listen();
+}
+
+void SmtpServer::on_line(const std::string& line) {
+  if (in_data_) {
+    if (line == ".") {
+      in_data_ = false;
+      accepted_ = true;
+      conn_.send_data(to_bytes("250 OK: queued\r\n"));
+    }
+    return;
+  }
+  if (line.rfind("HELO", 0) == 0 || line.rfind("EHLO", 0) == 0) {
+    conn_.send_data(to_bytes("250 mail.example.com\r\n"));
+  } else if (line.rfind("MAIL FROM:", 0) == 0) {
+    conn_.send_data(to_bytes("250 sender OK\r\n"));
+  } else if (line.rfind("RCPT TO:", 0) == 0) {
+    conn_.send_data(to_bytes("250 recipient OK\r\n"));
+  } else if (line.rfind("DATA", 0) == 0) {
+    in_data_ = true;
+    conn_.send_data(to_bytes("354 End data with <CR><LF>.<CR><LF>\r\n"));
+  } else if (line.rfind("QUIT", 0) == 0) {
+    conn_.send_data(to_bytes("221 Bye\r\n"));
+  } else {
+    conn_.send_data(to_bytes("502 Command not implemented\r\n"));
+  }
+}
+
+SmtpClient::SmtpClient(EventLoop& loop, Network& net, ClientAppConfig config,
+                       std::string recipient)
+    : conn_(loop,
+            {.local_addr = config.client_addr,
+             .local_port = config.client_port,
+             .remote_addr = config.server_addr,
+             .remote_port = config.server_port,
+             .isn = config.isn,
+             .os = config.os},
+            [&net](Packet pkt) { net.send_from_client(std::move(pkt)); }),
+      recipient_(std::move(recipient)) {
+  conn_.on_data = [this](const Bytes&) {
+    for (const auto& line : lines_.update(conn_.received())) on_line(line);
+  };
+  conn_.on_reset = [this] { reset_ = true; };
+}
+
+void SmtpClient::start() { conn_.connect(); }
+
+void SmtpClient::on_line(const std::string& line) {
+  switch (state_) {
+    case State::kGreeting:
+      if (line.rfind("220", 0) == 0) {
+        conn_.send_data(to_bytes("HELO client.example\r\n"));
+        state_ = State::kHelo;
+      }
+      return;
+    case State::kHelo:
+      if (line.rfind("250", 0) == 0) {
+        conn_.send_data(to_bytes("MAIL FROM:<user@example.com>\r\n"));
+        state_ = State::kMailFrom;
+      }
+      return;
+    case State::kMailFrom:
+      if (line.rfind("250", 0) == 0) {
+        conn_.send_data(to_bytes("RCPT TO:<" + recipient_ + ">\r\n"));
+        state_ = State::kRcptTo;
+      }
+      return;
+    case State::kRcptTo:
+      if (line.rfind("250", 0) == 0) {
+        conn_.send_data(to_bytes("DATA\r\n"));
+        state_ = State::kData;
+      }
+      return;
+    case State::kData:
+      if (line.rfind("354", 0) == 0) {
+        conn_.send_data(to_bytes("Subject: hello\r\n\r\nhi there\r\n.\r\n"));
+        state_ = State::kBody;
+      }
+      return;
+    case State::kBody:
+      if (line.rfind("250", 0) == 0) {
+        done_ = true;
+        state_ = State::kDone;
+      }
+      return;
+    case State::kDone:
+      return;
+  }
+}
+
+}  // namespace caya

@@ -1,0 +1,117 @@
+#include "apps/tls.h"
+
+namespace caya {
+
+namespace {
+constexpr std::uint8_t kRecordHandshake = 0x16;
+constexpr std::uint8_t kHandshakeClientHello = 0x01;
+constexpr std::uint8_t kHandshakeServerHello = 0x02;
+constexpr std::uint16_t kTls12 = 0x0303;
+constexpr std::uint16_t kExtServerName = 0x0000;
+
+void put_u24(ByteWriter& w, std::uint32_t v) {
+  w.u8(static_cast<std::uint8_t>(v >> 16 & 0xff));
+  w.u16(static_cast<std::uint16_t>(v & 0xffff));
+}
+}  // namespace
+
+Bytes build_client_hello(std::string_view sni) {
+  // server_name extension body.
+  ByteWriter name;
+  name.u16(static_cast<std::uint16_t>(sni.size() + 3));  // server name list
+  name.u8(0);                                            // type: host_name
+  name.u16(static_cast<std::uint16_t>(sni.size()));
+  name.raw(sni);
+
+  ByteWriter ext;
+  ext.u16(kExtServerName);
+  ext.u16(static_cast<std::uint16_t>(name.size()));
+  ext.raw(std::span(name.bytes()));
+
+  ByteWriter body;  // ClientHello body
+  body.u16(kTls12);
+  for (int i = 0; i < 32; ++i) body.u8(static_cast<std::uint8_t>(i));  // random
+  body.u8(0);                          // session id length
+  body.u16(4);                         // cipher suites length
+  body.u16(0x1301);                    // TLS_AES_128_GCM_SHA256
+  body.u16(0xc02f);                    // ECDHE-RSA-AES128-GCM-SHA256
+  body.u8(1);                          // compression methods length
+  body.u8(0);                          // null compression
+  body.u16(static_cast<std::uint16_t>(ext.size()));
+  body.raw(std::span(ext.bytes()));
+
+  ByteWriter handshake;
+  handshake.u8(kHandshakeClientHello);
+  put_u24(handshake, static_cast<std::uint32_t>(body.size()));
+  handshake.raw(std::span(body.bytes()));
+
+  ByteWriter record;
+  record.u8(kRecordHandshake);
+  record.u16(kTls12);
+  record.u16(static_cast<std::uint16_t>(handshake.size()));
+  record.raw(std::span(handshake.bytes()));
+  return record.take();
+}
+
+Bytes build_server_hello() {
+  ByteWriter body;
+  body.u16(kTls12);
+  for (int i = 0; i < 32; ++i) body.u8(0xa5);  // random
+  body.u8(0);                                  // session id length
+  body.u16(0x1301);                            // chosen cipher
+  body.u8(0);                                  // null compression
+  body.u16(0);                                 // no extensions
+
+  ByteWriter handshake;
+  handshake.u8(kHandshakeServerHello);
+  put_u24(handshake, static_cast<std::uint32_t>(body.size()));
+  handshake.raw(std::span(body.bytes()));
+
+  ByteWriter record;
+  record.u8(kRecordHandshake);
+  record.u16(kTls12);
+  record.u16(static_cast<std::uint16_t>(handshake.size()));
+  record.raw(std::span(handshake.bytes()));
+  return record.take();
+}
+
+std::optional<std::string> parse_sni(std::span<const std::uint8_t> stream) {
+  try {
+    ByteReader r(stream);
+    if (r.u8() != kRecordHandshake) return std::nullopt;
+    (void)r.u16();  // record version
+    const std::uint16_t record_len = r.u16();
+    if (record_len > r.remaining()) return std::nullopt;  // truncated record
+    if (r.u8() != kHandshakeClientHello) return std::nullopt;
+    r.skip(3);      // handshake length
+    (void)r.u16();  // client version
+    r.skip(32);     // random
+    const std::uint8_t session_len = r.u8();
+    r.skip(session_len);
+    const std::uint16_t cipher_len = r.u16();
+    r.skip(cipher_len);
+    const std::uint8_t compression_len = r.u8();
+    r.skip(compression_len);
+    const std::uint16_t ext_total = r.u16();
+    std::size_t consumed = 0;
+    while (consumed + 4 <= ext_total) {
+      const std::uint16_t ext_type = r.u16();
+      const std::uint16_t ext_len = r.u16();
+      consumed += 4;
+      if (ext_type == kExtServerName) {
+        (void)r.u16();  // server name list length
+        (void)r.u8();   // name type
+        const std::uint16_t name_len = r.u16();
+        const Bytes name = r.raw(name_len);
+        return to_string(name);
+      }
+      r.skip(ext_len);
+      consumed += ext_len;
+    }
+    return std::nullopt;
+  } catch (const ShortReadError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace caya

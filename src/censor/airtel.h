@@ -1,0 +1,40 @@
+// India's Airtel middlebox (§5.2), per the paper and Yadav et al.:
+//   * HTTP only, port 80 only — any other port is uncensored.
+//   * Completely stateless: no TCB, no reassembly; every client packet is
+//     inspected in isolation (a forbidden request without any handshake
+//     still triggers it).
+//   * On a match it injects an HTTP 200 block page on a FIN+PSH+ACK packet
+//     (spoofed from the server, sequenced off the offending packet's ack
+//     number) plus a follow-up RST "for good measure".
+#pragma once
+
+#include <string>
+
+#include "censor/dpi.h"
+#include "netsim/middlebox.h"
+
+namespace caya {
+
+class AirtelCensor : public Middlebox {
+ public:
+  explicit AirtelCensor(ForbiddenContent content,
+                        std::uint16_t http_port = 80)
+      : content_(std::move(content)), http_port_(http_port) {}
+
+  Verdict on_packet(const Packet& pkt, Direction dir,
+                    Injector& inject) override;
+  [[nodiscard]] bool in_path() const noexcept override { return false; }
+  void reset() override {}
+
+  [[nodiscard]] std::size_t censored_count() const noexcept {
+    return censored_count_;
+  }
+  [[nodiscard]] static std::string block_page();
+
+ private:
+  ForbiddenContent content_;
+  std::uint16_t http_port_;
+  std::size_t censored_count_ = 0;
+};
+
+}  // namespace caya

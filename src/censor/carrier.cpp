@@ -1,0 +1,38 @@
+#include "censor/carrier.h"
+
+namespace caya {
+
+std::string_view to_string(CarrierNetwork network) noexcept {
+  switch (network) {
+    case CarrierNetwork::kWifi:
+      return "WiFi";
+    case CarrierNetwork::kTMobile:
+      return "T-Mobile";
+    case CarrierNetwork::kAtt:
+      return "AT&T";
+  }
+  return "?";
+}
+
+Verdict CarrierMiddlebox::on_packet(const Packet& pkt, Direction dir,
+                                    Injector&) {
+  if (network_ == CarrierNetwork::kWifi) return Verdict::kPass;
+  if (dir != Direction::kServerToClient) return Verdict::kPass;
+
+  const FlowKey key = reverse_flow_from_packet(pkt);
+  const bool is_bare_syn = pkt.tcp.flags == tcpflag::kSyn;
+  const bool first_server_packet = !server_spoke_[key];
+  server_spoke_[key] = true;
+
+  if (!is_bare_syn) return Verdict::kPass;
+  if (network_ == CarrierNetwork::kAtt) {
+    ++dropped_;
+    return Verdict::kDrop;  // servers never send bare SYNs: drop them all
+  }
+  // T-Mobile: a SYN is tolerated only as the server's opening packet.
+  if (first_server_packet) return Verdict::kPass;
+  ++dropped_;
+  return Verdict::kDrop;
+}
+
+}  // namespace caya

@@ -1,0 +1,48 @@
+// Non-censoring carrier middleboxes (§7, "Results Can Vary by Network").
+//
+// The paper's anecdote: from a Pixel 3, every strategy worked over WiFi, but
+// the simultaneous-open strategies failed on cellular networks — 1 and 3 on
+// T-Mobile, and 1, 2, and 3 on AT&T — presumably because in-network
+// middleboxes drop the server's out-of-place SYN packets. These models
+// reproduce those failure sets:
+//   * AT&T: drops every bare SYN traveling server -> client (no server ever
+//     legitimately sends one), killing all three simultaneous-open
+//     strategies.
+//   * T-Mobile: tolerates a bare SYN only as the server's *first* packet of
+//     the flow (an apparent simultaneous-open race), so Strategy 2 — whose
+//     first packet is the SYN itself — survives while 1 and 3, where the
+//     SYN follows a RST or a corrupt SYN+ACK, die.
+#pragma once
+
+#include <map>
+
+#include "censor/flow.h"
+#include "netsim/middlebox.h"
+
+namespace caya {
+
+enum class CarrierNetwork { kWifi, kTMobile, kAtt };
+
+[[nodiscard]] std::string_view to_string(CarrierNetwork network) noexcept;
+
+class CarrierMiddlebox : public Middlebox {
+ public:
+  explicit CarrierMiddlebox(CarrierNetwork network) : network_(network) {}
+
+  Verdict on_packet(const Packet& pkt, Direction dir,
+                    Injector& inject) override;
+  [[nodiscard]] bool in_path() const noexcept override { return true; }
+  void reset() override { server_spoke_.clear(); }
+
+  [[nodiscard]] CarrierNetwork network() const noexcept { return network_; }
+  [[nodiscard]] std::size_t dropped_count() const noexcept {
+    return dropped_;
+  }
+
+ private:
+  CarrierNetwork network_;
+  std::map<FlowKey, bool> server_spoke_;  // flow -> server sent something
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace caya

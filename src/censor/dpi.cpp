@@ -1,0 +1,108 @@
+#include "censor/dpi.h"
+
+#include "packet/dns.h"
+#include "apps/tls.h"
+
+namespace caya {
+
+namespace {
+bool starts_with(std::span<const std::uint8_t> data, std::string_view prefix) {
+  if (data.size() < prefix.size()) return false;
+  for (std::size_t i = 0; i < prefix.size(); ++i) {
+    if (data[i] != static_cast<std::uint8_t>(prefix[i])) return false;
+  }
+  return true;
+}
+
+std::string first_line(std::span<const std::uint8_t> data) {
+  std::string line;
+  for (std::uint8_t b : data) {
+    if (b == '\r' || b == '\n') break;
+    line.push_back(static_cast<char>(b));
+  }
+  return line;
+}
+}  // namespace
+
+bool http_keyword_match(std::span<const std::uint8_t> data,
+                        const ForbiddenContent& content) {
+  if (!starts_with(data, "GET ") && !starts_with(data, "POST ")) return false;
+  const std::string request_line = first_line(data);
+  return request_line.find(content.http_keyword) != std::string::npos;
+}
+
+bool http_host_match(std::span<const std::uint8_t> data,
+                     const ForbiddenContent& content) {
+  if (!starts_with(data, "GET ") && !starts_with(data, "POST ")) return false;
+  const std::string text = to_string(data);
+  for (const auto& host : content.blocked_hosts) {
+    if (text.find("Host: " + host) != std::string::npos) return true;
+  }
+  return false;
+}
+
+bool sni_match(std::span<const std::uint8_t> data,
+               const ForbiddenContent& content) {
+  const auto sni = parse_sni(data);
+  return sni.has_value() && *sni == content.blocked_sni;
+}
+
+bool dns_match(std::span<const std::uint8_t> data,
+               const ForbiddenContent& content) {
+  const auto qname = parse_dns_qname(data);
+  return qname.has_value() && *qname == content.blocked_qname;
+}
+
+bool ftp_match(std::span<const std::uint8_t> data,
+               const ForbiddenContent& content) {
+  // Scan each complete line for a RETR carrying the keyword.
+  const std::string text = to_string(data);
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find("\r\n", pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    if (line.rfind("RETR ", 0) == 0 &&
+        line.find(content.ftp_keyword) != std::string::npos) {
+      return true;
+    }
+    pos = eol + 2;
+  }
+  return false;
+}
+
+bool smtp_match(std::span<const std::uint8_t> data,
+                const ForbiddenContent& content) {
+  const std::string text = to_string(data);
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find("\r\n", pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    if (line.rfind("RCPT TO:", 0) == 0 &&
+        line.find(content.smtp_recipient) != std::string::npos) {
+      return true;
+    }
+    pos = eol + 2;
+  }
+  return false;
+}
+
+bool protocol_match(AppProtocol proto, std::span<const std::uint8_t> data,
+                    const ForbiddenContent& content) {
+  switch (proto) {
+    case AppProtocol::kDnsOverTcp:
+      return dns_match(data, content);
+    case AppProtocol::kFtp:
+      return ftp_match(data, content);
+    case AppProtocol::kHttp:
+      return http_keyword_match(data, content);
+    case AppProtocol::kHttps:
+      return sni_match(data, content);
+    case AppProtocol::kSmtp:
+      return smtp_match(data, content);
+  }
+  return false;
+}
+
+}  // namespace caya

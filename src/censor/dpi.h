@@ -1,0 +1,59 @@
+// Deep-packet-inspection matchers: one per application protocol, each
+// looking at exactly the trigger surface the paper's censors key on (§4.2).
+//
+// Matchers run over a byte buffer that is either a single packet payload
+// (censors that cannot reassemble) or a reassembled stream prefix (censors
+// that can) — the difference between those two calls is the entire reason
+// Strategy 8 (TCP window reduction) works.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/protocol.h"
+#include "util/bytes.h"
+
+namespace caya {
+
+/// What a censor considers forbidden.
+struct ForbiddenContent {
+  std::string http_keyword = "ultrasurf";        // URL keyword (China)
+  std::vector<std::string> blocked_hosts = {     // Host: header (IN/IR/KZ)
+      "blocked.example.com"};
+  std::string blocked_sni = "www.wikipedia.org";  // TLS SNI (CN/IR)
+  std::string blocked_qname = "www.wikipedia.org";  // DNS-over-TCP (CN)
+  std::string ftp_keyword = "ultrasurf";            // RETR filename (CN)
+  std::string smtp_recipient = "xiazai@upup8.com";  // RCPT TO (CN)
+};
+
+/// China-style HTTP matching: a GET line with the keyword in the URL.
+[[nodiscard]] bool http_keyword_match(std::span<const std::uint8_t> data,
+                                      const ForbiddenContent& content);
+
+/// Host-header matching (India/Iran/Kazakhstan): a well-formed request start
+/// and a blocked Host header in the same buffer.
+[[nodiscard]] bool http_host_match(std::span<const std::uint8_t> data,
+                                   const ForbiddenContent& content);
+
+/// TLS ClientHello whose SNI is blocked.
+[[nodiscard]] bool sni_match(std::span<const std::uint8_t> data,
+                             const ForbiddenContent& content);
+
+/// DNS-over-TCP query for a blocked name.
+[[nodiscard]] bool dns_match(std::span<const std::uint8_t> data,
+                             const ForbiddenContent& content);
+
+/// FTP "RETR <something with keyword>" command line.
+[[nodiscard]] bool ftp_match(std::span<const std::uint8_t> data,
+                             const ForbiddenContent& content);
+
+/// SMTP "RCPT TO:<blocked address>" command line.
+[[nodiscard]] bool smtp_match(std::span<const std::uint8_t> data,
+                              const ForbiddenContent& content);
+
+/// Dispatches to the matcher for `proto` (China's per-protocol boxes).
+[[nodiscard]] bool protocol_match(AppProtocol proto,
+                                  std::span<const std::uint8_t> data,
+                                  const ForbiddenContent& content);
+
+}  // namespace caya

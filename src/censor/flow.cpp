@@ -1,0 +1,3 @@
+#include "censor/flow.h"
+
+// Header-only; anchors the TU.

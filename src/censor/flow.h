@@ -1,0 +1,36 @@
+// Flow identification for censor TCB tables.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <map>
+
+#include "packet/packet.h"
+
+namespace caya {
+
+/// Directed flow key, always oriented client -> server (the censor decides
+/// which side is the client from who sent the first SYN — the asymmetry §3
+/// demonstrates).
+struct FlowKey {
+  std::uint32_t client_addr = 0;
+  std::uint16_t client_port = 0;
+  std::uint32_t server_addr = 0;
+  std::uint16_t server_port = 0;
+
+  friend auto operator<=>(const FlowKey&, const FlowKey&) = default;
+};
+
+/// Key as seen from the packet's source side.
+[[nodiscard]] inline FlowKey flow_from_packet(const Packet& pkt) {
+  return {pkt.ip.src.value(), pkt.tcp.sport, pkt.ip.dst.value(),
+          pkt.tcp.dport};
+}
+
+/// Key with the packet's *destination* treated as the client.
+[[nodiscard]] inline FlowKey reverse_flow_from_packet(const Packet& pkt) {
+  return {pkt.ip.dst.value(), pkt.tcp.dport, pkt.ip.src.value(),
+          pkt.tcp.sport};
+}
+
+}  // namespace caya

@@ -1,0 +1,387 @@
+#include "censor/gfw.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "tcpstack/seq.h"
+
+namespace caya {
+
+GfwBoxParams gfw_params(AppProtocol proto) {
+  // Calibrated to Table 2; see EXPERIMENTS.md for the paper-vs-measured
+  // comparison and the provenance of each constant.
+  switch (proto) {
+    case AppProtocol::kDnsOverTcp:
+      return {.protocol = proto,
+              .p_resync_on_rst = 0.50,
+              .p_resync_on_corrupt_ack = 0.015,
+              .p_corrupt_ack_simopen_boost = 0.095,
+              .p_corrupt_ack_payload_sa_boost = 0.05,
+              .p_resync_on_payload_syn = 0.45,
+              .p_resync_on_payload_other = 0.45,
+              .p_client_synack_first_confusion = 0.0,
+              .p_reassembly = 1.0,
+              .p_miss = 0.007};
+    case AppProtocol::kFtp:
+      return {.protocol = proto,
+              .p_resync_on_rst = 0.50,
+              .p_resync_on_corrupt_ack = 0.31,
+              .p_corrupt_ack_simopen_boost = 0.64,
+              .p_corrupt_ack_payload_sa_boost = 0.96,
+              .p_corrupt_ack_rst_boost = 0.70,
+              .p_resync_on_payload_syn = 0.34,
+              .p_resync_on_payload_other = 0.30,
+              .p_client_synack_first_confusion = 0.0,
+              .p_reassembly = 0.53,
+              .p_confused_by_small_window = 0.46,
+              .p_miss = 0.03};
+    case AppProtocol::kHttp:
+      return {.protocol = proto,
+              .p_resync_on_rst = 0.53,
+              .p_resync_on_corrupt_ack = 0.0,
+              .p_corrupt_ack_simopen_boost = 0.0,
+              .p_corrupt_ack_payload_sa_boost = 0.0,
+              .p_resync_on_payload_syn = 0.56,
+              .p_resync_on_payload_other = 0.51,
+              .p_client_synack_first_confusion = 0.0,
+              .p_reassembly = 1.0,
+              .p_miss = 0.025,
+              .residual_duration = duration::sec(90)};
+    case AppProtocol::kHttps:
+      return {.protocol = proto,
+              .p_resync_on_rst = 0.0,  // §5: no RST resync for HTTPS
+              .p_resync_on_corrupt_ack = 0.0,
+              .p_corrupt_ack_simopen_boost = 0.0,
+              .p_corrupt_ack_payload_sa_boost = 0.0,
+              .p_resync_on_payload_syn = 0.48,
+              .p_resync_on_payload_other = 0.53,
+              .p_client_synack_first_confusion = 0.15,
+              .p_reassembly = 1.0,
+              .p_miss = 0.03};
+    case AppProtocol::kSmtp:
+      return {.protocol = proto,
+              .p_resync_on_rst = 0.60,
+              .p_resync_on_corrupt_ack = 0.0,
+              .p_corrupt_ack_simopen_boost = 0.0,
+              .p_corrupt_ack_payload_sa_boost = 0.0,
+              .p_resync_on_payload_syn = 0.45,
+              .p_resync_on_payload_other = 0.40,
+              .p_client_synack_first_confusion = 0.0,
+              .p_reassembly = 0.0,  // SMTP box cannot reassemble (Strategy 8)
+              .p_confused_by_small_window = 1.0,
+              .p_miss = 0.26};
+  }
+  return {};
+}
+
+GfwBox::GfwBox(GfwBoxParams params, ForbiddenContent content, Rng rng)
+    : params_(params), content_(std::move(content)), rng_(rng) {}
+
+void GfwBox::reset() {
+  flows_.clear();
+  residual_.clear();
+}
+
+bool GfwBox::residual_active(Ipv4Address addr, std::uint16_t port,
+                             Time now) const {
+  const auto it = residual_.find({addr.value(), port});
+  return it != residual_.end() && now < it->second;
+}
+
+Verdict GfwBox::on_packet(const Packet& pkt, Direction dir,
+                          Injector& inject) {
+  if (dir == Direction::kClientToServer) {
+    on_client_packet(pkt, inject);
+  } else {
+    on_server_packet(pkt);
+  }
+  return Verdict::kPass;  // on-path: observe and inject only
+}
+
+void GfwBox::on_server_packet(const Packet& pkt) {
+  const FlowKey key = reverse_flow_from_packet(pkt);
+  const auto it = flows_.find(key);
+  if (it == flows_.end()) return;  // no TCB: fail open
+  Tcb& tcb = it->second;
+  if (tcb.dead || tcb.missed) return;
+
+  const std::uint8_t flags = pkt.tcp.flags;
+  const bool is_synack =
+      has_flag(flags, tcpflag::kSyn) && has_flag(flags, tcpflag::kAck);
+
+  const std::uint32_t end = pkt.tcp.seq + pkt.sequence_length();
+  if (tcb.server_next == 0 || seq_gt(end, tcb.server_next)) {
+    tcb.server_next = end;
+  }
+
+  if (has_flag(flags, tcpflag::kRst)) {
+    // Rule 2: a server RST can put the box into resync (never teardown).
+    tcb.saw_server_rst = true;
+    if (!tcb.rst_resync_draw) {
+      tcb.rst_resync_draw = rng_.chance(params_.p_resync_on_rst);
+    }
+    if (*tcb.rst_resync_draw) {
+      tcb.resync = Resync::kNextClientPacket;
+    }
+    return;
+  }
+
+  if (is_synack) {
+    if (!pkt.payload.empty()) tcb.saw_synack_with_payload = true;
+    if (!tcb.saw_server_synack) {
+      tcb.saw_server_synack = true;
+      if (pkt.tcp.window < 64 && !pkt.tcp.window_scale() &&
+          rng_.chance(params_.p_confused_by_small_window)) {
+        tcb.dead = true;  // Strategy 8 against dialogue-protocol boxes
+        return;
+      }
+      if (pkt.tcp.ack != tcb.client_isn + 1) {
+        // Rule 3: corrupted ack on the *first* SYN+ACK. Whether the box
+        // actually enters resync is decided when the next client packet
+        // arrives, because the paper's observed probability depends on what
+        // else the server sends in between (Strategies 3/4/5).
+        tcb.corrupt_ack_armed = true;
+      }
+    }
+    if (tcb.resync == Resync::kNextServerSaOrClientAck) {
+      // Resync target: take the expected client sequence from the SYN+ACK's
+      // ack field — corrupted ack => full desynchronization (Strategy 6).
+      tcb.expected_client_seq = pkt.tcp.ack;
+      tcb.stream_base = pkt.tcp.ack;
+      tcb.segments.clear();
+      tcb.resync = Resync::kNone;
+    }
+    return;
+  }
+
+  if (has_flag(flags, tcpflag::kSyn)) {
+    tcb.saw_server_bare_syn = true;
+  }
+
+  if (!pkt.payload.empty() && !tcb.censor_established) {
+    // Rule 1: payload on a non-SYN+ACK server packet *during the
+    // handshake*. Ordinary post-handshake data from the server does not
+    // perturb the box — otherwise every FTP/SMTP response would constantly
+    // re-synchronize it and the Table 2 desync strategies could not work
+    // for dialogue protocols.
+    const double p = has_flag(flags, tcpflag::kSyn)
+                         ? params_.p_resync_on_payload_syn
+                         : params_.p_resync_on_payload_other;
+    if (!tcb.payload_resync_draw) {
+      tcb.payload_resync_draw = rng_.chance(p);
+    }
+    if (*tcb.payload_resync_draw) {
+      tcb.resync = Resync::kNextServerSaOrClientAck;
+    }
+  }
+}
+
+void GfwBox::on_client_packet(const Packet& pkt, Injector& inject) {
+  const FlowKey key = flow_from_packet(pkt);
+  const std::uint8_t flags = pkt.tcp.flags;
+  auto it = flows_.find(key);
+
+  if (it == flows_.end()) {
+    // Only a client SYN instantiates a TCB; anything else fails open.
+    if (!has_flag(flags, tcpflag::kSyn) || has_flag(flags, tcpflag::kAck)) {
+      return;
+    }
+    Tcb tcb;
+    tcb.client_isn = pkt.tcp.seq;
+    tcb.expected_client_seq = pkt.tcp.seq + 1;
+    tcb.stream_base = pkt.tcp.seq + 1;
+    tcb.can_reassemble = rng_.chance(params_.p_reassembly);
+    tcb.missed = rng_.chance(params_.p_miss);
+    tcb.residual_kill =
+        residual_active(pkt.ip.dst, pkt.tcp.dport, inject.now());
+    flows_.emplace(key, std::move(tcb));
+    return;
+  }
+
+  Tcb& tcb = it->second;
+  if (tcb.dead || tcb.missed) return;
+
+  // Residual censorship: tear down right after the handshake completes.
+  if (tcb.residual_kill && has_flag(flags, tcpflag::kAck)) {
+    inject_teardown(tcb, key, pkt.tcp.seq,
+                    pkt.tcp.seq + pkt.sequence_length(), inject);
+    tcb.dead = true;
+    ++censored_count_;
+    return;
+  }
+
+  const bool is_client_synack =
+      has_flag(flags, tcpflag::kSyn) && has_flag(flags, tcpflag::kAck);
+  if (is_client_synack && !tcb.saw_server_synack &&
+      rng_.chance(params_.p_client_synack_first_confusion)) {
+    // The box expected the server to speak first; it loses the flow.
+    tcb.dead = true;
+    return;
+  }
+
+  bool just_synced = false;
+
+  // Pending corrupt-ack decision (rule 3): made at the next client packet,
+  // with the boosts the paper measured but could not explain.
+  if (tcb.corrupt_ack_armed) {
+    tcb.corrupt_ack_armed = false;
+    double p = params_.p_resync_on_corrupt_ack;
+    if (tcb.saw_server_bare_syn) {
+      p = std::max(p, params_.p_corrupt_ack_simopen_boost);
+    }
+    if (tcb.saw_synack_with_payload) {
+      p = std::max(p, params_.p_corrupt_ack_payload_sa_boost);
+    }
+    if (tcb.saw_server_rst) {
+      p = std::max(p, params_.p_corrupt_ack_rst_boost);
+    }
+    if (rng_.chance(p)) {
+      tcb.resync = Resync::kNextClientPacket;
+    }
+  }
+
+  // Resyncing on a client packet adopts that packet's sequence number as
+  // the current stream position (its own payload, if any, is inspected
+  // below). The box believes the handshake is over, so a simultaneous-open
+  // SYN+ACK (whose seq is still the ISN) leaves it one byte short
+  // (Strategies 1/2), and an induced RST leaves it at garbage
+  // (Strategies 3/5/7).
+  if (tcb.resync == Resync::kNextClientPacket ||
+      (tcb.resync == Resync::kNextServerSaOrClientAck &&
+       has_flag(flags, tcpflag::kAck))) {
+    tcb.expected_client_seq = pkt.tcp.seq;
+    tcb.stream_base = pkt.tcp.seq;
+    tcb.segments.clear();
+    tcb.resync = Resync::kNone;
+    just_synced = true;
+  }
+
+  if ((has_flag(flags, tcpflag::kRst) || has_flag(flags, tcpflag::kFin)) &&
+      !just_synced) {
+    // When the censor believes the *client* terminated the connection (a
+    // valid RST or FIN) it deletes the TCB and ignores subsequent packets —
+    // the shortcut client-side teardown strategies exploit (§2.1). Invalid
+    // sequence numbers are ignored.
+    if (pkt.tcp.seq == tcb.expected_client_seq) {
+      tcb.dead = true;
+      return;
+    }
+    if (has_flag(flags, tcpflag::kRst)) return;
+  }
+
+  // Any ACK-bearing client packet past this point marks the handshake as
+  // complete in the box's eyes (whether or not its notion of sequence
+  // numbers is still right).
+  if (has_flag(flags, tcpflag::kAck)) tcb.censor_established = true;
+
+  if (pkt.payload.empty()) return;
+
+  if (tcb.can_reassemble) {
+    tcb.segments[pkt.tcp.seq] = pkt.payload;
+    // Assemble the contiguous prefix from the believed stream base.
+    Bytes assembled;
+    std::uint32_t next = tcb.stream_base;
+    while (true) {
+      const auto seg = tcb.segments.find(next);
+      if (seg == tcb.segments.end()) break;
+      assembled.insert(assembled.end(), seg->second.begin(),
+                       seg->second.end());
+      next += static_cast<std::uint32_t>(seg->second.size());
+      if (assembled.size() > 65536) break;  // bounded buffer
+    }
+    if (!assembled.empty() &&
+        protocol_match(params_.protocol, std::span(assembled), content_)) {
+      censor_flow(tcb, pkt, inject);
+    }
+  } else {
+    // No reassembly: inspect exactly-in-order packets in isolation.
+    if (pkt.tcp.seq == tcb.expected_client_seq) {
+      if (protocol_match(params_.protocol, std::span(pkt.payload),
+                         content_)) {
+        censor_flow(tcb, pkt, inject);
+        return;
+      }
+      tcb.expected_client_seq +=
+          static_cast<std::uint32_t>(pkt.payload.size());
+    }
+  }
+}
+
+void GfwBox::censor_flow(Tcb& tcb, const Packet& offending,
+                         Injector& inject) {
+  const FlowKey key = flow_from_packet(offending);
+  inject_teardown(tcb, key, offending.tcp.seq,
+                  offending.tcp.seq + offending.sequence_length(), inject);
+  tcb.dead = true;
+  ++censored_count_;
+  if (params_.residual_duration > 0) {
+    residual_[{key.server_addr, key.server_port}] =
+        inject.now() + params_.residual_duration;
+  }
+}
+
+void GfwBox::inject_teardown(const Tcb& tcb, const FlowKey& key,
+                             std::uint32_t client_start,
+                             std::uint32_t client_next, Injector& inject) {
+  // The GFW sends several RSTs with staggered sequence numbers so teardown
+  // succeeds whether the spoofed packet beats the offending one to the far
+  // end or trails it.
+  for (const std::uint32_t seq : {client_start, client_next}) {
+    Packet to_server = make_tcp_packet(
+        Ipv4Address(key.client_addr), key.client_port,
+        Ipv4Address(key.server_addr), key.server_port, tcpflag::kRst, seq, 0);
+    inject.inject(std::move(to_server), Direction::kClientToServer);
+  }
+
+  // RST to the client, spoofed from the server.
+  Packet to_client = make_tcp_packet(
+      Ipv4Address(key.server_addr), key.server_port,
+      Ipv4Address(key.client_addr), key.client_port,
+      tcpflag::kRst | tcpflag::kAck, tcb.server_next, client_next);
+  inject.inject(std::move(to_client), Direction::kServerToClient);
+}
+
+GfwBoxParams single_box_params(AppProtocol proto) {
+  // One shared network stack: every protocol matcher rides on the HTTP
+  // box's TCP engine (same resync behaviour, same reassembly, same bugs).
+  GfwBoxParams params = gfw_params(AppProtocol::kHttp);
+  params.protocol = proto;
+  params.residual_duration = 0;
+  return params;
+}
+
+ChinaCensor::ChinaCensor(ForbiddenContent content, Rng rng,
+                         Architecture architecture) {
+  // Under the single-box counterfactual, every "box" shares one stack's
+  // parameters AND one RNG stream, so the per-flow resync draws coincide:
+  // a TCP-level bug either fires for all protocols or for none.
+  Rng shared = rng.fork();
+  for (const AppProtocol proto : all_protocols()) {
+    const GfwBoxParams params = architecture == Architecture::kMultiBox
+                                    ? gfw_params(proto)
+                                    : single_box_params(proto);
+    boxes_.push_back(std::make_unique<GfwBox>(
+        params, content,
+        architecture == Architecture::kMultiBox ? rng.fork() : shared));
+  }
+}
+
+std::vector<Middlebox*> ChinaCensor::middleboxes() {
+  std::vector<Middlebox*> out;
+  out.reserve(boxes_.size());
+  for (const auto& box : boxes_) out.push_back(box.get());
+  return out;
+}
+
+GfwBox& ChinaCensor::box(AppProtocol proto) {
+  for (const auto& box : boxes_) {
+    if (box->protocol() == proto) return *box;
+  }
+  throw std::logic_error("no such GFW box");
+}
+
+void ChinaCensor::reset() {
+  for (const auto& box : boxes_) box->reset();
+}
+
+}  // namespace caya

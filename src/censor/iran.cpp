@@ -1,0 +1,33 @@
+#include "censor/iran.h"
+
+namespace caya {
+
+Verdict IranCensor::on_packet(const Packet& pkt, Direction dir,
+                              Injector& inject) {
+  if (dir != Direction::kClientToServer) return Verdict::kPass;
+
+  const FlowKey key = flow_from_packet(pkt);
+  const auto hole = blackholed_.find(key);
+  if (hole != blackholed_.end()) {
+    if (inject.now() < hole->second) {
+      return Verdict::kDrop;  // flow is blackholed: swallow everything
+    }
+    blackholed_.erase(hole);
+  }
+
+  if (pkt.payload.empty()) return Verdict::kPass;
+
+  bool forbidden = false;
+  if (pkt.tcp.dport == 80) {
+    forbidden = http_host_match(std::span(pkt.payload), content_);
+  } else if (pkt.tcp.dport == 443) {
+    forbidden = sni_match(std::span(pkt.payload), content_);
+  }
+  if (!forbidden) return Verdict::kPass;
+
+  ++censored_count_;
+  blackholed_[key] = inject.now() + blackhole_duration_;
+  return Verdict::kDrop;  // the offending packet never reaches the server
+}
+
+}  // namespace caya

@@ -1,0 +1,42 @@
+// Iran's in-path censor (§5.2):
+//   * HTTP (port 80, Host header) and HTTPS (port 443, TLS SNI); Iran no
+//     longer censors DNS-over-TCP (§4.2 footnote).
+//   * Stateless detection — no TCB, no reassembly.
+//   * On a match it "blackholes" the flow: the offending packet and every
+//     subsequent client packet in that flow are dropped for ~60 s. Nothing
+//     is injected; the client just starves and times out.
+#pragma once
+
+#include <map>
+
+#include "censor/dpi.h"
+#include "censor/flow.h"
+#include "netsim/middlebox.h"
+#include "netsim/time.h"
+
+namespace caya {
+
+class IranCensor : public Middlebox {
+ public:
+  explicit IranCensor(ForbiddenContent content,
+                      Time blackhole_duration = duration::sec(60))
+      : content_(std::move(content)),
+        blackhole_duration_(blackhole_duration) {}
+
+  Verdict on_packet(const Packet& pkt, Direction dir,
+                    Injector& inject) override;
+  [[nodiscard]] bool in_path() const noexcept override { return true; }
+  void reset() override { blackholed_.clear(); }
+
+  [[nodiscard]] std::size_t censored_count() const noexcept {
+    return censored_count_;
+  }
+
+ private:
+  ForbiddenContent content_;
+  Time blackhole_duration_;
+  std::map<FlowKey, Time> blackholed_;  // flow -> expiry
+  std::size_t censored_count_ = 0;
+};
+
+}  // namespace caya

@@ -1,0 +1,132 @@
+#include "censor/kazakhstan.h"
+
+namespace caya {
+
+namespace {
+bool starts_with(std::span<const std::uint8_t> data, std::string_view prefix) {
+  if (data.size() < prefix.size()) return false;
+  for (std::size_t i = 0; i < prefix.size(); ++i) {
+    if (data[i] != static_cast<std::uint8_t>(prefix[i])) return false;
+  }
+  return true;
+}
+
+/// "Well-formed up to the dot": GET, a path, and the 'HTTP1.' marker. The
+/// paper found the minimal working payload is "GET / HTTP1." and that the
+/// strategy fails without the trailing dot.
+bool benign_get_prefix(std::span<const std::uint8_t> data) {
+  if (!starts_with(data, "GET ")) return false;
+  const std::string text = to_string(data);
+  return text.find(" HTTP1.") != std::string::npos ||
+         text.find(" HTTP/1.") != std::string::npos;
+}
+}  // namespace
+
+std::string KazakhstanCensor::block_page() {
+  const std::string body =
+      "<html><body>This site is blocked by order of the authorized "
+      "state body.</body></html>";
+  return "HTTP/1.1 200 OK\r\nContent-Length: " + std::to_string(body.size()) +
+         "\r\n\r\n" + body;
+}
+
+void KazakhstanCensor::inspect_server_handshake(FlowState& flow,
+                                                const Packet& pkt,
+                                                Injector& inject) {
+  const std::uint8_t flags = pkt.tcp.flags;
+
+  // Strategy 11: a handshake packet with none of SYN/ACK/FIN/RST breaks the
+  // box's model of a normal handshake.
+  constexpr std::uint8_t kCore =
+      tcpflag::kSyn | tcpflag::kAck | tcpflag::kFin | tcpflag::kRst;
+  if ((flags & kCore) == 0) {
+    flow.ignored = true;
+    return;
+  }
+
+  if (pkt.payload.empty()) {
+    flow.consecutive_server_payloads = 0;
+    return;
+  }
+
+  // Strategy 9: three consecutive payload-bearing server packets during the
+  // handshake.
+  if (++flow.consecutive_server_payloads >= 3) {
+    flow.ignored = true;
+    return;
+  }
+
+  // Probing behaviour: the censor parses server-sent request payloads. A
+  // *forbidden* request elicits the block page on the second occurrence; a
+  // benign one (twice) convinces the box the server is the client
+  // (Strategy 10).
+  if (http_host_match(std::span(pkt.payload), content_)) {
+    if (++flow.forbidden_server_gets >= 2) {
+      ++probe_responses_;
+      Packet page = make_tcp_packet(
+          pkt.ip.dst, pkt.tcp.dport, pkt.ip.src, pkt.tcp.sport,
+          tcpflag::kFin | tcpflag::kPsh | tcpflag::kAck, pkt.tcp.ack,
+          pkt.tcp.seq, to_bytes(block_page()));
+      inject.inject(std::move(page), Direction::kClientToServer);
+      flow.ignored = true;
+    }
+    return;
+  }
+  if (benign_get_prefix(std::span(pkt.payload))) {
+    if (++flow.benign_server_gets >= 2) {
+      flow.ignored = true;  // "the server is actually the client"
+    }
+  }
+}
+
+Verdict KazakhstanCensor::on_packet(const Packet& pkt, Direction dir,
+                                    Injector& inject) {
+  const FlowKey key = dir == Direction::kClientToServer
+                          ? flow_from_packet(pkt)
+                          : reverse_flow_from_packet(pkt);
+  const bool is_http = key.server_port == 80;
+  if (!is_http) return Verdict::kPass;
+
+  FlowState& flow = flows_[key];
+
+  // Active man-in-the-middle interception swallows the whole stream.
+  if (flow.intercept_until != 0 && inject.now() < flow.intercept_until) {
+    return Verdict::kDrop;
+  }
+
+  if (dir == Direction::kServerToClient) {
+    if (has_flag(pkt.tcp.flags, tcpflag::kSyn) &&
+        has_flag(pkt.tcp.flags, tcpflag::kAck)) {
+      flow.saw_server_synack = true;
+    }
+    if (!flow.handshake_done && !flow.ignored) {
+      inspect_server_handshake(flow, pkt, inject);
+    }
+    return Verdict::kPass;
+  }
+
+  // Client -> server.
+  if (pkt.payload.empty()) return Verdict::kPass;
+  flow.handshake_done = true;
+  if (flow.ignored) return Verdict::kPass;
+
+  // No reassembly: each packet is inspected alone (Strategy 8).
+  if (!http_host_match(std::span(pkt.payload), content_)) {
+    return Verdict::kPass;
+  }
+
+  ++censored_count_;
+  flow.intercept_until = inject.now() + intercept_duration_;
+
+  // Inject the block page at the client, spoofed from the server; the
+  // forbidden request itself is swallowed.
+  Packet page = make_tcp_packet(
+      pkt.ip.dst, pkt.tcp.dport, pkt.ip.src, pkt.tcp.sport,
+      tcpflag::kFin | tcpflag::kPsh | tcpflag::kAck, pkt.tcp.ack,
+      pkt.tcp.seq + static_cast<std::uint32_t>(pkt.payload.size()),
+      to_bytes(block_page()));
+  inject.inject(std::move(page), Direction::kServerToClient);
+  return Verdict::kDrop;
+}
+
+}  // namespace caya

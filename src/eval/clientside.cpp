@@ -1,0 +1,123 @@
+#include "eval/clientside.h"
+
+#include "geneva/parser.h"
+
+namespace caya {
+
+namespace {
+
+/// A tamper chain that makes a packet an "insertion packet": seen by the
+/// censor, never processed by the server (TTL-limited or checksum-corrupt).
+std::string invalidation_tampers(Invalidation invalidation) {
+  switch (invalidation) {
+    case Invalidation::kTtlLimited:
+      // Enough hops to cross the censor (hop 3) but not reach the far end
+      // (hop 10).
+      return "tamper{IP:ttl:replace:6}";
+    case Invalidation::kTtlLimitedShallow:
+      return "tamper{IP:ttl:replace:4}";
+    case Invalidation::kCorruptChecksum:
+      return "tamper{TCP:chksum:corrupt}";
+  }
+  return "";
+}
+
+std::string_view invalidation_name(Invalidation invalidation) {
+  switch (invalidation) {
+    case Invalidation::kTtlLimited:
+      return "ttl=6";
+    case Invalidation::kTtlLimitedShallow:
+      return "ttl=4";
+    case Invalidation::kCorruptChecksum:
+      return "chksum";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Strategy ClientSideStrategy::client_strategy() const {
+  // The insertion packet is sequenced so the censor sees the teardown before
+  // the forbidden request: after the handshake ACK (trigger "A") or ahead of
+  // the request itself (trigger "PA").
+  const std::string teardown = "tamper{TCP:flags:replace:" + teardown_flags +
+                               "}(" + invalidation_tampers(invalidation) +
+                               ",)";
+  // A teardown derived from the request packet must not itself carry the
+  // forbidden payload (real Geneva teardown species strip or corrupt it).
+  const std::string pa_teardown =
+      "tamper{TCP:load:replace:}(" + teardown + ",)";
+  const std::string dsl =
+      trigger_flags == "A"
+          ? "[TCP:flags:A]-duplicate(," + teardown + ")-| \\/"
+          : "[TCP:flags:PA]-duplicate(" + pa_teardown + ",)-| \\/";
+  return parse_strategy(dsl);
+}
+
+namespace {
+/// The TTL values are re-tuned for the server side of the path (the censor
+/// sits 7 hops from the server, 3 from the client), exactly as the paper's
+/// translation would: the insertion packet must still cross the censor but
+/// die before the far end.
+std::string server_side_invalidation(Invalidation invalidation) {
+  switch (invalidation) {
+    case Invalidation::kTtlLimited:
+      return "tamper{IP:ttl:replace:9}";
+    case Invalidation::kTtlLimitedShallow:
+      return "tamper{IP:ttl:replace:8}";
+    case Invalidation::kCorruptChecksum:
+      return "tamper{TCP:chksum:corrupt}";
+  }
+  return "";
+}
+}  // namespace
+
+Strategy ClientSideStrategy::server_analog_before() const {
+  const std::string dsl =
+      "[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:" + teardown_flags +
+      "}(" + server_side_invalidation(invalidation) + ",),)-| \\/";
+  return parse_strategy(dsl);
+}
+
+Strategy ClientSideStrategy::server_analog_after() const {
+  const std::string dsl =
+      "[TCP:flags:SA]-duplicate(,tamper{TCP:flags:replace:" + teardown_flags +
+      "}(" + server_side_invalidation(invalidation) + ",))-| \\/";
+  return parse_strategy(dsl);
+}
+
+const std::vector<ClientSideStrategy>& clientside_corpus() {
+  static const std::vector<ClientSideStrategy> corpus = [] {
+    std::vector<ClientSideStrategy> out;
+    const std::vector<std::string> teardowns = {"R", "RA", "F", "FA"};
+    const std::vector<Invalidation> invalidations = {
+        Invalidation::kTtlLimited, Invalidation::kTtlLimitedShallow,
+        Invalidation::kCorruptChecksum};
+    const std::vector<std::string> triggers = {"A", "PA"};
+    for (const auto& teardown : teardowns) {
+      for (const auto invalidation : invalidations) {
+        for (const auto& trigger : triggers) {
+          ClientSideStrategy s;
+          s.teardown_flags = teardown;
+          s.invalidation = invalidation;
+          s.trigger_flags = trigger;
+          s.name = "TCB teardown " + teardown + " (" +
+                   std::string(invalidation_name(invalidation)) + ", on " +
+                   trigger + ")";
+          out.push_back(std::move(s));
+        }
+      }
+    }
+    // The classic seminal strategy rounds the corpus to the paper's 25.
+    ClientSideStrategy classic;
+    classic.teardown_flags = "R";
+    classic.invalidation = Invalidation::kTtlLimited;
+    classic.trigger_flags = "A";
+    classic.name = "TCB teardown R (classic TTL-limited RST)";
+    out.push_back(std::move(classic));
+    return out;
+  }();
+  return corpus;
+}
+
+}  // namespace caya

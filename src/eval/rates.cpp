@@ -1,0 +1,36 @@
+#include "eval/rates.h"
+
+namespace caya {
+
+RateCounter measure_rate(Country country, AppProtocol protocol,
+                         const std::optional<Strategy>& strategy,
+                         const RateOptions& options) {
+  RateCounter counter;
+  for (std::size_t i = 0; i < options.trials; ++i) {
+    Environment::Config env_config;
+    env_config.country = country;
+    env_config.protocol = protocol;
+    env_config.seed = options.base_seed + i;
+
+    ConnectionOptions conn;
+    conn.server_strategy = strategy;
+    conn.client_os = options.client_os;
+
+    counter.record(run_trial(env_config, conn).success);
+  }
+  return counter;
+}
+
+FitnessFn make_fitness(Country country, AppProtocol protocol,
+                       std::size_t trials, std::uint64_t base_seed) {
+  return [=](const Strategy& strategy) {
+    RateOptions options;
+    options.trials = trials;
+    options.base_seed = base_seed;
+    const RateCounter rate =
+        measure_rate(country, protocol, strategy, options);
+    return rate.rate() * 100.0;
+  };
+}
+
+}  // namespace caya

@@ -1,0 +1,31 @@
+// Success-rate measurement over repeated trials — the machinery behind the
+// Table 2 reproduction and the GA's fitness function.
+#pragma once
+
+#include <functional>
+
+#include "eval/trial.h"
+#include "geneva/ga.h"
+#include "util/stats.h"
+
+namespace caya {
+
+struct RateOptions {
+  std::size_t trials = 200;
+  std::uint64_t base_seed = 1000;
+  OsProfile client_os = OsProfile::linux_default();
+};
+
+/// Runs `trials` independent connections (fresh Environment per trial so
+/// censor state never leaks) and reports the observed success rate.
+[[nodiscard]] RateCounter measure_rate(Country country, AppProtocol protocol,
+                                       const std::optional<Strategy>& strategy,
+                                       const RateOptions& options = {});
+
+/// Geneva fitness: success-rate (x100) of `strategy` as a server-side
+/// defense, over `trials` connections.
+[[nodiscard]] FitnessFn make_fitness(Country country, AppProtocol protocol,
+                                     std::size_t trials,
+                                     std::uint64_t base_seed);
+
+}  // namespace caya

@@ -1,0 +1,119 @@
+#include "eval/replay.h"
+#include <fstream>
+
+#include <map>
+
+#include "censor/airtel.h"
+#include "censor/flow.h"
+#include "censor/gfw.h"
+#include "censor/iran.h"
+#include "censor/kazakhstan.h"
+
+namespace caya {
+
+namespace {
+
+class CountingInjector : public Injector {
+ public:
+  void inject(Packet, Direction) override { ++injected; }
+  [[nodiscard]] Time now() const override { return now_value; }
+
+  std::size_t injected = 0;
+  Time now_value = 0;
+};
+
+}  // namespace
+
+ReplayResult replay_through_censor(const std::vector<PcapRecord>& records,
+                                   Country country, std::uint64_t seed) {
+  // Build the censor set for the country.
+  const ForbiddenContent content = forbidden_content(country);
+  std::unique_ptr<ChinaCensor> china;
+  std::unique_ptr<AirtelCensor> airtel;
+  std::unique_ptr<IranCensor> iran;
+  std::unique_ptr<KazakhstanCensor> kazakh;
+  std::vector<Middlebox*> boxes;
+  switch (country) {
+    case Country::kChina:
+      china = std::make_unique<ChinaCensor>(content, Rng(seed));
+      boxes = china->middleboxes();
+      break;
+    case Country::kIndia:
+      airtel = std::make_unique<AirtelCensor>(content);
+      boxes = {airtel.get()};
+      break;
+    case Country::kIran:
+      iran = std::make_unique<IranCensor>(content);
+      boxes = {iran.get()};
+      break;
+    case Country::kKazakhstan:
+      kazakh = std::make_unique<KazakhstanCensor>(content);
+      boxes = {kazakh.get()};
+      break;
+  }
+
+  auto censored_total = [&]() {
+    std::size_t total = 0;
+    if (china) {
+      for (const AppProtocol proto : all_protocols()) {
+        total += china->box(proto).censored_count();
+      }
+    }
+    if (airtel) total += airtel->censored_count();
+    if (iran) total += iran->censored_count();
+    if (kazakh) total += kazakh->censored_count();
+    return total;
+  };
+
+  ReplayResult result;
+  CountingInjector injector;
+  // Flow orientation: the first bare SYN marks its sender as the client.
+  std::map<FlowKey, bool> client_is_src;  // key oriented src->dst
+
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    ++result.packets;
+    Packet pkt;
+    try {
+      pkt = Packet::parse(records[i].data);
+    } catch (const std::exception&) {
+      ++result.parse_failures;
+      continue;
+    }
+    injector.now_value = records[i].at;
+
+    const FlowKey forward = flow_from_packet(pkt);
+    const FlowKey reverse = reverse_flow_from_packet(pkt);
+    Direction dir = Direction::kClientToServer;
+    if (client_is_src.contains(forward)) {
+      dir = Direction::kClientToServer;
+    } else if (client_is_src.contains(reverse)) {
+      dir = Direction::kServerToClient;
+    } else if (pkt.tcp.flags == tcpflag::kSyn) {
+      client_is_src[forward] = true;
+    }
+
+    const std::size_t before = censored_total();
+    const std::size_t injected_before = injector.injected;
+    for (Middlebox* box : boxes) {
+      (void)box->on_packet(pkt, dir, injector);
+    }
+    if (censored_total() > before) {
+      ++result.censor_events;
+      result.events.push_back(
+          {i, "censored: " + pkt.summary()});
+    }
+    result.injected_packets += injector.injected - injected_before;
+  }
+  return result;
+}
+
+ReplayResult replay_pcap_file(const std::string& path, Country country,
+                              std::uint64_t seed) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("cannot open " + path);
+  Bytes data((std::istreambuf_iterator<char>(file)),
+             std::istreambuf_iterator<char>());
+  return replay_through_censor(from_pcap(data), country, seed);
+}
+
+}  // namespace caya

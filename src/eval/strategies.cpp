@@ -1,0 +1,142 @@
+#include "eval/strategies.h"
+
+#include <stdexcept>
+
+#include "geneva/parser.h"
+
+namespace caya {
+
+std::string_view to_string(Country country) noexcept {
+  switch (country) {
+    case Country::kChina:
+      return "China";
+    case Country::kIndia:
+      return "India";
+    case Country::kIran:
+      return "Iran";
+    case Country::kKazakhstan:
+      return "Kazakhstan";
+  }
+  return "?";
+}
+
+const std::vector<Country>& all_countries() {
+  static const std::vector<Country> countries = {
+      Country::kChina, Country::kIndia, Country::kIran,
+      Country::kKazakhstan};
+  return countries;
+}
+
+const std::vector<PublishedStrategy>& published_strategies() {
+  // Success-rate entries follow all_protocols() order:
+  //   {DNS, FTP, HTTP, HTTPS, SMTP}; -1 = not reported.
+  static const std::vector<PublishedStrategy> strategies = {
+      {.id = 1,
+       .name = "Simultaneous Open, Injected RST",
+       .dsl = "[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:R},"
+              "tamper{TCP:flags:replace:S})-| \\/",
+       .countries = {Country::kChina},
+       .china_reported = {0.89, 0.52, 0.54, 0.14, 0.70}},
+      {.id = 2,
+       .name = "Simultaneous Open, Injected Load",
+       .dsl = "[TCP:flags:SA]-tamper{TCP:flags:replace:S}(duplicate(,"
+              "tamper{TCP:load:corrupt}),)-| \\/",
+       .countries = {Country::kChina},
+       .china_reported = {0.83, 0.36, 0.54, 0.55, 0.59}},
+      {.id = 3,
+       .name = "Corrupt ACK, Simultaneous Open",
+       .dsl = "[TCP:flags:SA]-duplicate(tamper{TCP:ack:corrupt},"
+              "tamper{TCP:flags:replace:S})-| \\/",
+       .countries = {Country::kChina},
+       .china_reported = {0.26, 0.65, 0.04, 0.04, 0.23}},
+      {.id = 4,
+       .name = "Corrupt ACK Alone",
+       .dsl = "[TCP:flags:SA]-duplicate(tamper{TCP:ack:corrupt},)-| \\/",
+       .countries = {Country::kChina},
+       .china_reported = {0.07, 0.33, 0.05, 0.05, 0.22}},
+      {.id = 5,
+       .name = "Corrupt ACK, Injected Load",
+       .dsl = "[TCP:flags:SA]-duplicate(tamper{TCP:ack:corrupt},"
+              "tamper{TCP:load:corrupt})-| \\/",
+       .countries = {Country::kChina},
+       .china_reported = {0.15, 0.97, 0.04, 0.03, 0.25}},
+      {.id = 6,
+       .name = "Injected Load, Induced RST",
+       .dsl = "[TCP:flags:SA]-duplicate(duplicate(tamper{TCP:flags:replace:F}"
+              "(tamper{TCP:load:corrupt},),tamper{TCP:ack:corrupt}),)-| \\/",
+       .countries = {Country::kChina},
+       .china_reported = {0.82, 0.55, 0.52, 0.54, 0.55}},
+      {.id = 7,
+       .name = "Injected RST, Induced RST",
+       .dsl = "[TCP:flags:SA]-duplicate(duplicate(tamper{TCP:flags:replace:R}"
+              ",tamper{TCP:ack:corrupt}),)-|",
+       .countries = {Country::kChina},
+       .china_reported = {0.83, 0.85, 0.54, 0.04, 0.66}},
+      {.id = 8,
+       .name = "TCP Window Reduction",
+       .dsl = "[TCP:flags:SA]-tamper{TCP:window:replace:10}("
+              "tamper{TCP:options-wscale:replace:},)-| \\/",
+       .countries = {Country::kChina, Country::kIndia, Country::kIran,
+                     Country::kKazakhstan},
+       .china_reported = {0.03, 0.47, 0.02, 0.03, 1.00},
+       .kazakhstan_http_reported = 1.00,
+       .india_http_reported = 1.00,
+       .iran_http_reported = 1.00,
+       .iran_https_reported = 1.00},
+      {.id = 9,
+       .name = "Triple Load",
+       .dsl = "[TCP:flags:SA]-tamper{TCP:load:corrupt}(duplicate("
+              "duplicate,),)-| \\/",
+       .countries = {Country::kKazakhstan},
+       .china_reported = {},
+       .kazakhstan_http_reported = 1.00},
+      {.id = 10,
+       .name = "Double GET",
+       .dsl = "[TCP:flags:SA]-tamper{TCP:load:replace:GET / HTTP1.}("
+              "duplicate,)-| \\/",
+       .countries = {Country::kKazakhstan},
+       .china_reported = {},
+       .kazakhstan_http_reported = 1.00},
+      {.id = 11,
+       .name = "Null Flags",
+       .dsl = "[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:},)-| \\/",
+       .countries = {Country::kKazakhstan},
+       .china_reported = {},
+       .kazakhstan_http_reported = 1.00},
+  };
+  return strategies;
+}
+
+const PublishedStrategy& published_strategy(int id) {
+  for (const auto& s : published_strategies()) {
+    if (s.id == id) return s;
+  }
+  throw std::out_of_range("no published strategy with id " +
+                          std::to_string(id));
+}
+
+Strategy parsed_strategy(int id) {
+  return parse_strategy(published_strategy(id).dsl);
+}
+
+StrategyLibrary published_library() {
+  StrategyLibrary library;
+  for (const auto& s : published_strategies()) {
+    LibraryEntry entry;
+    entry.name = "S" + std::to_string(s.id);
+    // Headline rate: the China HTTP cell where reported, else the
+    // Kazakhstan HTTP cell.
+    if (s.china_reported.size() > 2) {
+      entry.success = s.china_reported[2];
+      entry.notes = s.name + " (China HTTP reported)";
+    } else {
+      entry.success = s.kazakhstan_http_reported;
+      entry.notes = s.name + " (Kazakhstan HTTP reported)";
+    }
+    entry.dsl = s.dsl;
+    library.add(std::move(entry));
+  }
+  return library;
+}
+
+}  // namespace caya

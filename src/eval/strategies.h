@@ -1,0 +1,47 @@
+// The paper's eleven server-side evasion strategies (§5), verbatim in
+// Geneva's DSL, with the metadata Table 2 reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/protocol.h"
+#include "geneva/library.h"
+#include "geneva/strategy.h"
+
+namespace caya {
+
+enum class Country { kChina, kIndia, kIran, kKazakhstan };
+
+[[nodiscard]] std::string_view to_string(Country country) noexcept;
+[[nodiscard]] const std::vector<Country>& all_countries();
+
+struct PublishedStrategy {
+  int id = 0;                // 1..11, as in Table 2
+  std::string name;          // e.g. "Sim. Open, Injected RST"
+  std::string dsl;           // parseable Geneva DSL
+  std::vector<Country> countries;  // where Table 2 reports it
+  /// Paper-reported success per protocol in China (fraction), -1 when the
+  /// table has no entry. Order follows all_protocols(): DNS,FTP,HTTP,HTTPS,
+  /// SMTP.
+  std::vector<double> china_reported;
+  double kazakhstan_http_reported = -1;
+  double india_http_reported = -1;
+  double iran_http_reported = -1;
+  double iran_https_reported = -1;
+};
+
+/// All eleven strategies, in table order.
+[[nodiscard]] const std::vector<PublishedStrategy>& published_strategies();
+
+/// Lookup by id; throws std::out_of_range for unknown ids.
+[[nodiscard]] const PublishedStrategy& published_strategy(int id);
+
+/// Parses the strategy's DSL (convenience).
+[[nodiscard]] Strategy parsed_strategy(int id);
+
+/// The eleven published strategies as a StrategyLibrary, annotated with
+/// their headline reported rates.
+[[nodiscard]] StrategyLibrary published_library();
+
+}  // namespace caya

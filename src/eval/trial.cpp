@@ -1,0 +1,188 @@
+#include "eval/trial.h"
+
+namespace caya {
+
+Ipv4Address eval_client_addr() { return Ipv4Address::parse("101.6.8.2"); }
+Ipv4Address eval_server_addr() {
+  return Ipv4Address::parse("93.184.216.34");
+}
+
+Environment::Environment(Config config)
+    : config_(config), rng_(config.seed) {
+  net_ = std::make_unique<Network>(loop_, config_.net, rng_.fork());
+  server_port_ = config_.server_port != 0 ? config_.server_port
+                                          : default_port(config_.protocol);
+
+  if (config_.carrier != CarrierNetwork::kWifi) {
+    carrier_ = std::make_unique<CarrierMiddlebox>(config_.carrier);
+    net_->add_middlebox(carrier_.get());
+  }
+
+  const ForbiddenContent content = forbidden_content(config_.country);
+  switch (config_.country) {
+    case Country::kChina:
+      china_ = std::make_unique<ChinaCensor>(content, rng_.fork(),
+                                             config_.china_architecture);
+      for (Middlebox* box : china_->middleboxes()) net_->add_middlebox(box);
+      break;
+    case Country::kIndia:
+      airtel_ = std::make_unique<AirtelCensor>(content);
+      net_->add_middlebox(airtel_.get());
+      break;
+    case Country::kIran:
+      iran_ = std::make_unique<IranCensor>(content);
+      net_->add_middlebox(iran_.get());
+      break;
+    case Country::kKazakhstan:
+      kazakh_ = std::make_unique<KazakhstanCensor>(content);
+      net_->add_middlebox(kazakh_.get());
+      break;
+  }
+}
+
+std::size_t Environment::censored_total() const {
+  std::size_t total = 0;
+  if (china_) {
+    for (const AppProtocol proto : all_protocols()) {
+      total += const_cast<ChinaCensor&>(*china_).box(proto).censored_count();
+    }
+  }
+  if (airtel_) total += airtel_->censored_count();
+  if (iran_) total += iran_->censored_count();
+  if (kazakh_) total += kazakh_->censored_count();
+  return total;
+}
+
+TrialResult Environment::run_connection(const ConnectionOptions& options) {
+  const ClientRequest request = client_request(config_.country);
+  const std::size_t censored_before = censored_total();
+
+  net_->trace().clear();
+
+  // Engines (the Geneva shims) for this connection.
+  std::unique_ptr<Engine> server_engine;
+  std::unique_ptr<Engine> client_engine;
+  if (options.server_strategy) {
+    server_engine =
+        std::make_unique<Engine>(*options.server_strategy, rng_.fork());
+    net_->set_server_processor(server_engine.get());
+  } else {
+    net_->set_server_processor(nullptr);
+  }
+  if (options.client_processor != nullptr) {
+    net_->set_client_processor(options.client_processor);
+  } else if (options.client_strategy) {
+    client_engine =
+        std::make_unique<Engine>(*options.client_strategy, rng_.fork());
+    net_->set_client_processor(client_engine.get());
+  } else {
+    net_->set_client_processor(nullptr);
+  }
+
+  ClientAppConfig app_config;
+  app_config.client_addr = eval_client_addr();
+  app_config.server_addr = eval_server_addr();
+  app_config.client_port = next_client_port_++;
+  app_config.server_port = server_port_;
+  app_config.os = options.client_os;
+  app_config.isn = next_isn_ += 7001;
+
+  TrialResult result;
+  const Ipv4Address dns_answer = Ipv4Address::parse("198.51.100.7");
+
+  auto finish = [&](bool success, bool reset) {
+    result.success = success;
+    result.client_reset = reset;
+    result.censor_events = censored_total() - censored_before;
+    if (server_engine) {
+      result.server_amplification = server_engine->amplification();
+    }
+    if (options.record_trace) result.trace = net_->trace();
+    loop_.clear();  // no stale callbacks may outlive this connection's apps
+    net_->set_server_processor(nullptr);
+    net_->set_client_processor(nullptr);
+    net_->set_client(nullptr);
+    net_->set_server(nullptr);
+  };
+
+  constexpr std::size_t kMaxEvents = 500000;
+
+  switch (config_.protocol) {
+    case AppProtocol::kHttp: {
+      HttpServer server(loop_, *net_, eval_server_addr(), server_port_,
+                        "<html><body>the real content</body></html>");
+      HttpClient client(loop_, *net_, app_config, request.http_host,
+                        request.http_path, server.expected_response());
+      net_->set_server(&server);
+      net_->set_client(&client);
+      client.endpoint().set_seq_shift(options.client_data_seq_shift);
+      client.endpoint().set_suppress_induced_rst(
+          options.suppress_induced_rst);
+      client.start();
+      loop_.run(kMaxEvents);
+      finish(client.succeeded(), client.was_reset());
+      return result;
+    }
+    case AppProtocol::kHttps: {
+      HttpsServer server(loop_, *net_, eval_server_addr(), server_port_);
+      HttpsClient client(loop_, *net_, app_config, request.sni);
+      net_->set_server(&server);
+      net_->set_client(&client);
+      client.endpoint().set_seq_shift(options.client_data_seq_shift);
+      client.endpoint().set_suppress_induced_rst(
+          options.suppress_induced_rst);
+      client.start();
+      loop_.run(kMaxEvents);
+      finish(client.succeeded(), client.was_reset());
+      return result;
+    }
+    case AppProtocol::kDnsOverTcp: {
+      DnsServer server(loop_, *net_, eval_server_addr(), server_port_,
+                       dns_answer);
+      DnsClient client(loop_, *net_, app_config, request.dns_qname,
+                       dns_answer);
+      client.on_new_attempt = [&server] { server.reopen(); };
+      net_->set_server(&server);
+      net_->set_client(&client);
+      client.start();
+      loop_.run(kMaxEvents);
+      finish(client.succeeded(), !client.succeeded());
+      return result;
+    }
+    case AppProtocol::kFtp: {
+      FtpServer server(loop_, *net_, eval_server_addr(), server_port_);
+      FtpClient client(loop_, *net_, app_config, request.ftp_filename);
+      net_->set_server(&server);
+      net_->set_client(&client);
+      client.endpoint().set_seq_shift(options.client_data_seq_shift);
+      client.endpoint().set_suppress_induced_rst(
+          options.suppress_induced_rst);
+      client.start();
+      loop_.run(kMaxEvents);
+      finish(client.succeeded(), client.was_reset());
+      return result;
+    }
+    case AppProtocol::kSmtp: {
+      SmtpServer server(loop_, *net_, eval_server_addr(), server_port_);
+      SmtpClient client(loop_, *net_, app_config, request.smtp_recipient);
+      net_->set_server(&server);
+      net_->set_client(&client);
+      client.endpoint().set_seq_shift(options.client_data_seq_shift);
+      client.endpoint().set_suppress_induced_rst(
+          options.suppress_induced_rst);
+      client.start();
+      loop_.run(kMaxEvents);
+      finish(client.succeeded(), client.was_reset());
+      return result;
+    }
+  }
+  return result;
+}
+
+TrialResult run_trial(Environment::Config env_config,
+                      const ConnectionOptions& options) {
+  Environment env(env_config);
+  return env.run_connection(options);
+}
+
+}  // namespace caya

@@ -1,0 +1,107 @@
+// The experiment harness: an unmodified client inside a censoring country
+// connecting to a server (optionally running a Geneva strategy) outside it.
+//
+// An Environment owns the event loop, the simulated path, and the country's
+// censor middleboxes; it persists across connections so follow-up behaviour
+// like China's residual censorship (~90 s) can be exercised. Each
+// run_connection() creates a fresh client/server application pair on fresh
+// ports.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "apps/dns_app.h"
+#include "apps/ftp.h"
+#include "apps/http.h"
+#include "apps/https.h"
+#include "apps/smtp.h"
+#include "censor/airtel.h"
+#include "censor/carrier.h"
+#include "censor/gfw.h"
+#include "censor/iran.h"
+#include "censor/kazakhstan.h"
+#include "eval/country.h"
+#include "geneva/engine.h"
+#include "netsim/network.h"
+
+namespace caya {
+
+struct ConnectionOptions {
+  std::optional<Strategy> server_strategy;
+  std::optional<Strategy> client_strategy;
+  /// Custom client-side shim (instrumented-client experiments). Takes
+  /// precedence over client_strategy. Not owned.
+  PacketProcessor* client_processor = nullptr;
+  OsProfile client_os = OsProfile::linux_default();
+  /// §5 verification hooks.
+  std::int32_t client_data_seq_shift = 0;
+  bool suppress_induced_rst = false;
+  bool record_trace = false;
+};
+
+struct TrialResult {
+  bool success = false;       // paper criterion: correct data, no teardown
+  bool client_reset = false;
+  std::size_t censor_events = 0;  // censorship actions during the connection
+  double server_amplification = 1.0;  // packets out per packet in (§8)
+  Trace trace;                // populated when record_trace was set
+};
+
+class Environment {
+ public:
+  struct Config {
+    Country country = Country::kChina;
+    AppProtocol protocol = AppProtocol::kHttp;
+    std::uint64_t seed = 1;
+    std::uint16_t server_port = 0;  // 0 = protocol default
+    Network::Config net;
+    /// Figure 3 ablation: run China as one shared-stack box instead of the
+    /// real multi-box deployment.
+    ChinaCensor::Architecture china_architecture =
+        ChinaCensor::Architecture::kMultiBox;
+    /// §7 cellular anecdote: interpose a carrier middlebox on the path.
+    CarrierNetwork carrier = CarrierNetwork::kWifi;
+  };
+
+  explicit Environment(Config config);
+
+  TrialResult run_connection(const ConnectionOptions& options);
+
+  [[nodiscard]] Network& network() noexcept { return *net_; }
+  [[nodiscard]] EventLoop& loop() noexcept { return loop_; }
+  [[nodiscard]] ChinaCensor* china() noexcept { return china_.get(); }
+  [[nodiscard]] KazakhstanCensor* kazakhstan() noexcept {
+    return kazakh_.get();
+  }
+  [[nodiscard]] AirtelCensor* airtel() noexcept { return airtel_.get(); }
+  [[nodiscard]] IranCensor* iran() noexcept { return iran_.get(); }
+  [[nodiscard]] std::uint16_t server_port() const noexcept {
+    return server_port_;
+  }
+  [[nodiscard]] std::size_t censored_total() const;
+
+ private:
+  Config config_;
+  Rng rng_;
+  EventLoop loop_;
+  std::unique_ptr<Network> net_;
+  std::unique_ptr<CarrierMiddlebox> carrier_;
+  std::unique_ptr<ChinaCensor> china_;
+  std::unique_ptr<AirtelCensor> airtel_;
+  std::unique_ptr<IranCensor> iran_;
+  std::unique_ptr<KazakhstanCensor> kazakh_;
+  std::uint16_t server_port_ = 80;
+  std::uint16_t next_client_port_ = 40000;
+  std::uint32_t next_isn_ = 11000;
+};
+
+/// One-shot convenience: build an Environment, run a single connection.
+[[nodiscard]] TrialResult run_trial(Environment::Config env_config,
+                                    const ConnectionOptions& options);
+
+/// Canonical addresses used throughout the evaluation.
+[[nodiscard]] Ipv4Address eval_client_addr();
+[[nodiscard]] Ipv4Address eval_server_addr();
+
+}  // namespace caya

@@ -1,0 +1,3 @@
+#include "geneva/engine.h"
+
+// Engine is header-only today; this TU anchors the library target.

@@ -1,0 +1,53 @@
+// The strategy engine: Geneva's packet-interception shim.
+//
+// On a real deployment this sits in libnetfilter_queue between the host's
+// TCP stack and the NIC; here it implements PacketProcessor so the simulated
+// Network applies it at a host's edge. The same engine runs server-side
+// (this paper) or client-side (prior work) — only its attachment point
+// differs.
+#pragma once
+
+#include <cstddef>
+
+#include "geneva/strategy.h"
+#include "netsim/endpoint.h"
+#include "util/rng.h"
+
+namespace caya {
+
+class Engine : public PacketProcessor {
+ public:
+  Engine(Strategy strategy, Rng rng)
+      : strategy_(std::move(strategy)), rng_(rng) {}
+
+  [[nodiscard]] std::vector<Packet> process_outbound(Packet pkt) override {
+    auto out = strategy_.apply_outbound(std::move(pkt), rng_);
+    packets_out_ += out.size();
+    ++packets_in_;
+    return out;
+  }
+
+  [[nodiscard]] std::vector<Packet> process_inbound(Packet pkt) override {
+    return strategy_.apply_inbound(std::move(pkt), rng_);
+  }
+
+  [[nodiscard]] const Strategy& strategy() const noexcept {
+    return strategy_;
+  }
+
+  /// Overhead accounting for §8: how many packets left the engine per packet
+  /// that entered it (1.0 = no overhead).
+  [[nodiscard]] double amplification() const noexcept {
+    return packets_in_ == 0 ? 1.0
+                            : static_cast<double>(packets_out_) /
+                                  static_cast<double>(packets_in_);
+  }
+
+ private:
+  Strategy strategy_;
+  Rng rng_;
+  std::size_t packets_in_ = 0;
+  std::size_t packets_out_ = 0;
+};
+
+}  // namespace caya

@@ -1,0 +1,112 @@
+#include "geneva/ga.h"
+
+#include <algorithm>
+
+namespace caya {
+
+GeneticAlgorithm::GeneticAlgorithm(GeneConfig genes, GaConfig config,
+                                   FitnessFn fitness, Rng rng, Logger logger)
+    : genes_(std::move(genes)),
+      config_(config),
+      fitness_(std::move(fitness)),
+      rng_(rng),
+      logger_(std::move(logger)) {}
+
+void GeneticAlgorithm::seed(Strategy strategy) {
+  Individual ind;
+  ind.strategy = std::move(strategy);
+  population_.push_back(std::move(ind));
+}
+
+void GeneticAlgorithm::ensure_population() {
+  while (population_.size() < config_.population_size) {
+    Individual ind;
+    ind.strategy = random_strategy(genes_, rng_);
+    population_.push_back(std::move(ind));
+  }
+}
+
+void GeneticAlgorithm::evaluate_all() {
+  for (auto& ind : population_) {
+    if (ind.evaluated) continue;
+    const double raw = fitness_(ind.strategy);
+    ind.fitness = raw - config_.complexity_weight *
+                            static_cast<double>(ind.strategy.size());
+    ind.evaluated = true;
+  }
+  std::stable_sort(population_.begin(), population_.end(),
+                   [](const Individual& a, const Individual& b) {
+                     return a.fitness > b.fitness;
+                   });
+}
+
+const Individual& GeneticAlgorithm::tournament_pick() {
+  const Individual* best = nullptr;
+  for (std::size_t i = 0; i < config_.tournament_size; ++i) {
+    const Individual& candidate = rng_.pick(population_);
+    if (best == nullptr || candidate.fitness > best->fitness) {
+      best = &candidate;
+    }
+  }
+  return *best;
+}
+
+void GeneticAlgorithm::step() {
+  // population_ is sorted descending by fitness (evaluate_all).
+  std::vector<Individual> next;
+  next.reserve(config_.population_size);
+  const auto elite_count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config_.elite_fraction *
+                                  static_cast<double>(population_.size())));
+  for (std::size_t i = 0; i < elite_count && i < population_.size(); ++i) {
+    next.push_back(population_[i]);  // elites keep their evaluation
+  }
+
+  while (next.size() < config_.population_size) {
+    Individual child;
+    child.strategy = tournament_pick().strategy;
+    if (rng_.chance(config_.crossover_rate)) {
+      Strategy mate = tournament_pick().strategy;
+      crossover(child.strategy, mate, rng_);
+    }
+    if (rng_.chance(config_.mutation_rate)) {
+      mutate(child.strategy, genes_, rng_);
+    }
+    next.push_back(std::move(child));
+  }
+  population_ = std::move(next);
+}
+
+Individual GeneticAlgorithm::run() {
+  ensure_population();
+  evaluate_all();
+
+  double best_so_far = population_.front().fitness;
+  std::size_t stale = 0;
+
+  for (std::size_t gen = 0; gen < config_.generations; ++gen) {
+    double sum = 0.0;
+    for (const auto& ind : population_) sum += ind.fitness;
+    history_.push_back(
+        {gen, population_.front().fitness,
+         sum / static_cast<double>(population_.size()),
+         population_.front().strategy.to_string()});
+    logger_.logf(LogLevel::kInfo, "gen ", gen, " best=",
+                 population_.front().fitness,
+                 " strategy=", population_.front().strategy.to_string());
+
+    if (population_.front().fitness > best_so_far) {
+      best_so_far = population_.front().fitness;
+      stale = 0;
+    } else if (++stale >= config_.convergence_patience) {
+      logger_.logf(LogLevel::kInfo, "converged at generation ", gen);
+      break;
+    }
+
+    step();
+    evaluate_all();
+  }
+  return population_.front();
+}
+
+}  // namespace caya

@@ -1,0 +1,80 @@
+// Geneva's genetic algorithm: evolve packet-manipulation strategies against
+// a (simulated) censor. Mirrors the paper's §4.1 configuration: a population
+// pool (300 in the paper), up to 50 generations, stopping early on
+// convergence.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "geneva/mutation.h"
+#include "geneva/strategy.h"
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace caya {
+
+/// Evaluates a strategy against the censor environment; returns a score in
+/// [0, 100] (typically success-rate x 100). The GA subtracts its own
+/// complexity penalty.
+using FitnessFn = std::function<double(const Strategy&)>;
+
+struct GaConfig {
+  std::size_t population_size = 300;
+  std::size_t generations = 50;
+  double elite_fraction = 0.1;
+  double crossover_rate = 0.4;
+  double mutation_rate = 0.9;
+  std::size_t tournament_size = 3;
+  /// Penalty per action-tree node — pushes toward minimal strategies.
+  double complexity_weight = 0.5;
+  /// Stop when the best fitness has not improved for this many generations.
+  std::size_t convergence_patience = 8;
+};
+
+struct Individual {
+  Strategy strategy;
+  double fitness = 0.0;
+  bool evaluated = false;
+};
+
+struct GenerationStats {
+  std::size_t generation = 0;
+  double best_fitness = 0.0;
+  double mean_fitness = 0.0;
+  std::string best_strategy;
+};
+
+class GeneticAlgorithm {
+ public:
+  GeneticAlgorithm(GeneConfig genes, GaConfig config, FitnessFn fitness,
+                   Rng rng, Logger logger = Logger::silent());
+
+  /// Runs the full evolution; returns the best individual found.
+  Individual run();
+
+  /// Seeds the initial population with a known strategy (in addition to
+  /// random individuals) — used to test local refinement.
+  void seed(Strategy strategy);
+
+  [[nodiscard]] const std::vector<GenerationStats>& history() const noexcept {
+    return history_;
+  }
+
+ private:
+  void ensure_population();
+  void evaluate_all();
+  [[nodiscard]] const Individual& tournament_pick();
+  void step();
+
+  GeneConfig genes_;
+  GaConfig config_;
+  FitnessFn fitness_;
+  Rng rng_;
+  Logger logger_;
+  std::vector<Individual> population_;
+  std::vector<GenerationStats> history_;
+};
+
+}  // namespace caya

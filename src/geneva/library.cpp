@@ -1,0 +1,102 @@
+#include "geneva/library.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "geneva/parser.h"
+
+namespace caya {
+
+void StrategyLibrary::add(LibraryEntry entry) {
+  entry.dsl = parse_strategy(entry.dsl).to_string();  // canonicalize
+  for (auto& existing : entries_) {
+    if (existing.name == entry.name) {
+      existing = std::move(entry);
+      return;
+    }
+  }
+  entries_.push_back(std::move(entry));
+}
+
+const LibraryEntry* StrategyLibrary::find(std::string_view name) const {
+  for (const auto& entry : entries_) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+std::string StrategyLibrary::serialize() const {
+  std::ostringstream os;
+  os << "# caya strategy library: name\tsuccess\tnotes\tdsl\n";
+  for (const auto& entry : entries_) {
+    os << entry.name << "\t" << entry.success << "\t" << entry.notes << "\t"
+       << entry.dsl << "\n";
+  }
+  return os.str();
+}
+
+StrategyLibrary StrategyLibrary::deserialize(std::string_view text) {
+  StrategyLibrary library;
+  std::size_t pos = 0;
+  int line_number = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+
+    std::vector<std::string> fields;
+    std::size_t start = 0;
+    for (int i = 0; i < 3; ++i) {
+      const std::size_t tab = line.find('\t', start);
+      if (tab == std::string_view::npos) {
+        throw std::invalid_argument("library line " +
+                                    std::to_string(line_number) +
+                                    ": expected 4 tab-separated fields");
+      }
+      fields.emplace_back(line.substr(start, tab - start));
+      start = tab + 1;
+    }
+    fields.emplace_back(line.substr(start));
+
+    LibraryEntry entry;
+    entry.name = fields[0];
+    try {
+      entry.success = std::stod(fields[1]);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("library line " +
+                                  std::to_string(line_number) +
+                                  ": bad success value " + fields[1]);
+    }
+    entry.notes = fields[2];
+    entry.dsl = fields[3];
+    try {
+      library.add(std::move(entry));  // validates the DSL
+    } catch (const ParseError& e) {
+      throw std::invalid_argument("library line " +
+                                  std::to_string(line_number) + ": " +
+                                  e.what());
+    }
+  }
+  return library;
+}
+
+void StrategyLibrary::save(const std::string& path) const {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) throw std::runtime_error("cannot open " + path);
+  file << serialize();
+  if (!file) throw std::runtime_error("write failed for " + path);
+}
+
+StrategyLibrary StrategyLibrary::load(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("cannot open " + path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return deserialize(buffer.str());
+}
+
+}  // namespace caya

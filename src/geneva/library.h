@@ -1,0 +1,49 @@
+// A persistent strategy library: named strategies with notes and measured
+// rates, stored in a line-oriented text format that survives hand editing:
+//
+//   # comment
+//   name <TAB> success <TAB> notes <TAB> dsl
+//
+// Used to save GA discoveries and reload them in the CLI.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geneva/strategy.h"
+
+namespace caya {
+
+struct LibraryEntry {
+  std::string name;
+  double success = 0.0;  // measured success fraction, -1 if unknown
+  std::string notes;
+  std::string dsl;  // canonical DSL (validated on load/save)
+};
+
+class StrategyLibrary {
+ public:
+  /// Adds (or replaces, by name) an entry; the DSL is canonicalized and
+  /// validated. Throws ParseError on invalid DSL.
+  void add(LibraryEntry entry);
+
+  [[nodiscard]] const std::vector<LibraryEntry>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] const LibraryEntry* find(std::string_view name) const;
+
+  /// Serializes to the text format.
+  [[nodiscard]] std::string serialize() const;
+  /// Parses the text format; throws std::invalid_argument on malformed
+  /// lines (bad field count, unparseable DSL).
+  static StrategyLibrary deserialize(std::string_view text);
+
+  void save(const std::string& path) const;
+  static StrategyLibrary load(const std::string& path);
+
+ private:
+  std::vector<LibraryEntry> entries_;
+};
+
+}  // namespace caya

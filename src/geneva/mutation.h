@@ -1,0 +1,56 @@
+// Genetic operators over strategies: random generation, point mutation, and
+// subtree crossover. These are the "genetic building block" compositions of
+// the paper's §2.2.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "geneva/strategy.h"
+#include "util/rng.h"
+
+namespace caya {
+
+/// What the search is allowed to construct. The paper restricts server-side
+/// evolution to triggering on SYN+ACK for DNS/HTTP/HTTPS/SMTP (the only
+/// packet a server sends before censorship) — that restriction lives here.
+struct GeneConfig {
+  std::vector<Trigger> allowed_triggers = {
+      {Proto::kTcp, "flags", "SA"},
+  };
+  /// Fields tamper may touch. Defaults to the TCP fields the paper's
+  /// strategies use.
+  std::vector<std::pair<Proto, std::string>> tamper_fields = {
+      {Proto::kTcp, "flags"},   {Proto::kTcp, "seq"},
+      {Proto::kTcp, "ack"},     {Proto::kTcp, "window"},
+      {Proto::kTcp, "load"},    {Proto::kTcp, "chksum"},
+      {Proto::kTcp, "options-wscale"},
+  };
+  std::size_t max_tree_size = 12;
+  std::size_t max_depth = 5;
+  std::size_t max_rules_per_direction = 1;
+  bool allow_inbound = false;  // server-side evolution is outbound-only
+};
+
+/// A random action subtree of bounded depth.
+[[nodiscard]] ActionPtr random_action(const GeneConfig& config, Rng& rng,
+                                      std::size_t depth = 0);
+
+/// A random one-rule strategy.
+[[nodiscard]] Strategy random_strategy(const GeneConfig& config, Rng& rng);
+
+/// In-place point mutation: grows, prunes, retunes, or regenerates part of
+/// one rule.
+void mutate(Strategy& strategy, const GeneConfig& config, Rng& rng);
+
+/// Subtree crossover: swaps a random subtree between the two strategies.
+void crossover(Strategy& a, Strategy& b, Rng& rng);
+
+/// A plausible replace-value for the given tamper field (used by random
+/// generation and mutation).
+[[nodiscard]] std::string random_field_value(Proto proto,
+                                             std::string_view field,
+                                             Rng& rng);
+
+}  // namespace caya

@@ -1,0 +1,264 @@
+#include "geneva/parser.h"
+
+#include <cctype>
+#include <charconv>
+
+namespace caya {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Strategy parse_strategy() {
+    Strategy strategy;
+    skip_ws();
+    while (!done() && peek() == '[') {
+      strategy.outbound.push_back(parse_rule());
+      skip_ws();
+    }
+    if (!done() && peek() == '\\') {
+      expect('\\');
+      expect('/');
+      skip_ws();
+      while (!done() && peek() == '[') {
+        strategy.inbound.push_back(parse_rule());
+        skip_ws();
+      }
+    }
+    skip_ws();
+    if (!done()) {
+      throw ParseError("trailing input after strategy", pos_);
+    }
+    return strategy;
+  }
+
+  ActionPtr parse_action_tree() {
+    skip_ws();
+    ActionPtr tree = parse_tree();
+    skip_ws();
+    if (!done()) throw ParseError("trailing input after action", pos_);
+    return tree;
+  }
+
+ private:
+  TriggeredAction parse_rule() {
+    Trigger trigger = parse_trigger();
+    expect('-');
+    skip_ws();
+    ActionPtr tree;
+    // An empty action ("[...]--|") means plain send.
+    if (peek() != '-') tree = parse_tree();
+    skip_ws();
+    expect('-');
+    expect('|');
+    return {std::move(trigger), std::move(tree)};
+  }
+
+  Trigger parse_trigger() {
+    expect('[');
+    const std::string proto = take_until(':');
+    expect(':');
+    const std::string field = take_until(':');
+    expect(':');
+    const std::string value = take_until(']');
+    expect(']');
+    Trigger t;
+    t.proto = proto_from_string(proto);
+    t.field = field;
+    t.value = value;
+    if (!field_exists(t.proto, t.field)) {
+      throw ParseError("unknown trigger field: " + field, pos_);
+    }
+    return t;
+  }
+
+  ActionPtr parse_tree() {
+    skip_ws();
+    const std::size_t start = pos_;
+    std::string name;
+    while (!done() && std::isalpha(static_cast<unsigned char>(peek()))) {
+      name.push_back(take());
+    }
+    if (name.empty()) throw ParseError("expected action name", start);
+
+    if (name == "send") {
+      require_no_children(name);
+      return std::make_unique<SendAction>();
+    }
+    if (name == "drop") {
+      require_no_children(name);
+      return std::make_unique<DropAction>();
+    }
+    if (name == "duplicate") {
+      auto [first, second] = parse_two_children();
+      return std::make_unique<DuplicateAction>(std::move(first),
+                                               std::move(second));
+    }
+    if (name == "tamper") {
+      const std::string spec = parse_braces();
+      auto [proto, field, mode, value] = split_tamper_spec(spec);
+      auto [child, extra] = parse_two_children();
+      if (extra) {
+        throw ParseError("tamper takes a single child", pos_);
+      }
+      return std::make_unique<TamperAction>(proto, field, mode, value,
+                                            std::move(child));
+    }
+    if (name == "fragment") {
+      const std::string spec = parse_braces();
+      auto [proto, offset, in_order] = split_fragment_spec(spec);
+      auto [first, second] = parse_two_children();
+      return std::make_unique<FragmentAction>(proto, offset, in_order,
+                                              std::move(first),
+                                              std::move(second));
+    }
+    throw ParseError("unknown action: " + name, start);
+  }
+
+  void require_no_children(const std::string& name) {
+    skip_ws();
+    if (!done() && peek() == '(') {
+      throw ParseError(name + " takes no children", pos_);
+    }
+  }
+
+  // Parses an optional "(A,B)" child list; missing list or empty slots
+  // yield nulls.
+  std::pair<ActionPtr, ActionPtr> parse_two_children() {
+    skip_ws();
+    if (done() || peek() != '(') return {nullptr, nullptr};
+    expect('(');
+    ActionPtr first;
+    ActionPtr second;
+    skip_ws();
+    if (peek() != ',' && peek() != ')') first = parse_tree();
+    skip_ws();
+    if (peek() == ',') {
+      expect(',');
+      skip_ws();
+      if (peek() != ')') second = parse_tree();
+      skip_ws();
+    }
+    expect(')');
+    return {std::move(first), std::move(second)};
+  }
+
+  std::string parse_braces() {
+    skip_ws();
+    expect('{');
+    std::string out;
+    while (!done() && peek() != '}') out.push_back(take());
+    expect('}');
+    return out;
+  }
+
+  std::tuple<Proto, std::string, TamperMode, std::string> split_tamper_spec(
+      const std::string& spec) {
+    // proto:field:mode[:value] — the value is verbatim (it may contain
+    // colons and spaces, e.g. "GET / HTTP1.").
+    const std::size_t c1 = spec.find(':');
+    if (c1 == std::string::npos) {
+      throw ParseError("tamper spec missing field", pos_);
+    }
+    const std::size_t c2 = spec.find(':', c1 + 1);
+    if (c2 == std::string::npos) {
+      throw ParseError("tamper spec missing mode", pos_);
+    }
+    std::size_t c3 = spec.find(':', c2 + 1);
+    const std::string proto = spec.substr(0, c1);
+    const std::string field = spec.substr(c1 + 1, c2 - c1 - 1);
+    const std::string mode_str =
+        c3 == std::string::npos ? spec.substr(c2 + 1)
+                                : spec.substr(c2 + 1, c3 - c2 - 1);
+    const std::string value =
+        c3 == std::string::npos ? "" : spec.substr(c3 + 1);
+
+    TamperMode mode;
+    if (mode_str == "replace") {
+      mode = TamperMode::kReplace;
+    } else if (mode_str == "corrupt") {
+      mode = TamperMode::kCorrupt;
+    } else {
+      throw ParseError("unknown tamper mode: " + mode_str, pos_);
+    }
+    const Proto p = proto_from_string(proto);
+    if (!field_exists(p, field)) {
+      throw ParseError("unknown tamper field: " + field, pos_);
+    }
+    return {p, field, mode, value};
+  }
+
+  std::tuple<Proto, std::size_t, bool> split_fragment_spec(
+      const std::string& spec) {
+    const std::size_t c1 = spec.find(':');
+    const std::size_t c2 =
+        c1 == std::string::npos ? std::string::npos : spec.find(':', c1 + 1);
+    if (c2 == std::string::npos) {
+      throw ParseError("fragment spec needs proto:offset:inOrder", pos_);
+    }
+    const Proto proto = proto_from_string(spec.substr(0, c1));
+    const std::string offset_str = spec.substr(c1 + 1, c2 - c1 - 1);
+    std::size_t offset = 0;
+    auto [ptr, ec] = std::from_chars(
+        offset_str.data(), offset_str.data() + offset_str.size(), offset);
+    if (ec != std::errc() || ptr != offset_str.data() + offset_str.size()) {
+      throw ParseError("bad fragment offset: " + offset_str, pos_);
+    }
+    const std::string order = spec.substr(c2 + 1);
+    bool in_order = false;
+    if (order == "True" || order == "true" || order == "1") {
+      in_order = true;
+    } else if (order == "False" || order == "false" || order == "0") {
+      in_order = false;
+    } else {
+      throw ParseError("bad fragment order: " + order, pos_);
+    }
+    return {proto, offset, in_order};
+  }
+
+  // ---- low-level helpers ----
+  [[nodiscard]] bool done() const noexcept { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const {
+    if (done()) throw ParseError("unexpected end of input", pos_);
+    return text_[pos_];
+  }
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+  void expect(char c) {
+    if (done() || text_[pos_] != c) {
+      throw ParseError(std::string("expected '") + c + "'", pos_);
+    }
+    ++pos_;
+  }
+  std::string take_until(char stop) {
+    std::string out;
+    while (!done() && peek() != stop) out.push_back(take());
+    return out;
+  }
+  void skip_ws() {
+    while (!done() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Strategy parse_strategy(std::string_view text) {
+  return Parser(text).parse_strategy();
+}
+
+ActionPtr parse_action(std::string_view text) {
+  return Parser(text).parse_action_tree();
+}
+
+}  // namespace caya

@@ -1,0 +1,88 @@
+#include "geneva/species.h"
+
+#include <set>
+
+namespace caya {
+
+namespace {
+
+// FNV-1a.
+void mix(std::uint64_t& hash, std::uint8_t byte) {
+  hash ^= byte;
+  hash *= 0x100000001b3ull;
+}
+void mix_bytes(std::uint64_t& hash, std::span<const std::uint8_t> data) {
+  for (const std::uint8_t b : data) mix(hash, b);
+}
+
+std::vector<Packet> canonical_probes() {
+  const Ipv4Address src = Ipv4Address::parse("192.0.2.1");
+  const Ipv4Address dst = Ipv4Address::parse("198.51.100.1");
+  std::vector<Packet> probes;
+  Packet sa = make_tcp_packet(src, 80, dst, 40000,
+                              tcpflag::kSyn | tcpflag::kAck, 1000, 2001);
+  sa.tcp.set_option(TcpOption::kWindowScale, {7});
+  probes.push_back(std::move(sa));
+  probes.push_back(make_tcp_packet(src, 80, dst, 40000, tcpflag::kSyn, 1000,
+                                   0));
+  probes.push_back(make_tcp_packet(src, 80, dst, 40000, tcpflag::kAck, 1001,
+                                   2001));
+  probes.push_back(make_tcp_packet(src, 80, dst, 40000,
+                                   tcpflag::kPsh | tcpflag::kAck, 1001, 2001,
+                                   to_bytes("GET / HTTP/1.1\r\n\r\n")));
+  probes.push_back(make_tcp_packet(src, 80, dst, 40000, tcpflag::kRst, 1001,
+                                   0));
+  return probes;
+}
+
+// Hash a packet structurally. Random (corrupt) values differ run to run
+// only through the RNG; we fix the RNG seed, so identical trees hash
+// identically, while value-level randomness is still covered because
+// corrupt draws are deterministic under the fixed seed.
+void mix_packet(std::uint64_t& hash, const Packet& pkt) {
+  mix(hash, pkt.tcp.flags);
+  mix(hash, static_cast<std::uint8_t>(pkt.payload.size() & 0xff));
+  mix(hash, static_cast<std::uint8_t>(pkt.payload.size() >> 8 & 0xff));
+  mix_bytes(hash, std::span(pkt.payload));
+  for (const std::uint32_t v : {pkt.tcp.seq, pkt.tcp.ack}) {
+    mix(hash, static_cast<std::uint8_t>(v & 0xff));
+    mix(hash, static_cast<std::uint8_t>(v >> 8 & 0xff));
+    mix(hash, static_cast<std::uint8_t>(v >> 16 & 0xff));
+    mix(hash, static_cast<std::uint8_t>(v >> 24 & 0xff));
+  }
+  mix(hash, static_cast<std::uint8_t>(pkt.tcp.window & 0xff));
+  mix(hash, static_cast<std::uint8_t>(pkt.tcp.window >> 8));
+  mix(hash, pkt.ip.ttl);
+  mix(hash, pkt.tcp_checksum_overridden ? 1 : 0);
+  mix(hash, pkt.tcp.window_scale() ? 1 : 0);
+}
+
+}  // namespace
+
+std::uint64_t strategy_fingerprint(const Strategy& strategy) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  Rng rng(0xC0FFEE);  // fixed: corrupt draws are reproducible
+  for (const Packet& probe : canonical_probes()) {
+    mix(hash, 0xfe);  // probe separator
+    const auto out = strategy.apply_outbound(probe, rng);
+    for (const Packet& pkt : out) mix_packet(hash, pkt);
+    const auto in = strategy.apply_inbound(probe, rng);
+    mix(hash, 0xfd);
+    for (const Packet& pkt : in) mix_packet(hash, pkt);
+  }
+  return hash;
+}
+
+std::vector<Strategy> distinct_species(
+    const std::vector<Strategy>& strategies) {
+  std::set<std::uint64_t> seen;
+  std::vector<Strategy> out;
+  for (const auto& strategy : strategies) {
+    if (seen.insert(strategy_fingerprint(strategy)).second) {
+      out.push_back(strategy);
+    }
+  }
+  return out;
+}
+
+}  // namespace caya

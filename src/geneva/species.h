@@ -1,0 +1,29 @@
+// Strategy "species" identification.
+//
+// Geneva's papers group syntactically different strategies into species by
+// what they actually do to packets. Two strategies belong to the same
+// species when they transform a canonical set of trigger packets into the
+// same wire sequences (under a fixed RNG, with corrupted fields compared
+// by position rather than value).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geneva/strategy.h"
+
+namespace caya {
+
+/// A stable 64-bit behavioural fingerprint of the strategy. Strategies with
+/// equal fingerprints produce identical packet sequences on the canonical
+/// probe set (SYN+ACK, SYN, ACK, PSH+ACK-with-payload, RST), where any
+/// random-valued (corrupted) byte is normalized before hashing.
+[[nodiscard]] std::uint64_t strategy_fingerprint(const Strategy& strategy);
+
+/// Deduplicates strategies by fingerprint, keeping first occurrences in
+/// order — how a GA run's population collapses into distinct species.
+[[nodiscard]] std::vector<Strategy> distinct_species(
+    const std::vector<Strategy>& strategies);
+
+}  // namespace caya

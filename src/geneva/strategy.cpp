@@ -1,0 +1,56 @@
+#include "geneva/strategy.h"
+
+namespace caya {
+
+namespace {
+std::vector<Packet> apply_rules(const std::vector<TriggeredAction>& rules,
+                                Packet pkt, Rng& rng) {
+  std::vector<Packet> out;
+  for (const auto& rule : rules) {
+    if (rule.trigger.matches(pkt)) {
+      run_action(rule.root.get(), std::move(pkt), rng, out);
+      return out;
+    }
+  }
+  out.push_back(std::move(pkt));
+  return out;
+}
+}  // namespace
+
+std::string TriggeredAction::to_string() const {
+  return trigger.to_string() + "-" + (root ? root->to_string() : "send") +
+         "-|";
+}
+
+std::string Strategy::to_string() const {
+  std::string out;
+  for (const auto& rule : outbound) {
+    if (!out.empty()) out += " ";
+    out += rule.to_string();
+  }
+  out += " \\/ ";
+  bool first = true;
+  for (const auto& rule : inbound) {
+    if (!first) out += " ";
+    out += rule.to_string();
+    first = false;
+  }
+  return out;
+}
+
+std::size_t Strategy::size() const {
+  std::size_t n = 0;
+  for (const auto& rule : outbound) n += rule.size();
+  for (const auto& rule : inbound) n += rule.size();
+  return n;
+}
+
+std::vector<Packet> Strategy::apply_outbound(Packet pkt, Rng& rng) const {
+  return apply_rules(outbound, std::move(pkt), rng);
+}
+
+std::vector<Packet> Strategy::apply_inbound(Packet pkt, Rng& rng) const {
+  return apply_rules(inbound, std::move(pkt), rng);
+}
+
+}  // namespace caya

@@ -1,0 +1,57 @@
+// A Geneva strategy: trigger -> action-tree pairs for the outbound and
+// inbound directions, printable in (and parseable from) the paper's DSL:
+//
+//   [TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:R},
+//                            tamper{TCP:flags:replace:S})-| \/
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geneva/action.h"
+#include "geneva/trigger.h"
+
+namespace caya {
+
+struct TriggeredAction {
+  Trigger trigger;
+  ActionPtr root;  // null = plain send (no-op rule)
+
+  TriggeredAction() = default;
+  TriggeredAction(Trigger t, ActionPtr a)
+      : trigger(std::move(t)), root(std::move(a)) {}
+  TriggeredAction(const TriggeredAction& other)
+      : trigger(other.trigger), root(clone_action(other.root)) {}
+  TriggeredAction& operator=(const TriggeredAction& other) {
+    if (this != &other) {
+      trigger = other.trigger;
+      root = clone_action(other.root);
+    }
+    return *this;
+  }
+  TriggeredAction(TriggeredAction&&) = default;
+  TriggeredAction& operator=(TriggeredAction&&) = default;
+
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::size_t size() const {
+    return 1 + (root ? root->size() : 0);
+  }
+};
+
+struct Strategy {
+  std::vector<TriggeredAction> outbound;
+  std::vector<TriggeredAction> inbound;
+
+  /// Full DSL form: "<outbound...> \/ <inbound...>".
+  [[nodiscard]] std::string to_string() const;
+
+  /// Total node count (Geneva's complexity measure).
+  [[nodiscard]] std::size_t size() const;
+
+  /// Applies the direction's rules to one packet. The first matching rule
+  /// runs; non-matching packets pass through unchanged.
+  [[nodiscard]] std::vector<Packet> apply_outbound(Packet pkt, Rng& rng) const;
+  [[nodiscard]] std::vector<Packet> apply_inbound(Packet pkt, Rng& rng) const;
+};
+
+}  // namespace caya

@@ -1,0 +1,15 @@
+#include "geneva/trigger.h"
+
+namespace caya {
+
+bool Trigger::matches(const Packet& pkt) const {
+  if (!field_exists(proto, field)) return false;
+  return get_field(pkt, proto, field) == value;
+}
+
+std::string Trigger::to_string() const {
+  return "[" + std::string(caya::to_string(proto)) + ":" + field + ":" +
+         value + "]";
+}
+
+}  // namespace caya

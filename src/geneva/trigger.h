@@ -1,0 +1,24 @@
+// Geneva triggers: "[TCP:flags:SA]" applies an action tree to packets whose
+// field exactly equals the given value (exact match — "S" does not match
+// SYN+ACK).
+#pragma once
+
+#include <string>
+
+#include "packet/field.h"
+#include "packet/packet.h"
+
+namespace caya {
+
+struct Trigger {
+  Proto proto = Proto::kTcp;
+  std::string field = "flags";
+  std::string value = "SA";
+
+  [[nodiscard]] bool matches(const Packet& pkt) const;
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Trigger&, const Trigger&) = default;
+};
+
+}  // namespace caya

@@ -1,0 +1,38 @@
+#include "netsim/event_loop.h"
+
+#include <algorithm>
+
+namespace caya {
+
+void EventLoop::schedule_at(Time at, Callback cb) {
+  queue_.push(Event{std::max(at, now_), next_seq_++, std::move(cb)});
+}
+
+bool EventLoop::run_one() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; move the callback out via a copy of the
+  // wrapper (callbacks are cheap std::functions here).
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.at;
+  ev.cb();
+  return true;
+}
+
+void EventLoop::run(std::size_t max_events) {
+  for (std::size_t i = 0; i < max_events && run_one(); ++i) {
+  }
+}
+
+void EventLoop::clear() {
+  while (!queue_.empty()) queue_.pop();
+}
+
+void EventLoop::run_until(Time deadline) {
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    run_one();
+  }
+  now_ = std::max(now_, deadline);
+}
+
+}  // namespace caya

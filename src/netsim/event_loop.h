@@ -1,0 +1,62 @@
+// Discrete-event scheduler.
+//
+// All asynchrony in the simulation — link delays, retransmission timers,
+// residual-censorship expiry, DNS retry backoff — runs through this loop.
+// Events at equal times fire in scheduling order (a monotonic tiebreaker),
+// which gives the FIFO delivery the paper's experiments assume.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "netsim/time.h"
+
+namespace caya {
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` to run at absolute time `at` (clamped to now()).
+  void schedule_at(Time at, Callback cb);
+  /// Schedules `cb` to run `delay` after now().
+  void schedule_in(Time delay, Callback cb) {
+    schedule_at(now_ + delay, std::move(cb));
+  }
+
+  [[nodiscard]] Time now() const noexcept { return now_; }
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+  /// Runs a single event; returns false if the queue was empty.
+  bool run_one();
+  /// Runs until the queue is empty or `max_events` have run.
+  void run(std::size_t max_events = SIZE_MAX);
+  /// Runs events with time <= deadline; advances now() to deadline.
+  void run_until(Time deadline);
+
+  /// Discards all pending events without running them (now() is preserved).
+  /// Used between simulation phases so stale callbacks never outlive the
+  /// objects they capture.
+  void clear();
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace caya

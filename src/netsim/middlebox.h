@@ -1,0 +1,81 @@
+// Middlebox interface: the attachment point for censors.
+//
+// On-path (man-on-the-side) censors observe copies and inject; they cannot
+// drop, so they must always return kPass. In-path (man-in-the-middle)
+// censors may additionally drop or swallow packets (Iran's blackholing,
+// Kazakhstan's interception).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "netsim/endpoint.h"
+#include "netsim/time.h"
+#include "packet/packet.h"
+
+namespace caya {
+
+enum class Verdict { kPass, kDrop };
+
+/// Handed to middleboxes so they can inject packets toward either end.
+class Injector {
+ public:
+  virtual ~Injector() = default;
+  virtual void inject(Packet pkt, Direction toward) = 0;
+  [[nodiscard]] virtual Time now() const = 0;
+};
+
+class Middlebox {
+ public:
+  virtual ~Middlebox() = default;
+
+  /// Called for every packet crossing the middlebox's hop (in either
+  /// direction) whose TTL was large enough to reach it.
+  [[nodiscard]] virtual Verdict on_packet(const Packet& pkt, Direction dir,
+                                          Injector& inject) = 0;
+
+  /// True for man-in-the-middle boxes, whose kDrop verdicts are honored.
+  [[nodiscard]] virtual bool in_path() const noexcept { return false; }
+
+  /// In-path boxes may additionally *rewrite* traffic: returning a packet
+  /// list replaces the packet in flight (empty list = swallow it);
+  /// returning nullopt leaves it untouched and on_packet() is consulted as
+  /// usual. This is how a friendly mid-path deployment (a CDN or
+  /// TapDance-style element, §8) runs a Geneva strategy without touching
+  /// the server. Rewrites happen before downstream boxes see the packet.
+  [[nodiscard]] virtual std::optional<std::vector<Packet>> rewrite(
+      const Packet& pkt, Direction dir) {
+    (void)pkt;
+    (void)dir;
+    return std::nullopt;
+  }
+
+  /// Resets all per-flow state (between trials).
+  virtual void reset() {}
+};
+
+/// A friendly in-path element running a Geneva engine over one direction of
+/// traffic — the paper's "reverse proxy / middlebox along the path"
+/// deployment. Placed between the censor and the server, rewriting
+/// server->client packets is equivalent to deploying server-side.
+class EngineMiddlebox : public Middlebox {
+ public:
+  EngineMiddlebox(PacketProcessor& engine, Direction rewrites_direction)
+      : engine_(engine), direction_(rewrites_direction) {}
+
+  Verdict on_packet(const Packet&, Direction, Injector&) override {
+    return Verdict::kPass;
+  }
+  [[nodiscard]] bool in_path() const noexcept override { return true; }
+  [[nodiscard]] std::optional<std::vector<Packet>> rewrite(
+      const Packet& pkt, Direction dir) override {
+    if (dir != direction_) return std::nullopt;
+    return engine_.process_outbound(pkt);
+  }
+
+ private:
+  PacketProcessor& engine_;
+  Direction direction_;
+};
+
+}  // namespace caya

@@ -1,0 +1,149 @@
+#include "netsim/network.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace caya {
+
+Network::Network(EventLoop& loop, Config config, Rng rng, Logger logger)
+    : loop_(loop), config_(config), rng_(rng), logger_(std::move(logger)) {}
+
+void Network::send_from_client(Packet pkt) {
+  std::vector<Packet> out;
+  if (client_proc_ != nullptr) {
+    out = client_proc_->process_outbound(std::move(pkt));
+  } else {
+    out.push_back(std::move(pkt));
+  }
+  for (auto& p : out) {
+    trace_.record({loop_.now(), TracePoint::kClientSent,
+                   Direction::kClientToServer, p, ""});
+    transmit(std::move(p), Direction::kClientToServer, /*from_censor=*/false);
+  }
+}
+
+void Network::send_from_server(Packet pkt) {
+  std::vector<Packet> out;
+  if (server_proc_ != nullptr) {
+    out = server_proc_->process_outbound(std::move(pkt));
+  } else {
+    out.push_back(std::move(pkt));
+  }
+  for (auto& p : out) {
+    trace_.record({loop_.now(), TracePoint::kServerSent,
+                   Direction::kServerToClient, p, ""});
+    transmit(std::move(p), Direction::kServerToClient, /*from_censor=*/false);
+  }
+}
+
+void Network::inject(Packet pkt, Direction toward) {
+  trace_.record(
+      {loop_.now(), TracePoint::kCensorInjected, toward, pkt, "injected"});
+  const int hops = toward == Direction::kClientToServer
+                       ? config_.censor_to_server_hops
+                       : config_.client_to_censor_hops;
+  const Time arrival = loop_.now() + static_cast<Time>(hops) *
+                                         config_.per_hop_delay;
+  loop_.schedule_at(arrival, [this, pkt = std::move(pkt), toward]() mutable {
+    deliver_to_endpoint(std::move(pkt), toward);
+  });
+}
+
+std::vector<Packet> Network::run_middleboxes(Packet pkt, Direction dir) {
+  // Spatial order: add order when heading toward the server, reversed when
+  // heading toward the client.
+  std::vector<Middlebox*> order = middleboxes_;
+  if (dir == Direction::kServerToClient) {
+    std::reverse(order.begin(), order.end());
+  }
+
+  std::vector<Packet> in_flight;
+  in_flight.push_back(std::move(pkt));
+  for (Middlebox* box : order) {
+    std::vector<Packet> next;
+    for (auto& p : in_flight) {
+      if (box->in_path()) {
+        if (auto rewritten = box->rewrite(p, dir)) {
+          for (auto& rp : *rewritten) next.push_back(std::move(rp));
+          continue;
+        }
+      }
+      const Verdict verdict = box->on_packet(p, dir, *this);
+      if (verdict == Verdict::kDrop && box->in_path()) {
+        trace_.record({loop_.now(), TracePoint::kCensorDropped, dir, p, ""});
+        continue;
+      }
+      next.push_back(std::move(p));
+    }
+    in_flight = std::move(next);
+  }
+  return in_flight;
+}
+
+void Network::transmit(Packet pkt, Direction dir, bool from_censor) {
+  if (rng_.chance(config_.loss)) {
+    trace_.record({loop_.now(), TracePoint::kLost, dir, pkt, "link loss"});
+    return;
+  }
+
+  const int hops_to_censor = dir == Direction::kClientToServer
+                                 ? config_.client_to_censor_hops
+                                 : config_.censor_to_server_hops;
+  const int hops_total = total_hops();
+
+  if (!from_censor && pkt.ip.ttl < hops_to_censor) {
+    // TTL expires before the censor's hop: nobody sees it.
+    trace_.record({loop_.now(), TracePoint::kLost, dir, pkt, "ttl expired"});
+    return;
+  }
+
+  const Time censor_arrival =
+      loop_.now() +
+      static_cast<Time>(hops_to_censor) * config_.per_hop_delay;
+  loop_.schedule_at(
+      censor_arrival, [this, pkt = std::move(pkt), dir, hops_to_censor,
+                       hops_total]() mutable {
+        trace_.record(
+            {loop_.now(), TracePoint::kCensorSaw, dir, pkt, ""});
+        std::vector<Packet> survivors =
+            run_middleboxes(std::move(pkt), dir);
+        const Time remaining = static_cast<Time>(hops_total - hops_to_censor) *
+                               config_.per_hop_delay;
+        for (auto& p : survivors) {
+          if (p.ip.ttl < hops_total) {
+            trace_.record(
+                {loop_.now(), TracePoint::kLost, dir, p, "ttl expired"});
+            continue;
+          }
+          p.ip.ttl = static_cast<std::uint8_t>(p.ip.ttl - hops_total);
+          loop_.schedule_in(remaining,
+                            [this, p = std::move(p), dir]() mutable {
+                              deliver_to_endpoint(std::move(p), dir);
+                            });
+        }
+      });
+}
+
+void Network::deliver_to_endpoint(Packet pkt, Direction dir) {
+  Endpoint* target =
+      dir == Direction::kClientToServer ? server_ : client_;
+  PacketProcessor* proc =
+      dir == Direction::kClientToServer ? server_proc_ : client_proc_;
+  const TracePoint point = dir == Direction::kClientToServer
+                               ? TracePoint::kServerReceived
+                               : TracePoint::kClientReceived;
+  if (target == nullptr) return;
+
+  std::vector<Packet> in;
+  if (proc != nullptr) {
+    in = proc->process_inbound(std::move(pkt));
+  } else {
+    in.push_back(std::move(pkt));
+  }
+  for (auto& p : in) {
+    trace_.record({loop_.now(), point, dir, p, ""});
+    target->deliver(p);
+  }
+}
+
+}  // namespace caya

@@ -1,0 +1,89 @@
+// The simulated client <-> censor <-> server path.
+//
+// Topology matches the paper's experiments: a client inside the censoring
+// regime, a server outside it, and one or more (colocated) censor middleboxes
+// `client_to_censor_hops` into the path. Packets decrement TTL per hop, so
+// TTL-limited probes (§3's insertion packets, §6's censor-location probes)
+// behave as they do on the real Internet.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "netsim/endpoint.h"
+#include "netsim/event_loop.h"
+#include "netsim/middlebox.h"
+#include "netsim/trace.h"
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace caya {
+
+class Network : public Injector {
+ public:
+  struct Config {
+    int client_to_censor_hops = 3;   // hops before the censor sees a packet
+    int censor_to_server_hops = 7;   // hops from censor to server
+    Time per_hop_delay = duration::ms(2);
+    double loss = 0.0;               // independent per-traversal loss
+  };
+
+  Network(EventLoop& loop, Config config, Rng rng, Logger logger = {});
+
+  [[nodiscard]] int total_hops() const noexcept {
+    return config_.client_to_censor_hops + config_.censor_to_server_hops;
+  }
+  [[nodiscard]] int censor_hop() const noexcept {
+    return config_.client_to_censor_hops;
+  }
+
+  void set_client(Endpoint* client) noexcept { client_ = client; }
+  void set_server(Endpoint* server) noexcept { server_ = server; }
+
+  /// Optional Geneva engines at each end (nullptr = no manipulation).
+  void set_client_processor(PacketProcessor* proc) noexcept {
+    client_proc_ = proc;
+  }
+  void set_server_processor(PacketProcessor* proc) noexcept {
+    server_proc_ = proc;
+  }
+
+  /// Attaches a middlebox at the censor hop. Multiple boxes are colocated;
+  /// their add order is their spatial order (first added = closest to the
+  /// client), which matters for rewriting boxes: a box added later sits
+  /// nearer the server and therefore processes server->client packets
+  /// *before* earlier boxes see them.
+  void add_middlebox(Middlebox* box) { middleboxes_.push_back(box); }
+
+  /// Entry points for the endpoints' TCP stacks.
+  void send_from_client(Packet pkt);
+  void send_from_server(Packet pkt);
+
+  // Injector interface (used by censors).
+  void inject(Packet pkt, Direction toward) override;
+  [[nodiscard]] Time now() const override { return loop_.now(); }
+
+  [[nodiscard]] Trace& trace() noexcept { return trace_; }
+  [[nodiscard]] EventLoop& loop() noexcept { return loop_; }
+
+ private:
+  void transmit(Packet pkt, Direction dir, bool from_censor);
+  void deliver_to_endpoint(Packet pkt, Direction dir);
+  /// Runs the packet through the colocated boxes in spatial order; returns
+  /// the surviving (possibly rewritten) packets to forward.
+  [[nodiscard]] std::vector<Packet> run_middleboxes(Packet pkt,
+                                                    Direction dir);
+
+  EventLoop& loop_;
+  Config config_;
+  Rng rng_;
+  Logger logger_;
+  Trace trace_;
+  Endpoint* client_ = nullptr;
+  Endpoint* server_ = nullptr;
+  PacketProcessor* client_proc_ = nullptr;
+  PacketProcessor* server_proc_ = nullptr;
+  std::vector<Middlebox*> middleboxes_;
+};
+
+}  // namespace caya

@@ -1,0 +1,92 @@
+#include "netsim/pcap.h"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace caya {
+
+namespace {
+constexpr std::uint32_t kMagic = 0xa1b2c3d4;  // microsecond timestamps
+constexpr std::uint32_t kLinkTypeRaw = 101;   // raw IP
+
+// pcap integers are written in the producer's byte order; we fix
+// little-endian (the common case) and the reader checks the magic.
+void put_u32le(Bytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v >> 8 & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v >> 16 & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v >> 24 & 0xff));
+}
+void put_u16le(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v >> 8 & 0xff));
+}
+
+std::uint32_t get_u32le(std::span<const std::uint8_t> data, std::size_t at) {
+  if (at + 4 > data.size()) {
+    throw std::invalid_argument("truncated pcap");
+  }
+  return static_cast<std::uint32_t>(data[at]) |
+         static_cast<std::uint32_t>(data[at + 1]) << 8 |
+         static_cast<std::uint32_t>(data[at + 2]) << 16 |
+         static_cast<std::uint32_t>(data[at + 3]) << 24;
+}
+}  // namespace
+
+Bytes to_pcap(const Trace& trace, TracePoint point) {
+  Bytes out;
+  put_u32le(out, kMagic);
+  put_u16le(out, 2);   // version major
+  put_u16le(out, 4);   // version minor
+  put_u32le(out, 0);   // thiszone
+  put_u32le(out, 0);   // sigfigs
+  put_u32le(out, 65535);  // snaplen
+  put_u32le(out, kLinkTypeRaw);
+
+  for (const auto& ev : trace.events()) {
+    if (ev.point != point) continue;
+    const Bytes wire = ev.packet.serialize();
+    put_u32le(out, static_cast<std::uint32_t>(ev.at / 1'000'000));  // sec
+    put_u32le(out, static_cast<std::uint32_t>(ev.at % 1'000'000));  // usec
+    put_u32le(out, static_cast<std::uint32_t>(wire.size()));  // captured
+    put_u32le(out, static_cast<std::uint32_t>(wire.size()));  // original
+    out.insert(out.end(), wire.begin(), wire.end());
+  }
+  return out;
+}
+
+std::vector<PcapRecord> from_pcap(std::span<const std::uint8_t> data) {
+  if (data.size() < 24 || get_u32le(data, 0) != kMagic) {
+    throw std::invalid_argument("not a (little-endian, usec) pcap stream");
+  }
+  std::vector<PcapRecord> out;
+  std::size_t at = 24;
+  while (at < data.size()) {
+    const std::uint32_t sec = get_u32le(data, at);
+    const std::uint32_t usec = get_u32le(data, at + 4);
+    const std::uint32_t len = get_u32le(data, at + 8);
+    at += 16;
+    if (at + len > data.size()) {
+      throw std::invalid_argument("truncated pcap record");
+    }
+    PcapRecord record;
+    record.at = static_cast<Time>(sec) * 1'000'000 + usec;
+    record.data.assign(data.begin() + static_cast<std::ptrdiff_t>(at),
+                       data.begin() + static_cast<std::ptrdiff_t>(at + len));
+    out.push_back(std::move(record));
+    at += len;
+  }
+  return out;
+}
+
+void write_pcap_file(const std::string& path, const Trace& trace,
+                     TracePoint point) {
+  const Bytes data = to_pcap(trace, point);
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) throw std::runtime_error("cannot open " + path);
+  file.write(reinterpret_cast<const char*>(data.data()),
+             static_cast<std::streamsize>(data.size()));
+  if (!file) throw std::runtime_error("write failed for " + path);
+}
+
+}  // namespace caya

@@ -1,0 +1,35 @@
+// Classic libpcap export of simulation traces (LINKTYPE_RAW = raw IPv4
+// packets), so trials can be inspected in Wireshark/tcpdump. A matching
+// reader exists for round-trip testing and for loading captures back into
+// analysis tooling.
+#pragma once
+
+#include <string>
+
+#include "netsim/trace.h"
+#include "util/bytes.h"
+
+namespace caya {
+
+struct PcapRecord {
+  Time at = 0;  // microseconds
+  Bytes data;   // raw IPv4 packet bytes
+};
+
+/// Serializes trace events (from the given observation points) into a pcap
+/// byte stream. By default exports the censor's view of the wire, which is
+/// the most informative single vantage.
+[[nodiscard]] Bytes to_pcap(const Trace& trace,
+                            TracePoint point = TracePoint::kCensorSaw);
+
+/// Parses a pcap byte stream produced by to_pcap (or any LINKTYPE_RAW pcap
+/// with microsecond timestamps). Throws std::invalid_argument on bad magic
+/// or truncated records.
+[[nodiscard]] std::vector<PcapRecord> from_pcap(
+    std::span<const std::uint8_t> data);
+
+/// Writes the pcap to a file; throws std::runtime_error on I/O failure.
+void write_pcap_file(const std::string& path, const Trace& trace,
+                     TracePoint point = TracePoint::kCensorSaw);
+
+}  // namespace caya

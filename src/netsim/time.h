@@ -1,0 +1,18 @@
+// Simulated time: unsigned microseconds since the start of the run.
+#pragma once
+
+#include <cstdint>
+
+namespace caya {
+
+using Time = std::uint64_t;
+
+namespace duration {
+[[nodiscard]] constexpr Time us(std::uint64_t n) noexcept { return n; }
+[[nodiscard]] constexpr Time ms(std::uint64_t n) noexcept { return n * 1000; }
+[[nodiscard]] constexpr Time sec(std::uint64_t n) noexcept {
+  return n * 1000 * 1000;
+}
+}  // namespace duration
+
+}  // namespace caya

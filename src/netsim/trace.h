@@ -1,0 +1,54 @@
+// Packet trace recorder: the raw material for the paper's waterfall diagrams
+// (Figures 1 and 2) and for test assertions about what crossed the wire.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netsim/endpoint.h"
+#include "netsim/time.h"
+#include "packet/packet.h"
+
+namespace caya {
+
+enum class TracePoint {
+  kClientSent,
+  kClientReceived,
+  kServerSent,
+  kServerReceived,
+  kCensorSaw,
+  kCensorInjected,
+  kCensorDropped,
+  kLost,  // dropped by simulated link loss or TTL expiry
+};
+
+[[nodiscard]] std::string_view to_string(TracePoint point) noexcept;
+
+struct TraceEvent {
+  Time at = 0;
+  TracePoint point = TracePoint::kLost;
+  Direction direction = Direction::kClientToServer;
+  Packet packet;
+  std::string note;  // e.g. which censor box injected/dropped
+};
+
+class Trace {
+ public:
+  void record(TraceEvent event) { events_.push_back(std::move(event)); }
+  void clear() { events_.clear(); }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+
+  /// Events at a given trace point, in time order.
+  [[nodiscard]] std::vector<TraceEvent> at(TracePoint point) const;
+
+  /// Multi-line "time  point  summary" dump for debugging.
+  [[nodiscard]] std::string to_text() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace caya

@@ -1,0 +1,120 @@
+#include "packet/dns.h"
+
+namespace caya {
+
+namespace {
+
+void write_qname(ByteWriter& w, std::string_view qname) {
+  std::size_t start = 0;
+  while (start <= qname.size()) {
+    std::size_t dot = qname.find('.', start);
+    if (dot == std::string_view::npos) dot = qname.size();
+    const std::size_t len = dot - start;
+    w.u8(static_cast<std::uint8_t>(len));
+    w.raw(qname.substr(start, len));
+    start = dot + 1;
+    if (dot == qname.size()) break;
+  }
+  w.u8(0);
+}
+
+std::string read_qname(ByteReader& r) {
+  std::string name;
+  while (true) {
+    const std::uint8_t len = r.u8();
+    if (len == 0) break;
+    if (len > 63) throw ShortReadError("label too long");
+    const Bytes label = r.raw(len);
+    if (!name.empty()) name.push_back('.');
+    name += to_string(label);
+  }
+  return name;
+}
+
+Bytes with_length_prefix(const Bytes& message) {
+  ByteWriter w;
+  w.u16(static_cast<std::uint16_t>(message.size()));
+  w.raw(std::span(message));
+  return w.take();
+}
+
+}  // namespace
+
+Bytes build_dns_query(const DnsQuery& query) {
+  ByteWriter w;
+  w.u16(query.id);
+  w.u16(0x0100);  // flags: standard query, recursion desired
+  w.u16(1);       // QDCOUNT
+  w.u16(0);       // ANCOUNT
+  w.u16(0);       // NSCOUNT
+  w.u16(0);       // ARCOUNT
+  write_qname(w, query.qname);
+  w.u16(1);  // QTYPE A
+  w.u16(1);  // QCLASS IN
+  return with_length_prefix(w.bytes());
+}
+
+Bytes build_dns_response(const DnsResponse& response) {
+  ByteWriter w;
+  w.u16(response.id);
+  w.u16(0x8180);  // flags: response, recursion available
+  w.u16(1);       // QDCOUNT
+  w.u16(1);       // ANCOUNT
+  w.u16(0);
+  w.u16(0);
+  write_qname(w, response.qname);
+  w.u16(1);
+  w.u16(1);
+  // Answer: same name (uncompressed), A/IN, TTL 60, 4-byte address.
+  write_qname(w, response.qname);
+  w.u16(1);
+  w.u16(1);
+  w.u32(60);
+  w.u16(4);
+  w.u32(response.address.value());
+  return with_length_prefix(w.bytes());
+}
+
+std::optional<std::string> parse_dns_qname(
+    std::span<const std::uint8_t> stream) {
+  try {
+    ByteReader r(stream);
+    const std::uint16_t length = r.u16();
+    if (length > r.remaining()) return std::nullopt;
+    r.skip(12);  // header
+    return read_qname(r);
+  } catch (const ShortReadError&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<DnsResponse> parse_dns_response(
+    std::span<const std::uint8_t> stream) {
+  try {
+    ByteReader r(stream);
+    const std::uint16_t length = r.u16();
+    if (length > r.remaining()) return std::nullopt;
+    DnsResponse out;
+    out.id = r.u16();
+    const std::uint16_t flags = r.u16();
+    if ((flags & 0x8000) == 0) return std::nullopt;  // not a response
+    const std::uint16_t qdcount = r.u16();
+    const std::uint16_t ancount = r.u16();
+    r.skip(4);  // NSCOUNT + ARCOUNT
+    for (int i = 0; i < qdcount; ++i) {
+      out.qname = read_qname(r);
+      r.skip(4);  // qtype + qclass
+    }
+    if (ancount == 0) return std::nullopt;
+    (void)read_qname(r);
+    r.skip(8);  // type, class, ttl
+    const std::uint16_t rdlength = r.u16();
+    if (rdlength != 4) return std::nullopt;
+    out.address = Ipv4Address(r.u32());
+    return out;
+  } catch (const ShortReadError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace caya

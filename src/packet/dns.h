@@ -1,0 +1,40 @@
+// DNS wire codec for DNS-over-TCP (RFC 1035 §4.2.2): each message carries a
+// two-byte length prefix on the TCP stream.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "packet/ipv4.h"
+#include "util/bytes.h"
+
+namespace caya {
+
+struct DnsQuery {
+  std::uint16_t id = 0;
+  std::string qname;  // e.g. "www.wikipedia.org"
+};
+
+struct DnsResponse {
+  std::uint16_t id = 0;
+  std::string qname;
+  Ipv4Address address;  // single A record
+};
+
+/// Length-prefixed A-record query message.
+[[nodiscard]] Bytes build_dns_query(const DnsQuery& query);
+
+/// Length-prefixed response echoing the question plus one A record.
+[[nodiscard]] Bytes build_dns_response(const DnsResponse& response);
+
+/// Extracts the QNAME from a length-prefixed DNS message at the start of
+/// `stream`. Returns nullopt when the message is truncated or malformed.
+[[nodiscard]] std::optional<std::string> parse_dns_qname(
+    std::span<const std::uint8_t> stream);
+
+/// Parses a complete length-prefixed response; nullopt if incomplete.
+[[nodiscard]] std::optional<DnsResponse> parse_dns_response(
+    std::span<const std::uint8_t> stream);
+
+}  // namespace caya

@@ -1,0 +1,329 @@
+#include "packet/field.h"
+
+#include <charconv>
+#include <stdexcept>
+
+#include "packet/dns.h"
+
+namespace caya {
+
+namespace {
+
+[[noreturn]] void unknown_field(Proto proto, std::string_view field) {
+  throw std::invalid_argument("unknown field " + std::string(to_string(proto)) +
+                              ":" + std::string(field));
+}
+
+std::uint64_t parse_number(std::string_view s, std::string_view what) {
+  std::uint64_t v = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    throw std::invalid_argument("bad numeric value for " + std::string(what) +
+                                ": " + std::string(s));
+  }
+  return v;
+}
+
+const std::vector<std::string> kIpFields = {
+    "version", "ihl",  "tos", "len",   "id",  "flags", "frag",
+    "ttl",     "proto", "chksum", "src", "dst", "load",
+};
+
+const std::vector<std::string> kTcpFields = {
+    "sport",   "dport", "seq",    "ack",  "dataofs",
+    "flags",   "window", "chksum", "urgptr", "load",
+    "options-wscale", "options-mss", "options-sackok", "options-timestamp",
+};
+
+const std::vector<std::string> kDnsFields = {"id", "qname"};
+
+std::optional<std::uint16_t> dns_id(const Packet& pkt) {
+  // Length prefix (2) + header starts with the ID.
+  if (pkt.payload.size() < 4) return std::nullopt;
+  return static_cast<std::uint16_t>(pkt.payload[2] << 8 | pkt.payload[3]);
+}
+
+std::optional<std::uint8_t> option_kind_for(std::string_view field) {
+  if (field == "options-wscale") return TcpOption::kWindowScale;
+  if (field == "options-mss") return TcpOption::kMss;
+  if (field == "options-sackok") return TcpOption::kSackPermitted;
+  if (field == "options-timestamp") return TcpOption::kTimestamps;
+  return std::nullopt;
+}
+
+std::string option_to_string(const Packet& pkt, std::uint8_t kind) {
+  const TcpOption* opt = pkt.tcp.find_option(kind);
+  if (opt == nullptr) return "";
+  std::uint64_t v = 0;
+  for (std::uint8_t b : opt->data) v = v << 8 | b;
+  return std::to_string(v);
+}
+
+void option_from_string(Packet& pkt, std::uint8_t kind, std::string_view value,
+                        std::size_t width) {
+  if (value.empty()) {
+    pkt.tcp.remove_option(kind);
+    return;
+  }
+  const std::uint64_t v = parse_number(value, "tcp option");
+  Bytes data(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    data[width - 1 - i] = static_cast<std::uint8_t>(v >> (8 * i) & 0xff);
+  }
+  pkt.tcp.set_option(kind, std::move(data));
+}
+
+std::size_t option_width(std::uint8_t kind) {
+  switch (kind) {
+    case TcpOption::kWindowScale:
+      return 1;
+    case TcpOption::kMss:
+      return 2;
+    case TcpOption::kSackPermitted:
+      return 0;
+    case TcpOption::kTimestamps:
+      return 8;
+    default:
+      return 4;
+  }
+}
+
+}  // namespace
+
+std::string_view to_string(Proto proto) noexcept {
+  switch (proto) {
+    case Proto::kIp:
+      return "IP";
+    case Proto::kTcp:
+      return "TCP";
+    case Proto::kDns:
+      return "DNS";
+  }
+  return "?";
+}
+
+Proto proto_from_string(std::string_view s) {
+  if (s == "IP") return Proto::kIp;
+  if (s == "TCP") return Proto::kTcp;
+  if (s == "DNS") return Proto::kDns;
+  throw std::invalid_argument("unknown protocol: " + std::string(s));
+}
+
+const std::vector<std::string>& field_names(Proto proto) {
+  switch (proto) {
+    case Proto::kIp:
+      return kIpFields;
+    case Proto::kTcp:
+      return kTcpFields;
+    case Proto::kDns:
+      return kDnsFields;
+  }
+  return kTcpFields;
+}
+
+bool field_exists(Proto proto, std::string_view field) {
+  for (const auto& f : field_names(proto)) {
+    if (f == field) return true;
+  }
+  return false;
+}
+
+std::string get_field(const Packet& pkt, Proto proto, std::string_view field) {
+  if (proto == Proto::kDns) {
+    if (field == "id") {
+      const auto id = dns_id(pkt);
+      return id ? std::to_string(*id) : "";
+    }
+    if (field == "qname") {
+      return parse_dns_qname(std::span(pkt.payload)).value_or("");
+    }
+    unknown_field(proto, field);
+  }
+  if (proto == Proto::kIp) {
+    if (field == "version") return std::to_string(pkt.ip.version);
+    if (field == "ihl") return std::to_string(pkt.ip.ihl);
+    if (field == "tos") return std::to_string(pkt.ip.tos);
+    if (field == "len") return std::to_string(pkt.ip.total_length);
+    if (field == "id") return std::to_string(pkt.ip.id);
+    if (field == "flags") return std::to_string(pkt.ip.flags);
+    if (field == "frag") return std::to_string(pkt.ip.frag_offset);
+    if (field == "ttl") return std::to_string(pkt.ip.ttl);
+    if (field == "proto") return std::to_string(pkt.ip.protocol);
+    if (field == "chksum") return std::to_string(pkt.ip.checksum);
+    if (field == "src") return pkt.ip.src.to_string();
+    if (field == "dst") return pkt.ip.dst.to_string();
+    if (field == "load") return to_string(std::span(pkt.payload));
+    unknown_field(proto, field);
+  }
+  if (field == "sport") return std::to_string(pkt.tcp.sport);
+  if (field == "dport") return std::to_string(pkt.tcp.dport);
+  if (field == "seq") return std::to_string(pkt.tcp.seq);
+  if (field == "ack") return std::to_string(pkt.tcp.ack);
+  if (field == "dataofs") return std::to_string(pkt.tcp.data_offset);
+  if (field == "flags") return flags_to_string(pkt.tcp.flags);
+  if (field == "window") return std::to_string(pkt.tcp.window);
+  if (field == "chksum") return std::to_string(pkt.tcp.checksum);
+  if (field == "urgptr") return std::to_string(pkt.tcp.urgent_pointer);
+  if (field == "load") return to_string(std::span(pkt.payload));
+  if (auto kind = option_kind_for(field)) return option_to_string(pkt, *kind);
+  unknown_field(proto, field);
+}
+
+void set_field(Packet& pkt, Proto proto, std::string_view field,
+               std::string_view value) {
+  if (proto == Proto::kDns) {
+    // Lenient by design: a payload that is not a DNS query is left alone.
+    if (field == "id") {
+      if (dns_id(pkt)) {
+        const auto id =
+            static_cast<std::uint16_t>(parse_number(value, field));
+        pkt.payload[2] = static_cast<std::uint8_t>(id >> 8);
+        pkt.payload[3] = static_cast<std::uint8_t>(id & 0xff);
+      }
+      return;
+    }
+    if (field == "qname") {
+      const auto id = dns_id(pkt);
+      const auto qname = parse_dns_qname(std::span(pkt.payload));
+      if (id && qname) {
+        pkt.payload =
+            build_dns_query({.id = *id, .qname = std::string(value)});
+      }
+      return;
+    }
+    unknown_field(proto, field);
+  }
+  if (proto == Proto::kIp) {
+    if (field == "version") {
+      pkt.ip.version = static_cast<std::uint8_t>(parse_number(value, field));
+    } else if (field == "ihl") {
+      pkt.ip.ihl = static_cast<std::uint8_t>(parse_number(value, field));
+    } else if (field == "tos") {
+      pkt.ip.tos = static_cast<std::uint8_t>(parse_number(value, field));
+    } else if (field == "len") {
+      pkt.ip.total_length =
+          static_cast<std::uint16_t>(parse_number(value, field));
+      pkt.ip_length_overridden = true;
+    } else if (field == "id") {
+      pkt.ip.id = static_cast<std::uint16_t>(parse_number(value, field));
+    } else if (field == "flags") {
+      pkt.ip.flags = static_cast<std::uint8_t>(parse_number(value, field));
+    } else if (field == "frag") {
+      pkt.ip.frag_offset =
+          static_cast<std::uint16_t>(parse_number(value, field));
+    } else if (field == "ttl") {
+      pkt.ip.ttl = static_cast<std::uint8_t>(parse_number(value, field));
+    } else if (field == "proto") {
+      pkt.ip.protocol = static_cast<std::uint8_t>(parse_number(value, field));
+    } else if (field == "chksum") {
+      pkt.ip.checksum = static_cast<std::uint16_t>(parse_number(value, field));
+      pkt.ip_checksum_overridden = true;
+    } else if (field == "src") {
+      pkt.ip.src = Ipv4Address::parse(value);
+    } else if (field == "dst") {
+      pkt.ip.dst = Ipv4Address::parse(value);
+    } else if (field == "load") {
+      pkt.payload = to_bytes(value);
+    } else {
+      unknown_field(proto, field);
+    }
+    return;
+  }
+  if (field == "sport") {
+    pkt.tcp.sport = static_cast<std::uint16_t>(parse_number(value, field));
+  } else if (field == "dport") {
+    pkt.tcp.dport = static_cast<std::uint16_t>(parse_number(value, field));
+  } else if (field == "seq") {
+    pkt.tcp.seq = static_cast<std::uint32_t>(parse_number(value, field));
+  } else if (field == "ack") {
+    pkt.tcp.ack = static_cast<std::uint32_t>(parse_number(value, field));
+  } else if (field == "dataofs") {
+    pkt.tcp.data_offset = static_cast<std::uint8_t>(parse_number(value, field));
+    pkt.tcp_offset_overridden = true;
+  } else if (field == "flags") {
+    pkt.tcp.flags = flags_from_string(value);
+  } else if (field == "window") {
+    pkt.tcp.window = static_cast<std::uint16_t>(parse_number(value, field));
+  } else if (field == "chksum") {
+    pkt.tcp.checksum = static_cast<std::uint16_t>(parse_number(value, field));
+    pkt.tcp_checksum_overridden = true;
+  } else if (field == "urgptr") {
+    pkt.tcp.urgent_pointer =
+        static_cast<std::uint16_t>(parse_number(value, field));
+  } else if (field == "load") {
+    pkt.payload = to_bytes(value);
+  } else if (auto kind = option_kind_for(field)) {
+    option_from_string(pkt, *kind, value, option_width(*kind));
+  } else {
+    unknown_field(proto, field);
+  }
+}
+
+void corrupt_field(Packet& pkt, Proto proto, std::string_view field, Rng& rng) {
+  // "corrupt sets the field to an equal number of random bits" (appendix).
+  if (proto == Proto::kDns) {
+    if (field == "id") {
+      set_field(pkt, proto, field, std::to_string(rng.uniform(0, 0xffff)));
+      return;
+    }
+    if (field == "qname") {
+      const Bytes label = rng.bytes(8);
+      set_field(pkt, proto, field, to_hex(label) + ".example");
+      return;
+    }
+    unknown_field(proto, field);
+  }
+  if (field == "load") {
+    const std::size_t n =
+        pkt.payload.empty() ? 4 + rng.index(12) : pkt.payload.size();
+    pkt.payload = rng.bytes(n);
+    return;
+  }
+  if (proto == Proto::kTcp && field == "flags") {
+    pkt.tcp.flags = static_cast<std::uint8_t>(rng.uniform(0, 255));
+    return;
+  }
+  if (proto == Proto::kIp && (field == "src" || field == "dst")) {
+    set_field(pkt, proto, field,
+              Ipv4Address(static_cast<std::uint32_t>(rng.uniform(0, 0xffffffff)))
+                  .to_string());
+    return;
+  }
+  if (auto kind = option_kind_for(field); proto == Proto::kTcp && kind) {
+    const std::size_t width = option_width(*kind);
+    pkt.tcp.set_option(*kind, rng.bytes(width));
+    return;
+  }
+  // Numeric fields: draw random bits of the field's width. The current value
+  // tells us nothing about width, so dispatch per field name.
+  auto rand16 = [&] { return std::to_string(rng.uniform(0, 0xffff)); };
+  auto rand32 = [&] { return std::to_string(rng.uniform(0, 0xffffffff)); };
+  auto rand8 = [&] { return std::to_string(rng.uniform(0, 0xff)); };
+  if (proto == Proto::kTcp) {
+    if (field == "seq" || field == "ack") {
+      set_field(pkt, proto, field, rand32());
+      return;
+    }
+    if (field == "dataofs") {
+      set_field(pkt, proto, field, std::to_string(rng.uniform(0, 15)));
+      return;
+    }
+    set_field(pkt, proto, field, rand16());
+    return;
+  }
+  if (field == "src" || field == "dst") {
+    // handled above; unreachable
+  }
+  if (field == "ttl" || field == "tos" || field == "proto" ||
+      field == "version" || field == "flags") {
+    set_field(pkt, proto, field, rand8());
+    return;
+  }
+  if (field == "ihl") {
+    set_field(pkt, proto, field, std::to_string(rng.uniform(0, 15)));
+    return;
+  }
+  set_field(pkt, proto, field, rand16());
+}
+
+}  // namespace caya

@@ -1,0 +1,58 @@
+// Geneva's field registry: uniform string-keyed access to packet fields.
+//
+// Geneva triggers ("[TCP:flags:SA]") and tamper actions
+// ("tamper{TCP:ack:corrupt}") address packet fields by (protocol, name)
+// strings; this registry maps those names onto the structured Packet model,
+// applying the DSL's value conventions (flag letter strings, dotted quads,
+// decimal integers, raw payload bytes).
+//
+// tamper semantics from the paper's appendix: writes recompute checksums and
+// lengths, unless the written field itself is a checksum or length, in which
+// case the written value is pinned.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "packet/packet.h"
+#include "util/rng.h"
+
+namespace caya {
+
+// kDns addresses fields *inside the TCP payload* when it carries a
+// DNS-over-TCP message (the appendix's DNS tamper extension); on a payload
+// that is not a parseable DNS query, DNS field reads return "" and writes
+// are no-ops.
+enum class Proto { kIp, kTcp, kDns };
+
+[[nodiscard]] std::string_view to_string(Proto proto) noexcept;
+/// Parses "IP"/"TCP" (case-sensitive, as in Geneva's DSL); throws on others.
+[[nodiscard]] Proto proto_from_string(std::string_view s);
+
+/// Names of all supported fields for `proto`, in canonical order. Used by the
+/// genetic algorithm to draw random tamper targets.
+[[nodiscard]] const std::vector<std::string>& field_names(Proto proto);
+
+/// True if (proto, field) is a known field.
+[[nodiscard]] bool field_exists(Proto proto, std::string_view field);
+
+/// Reads a field as its DSL string form. Throws std::invalid_argument for
+/// unknown fields. Reading "options-*" on a packet without that option
+/// returns the empty string (Geneva's convention).
+[[nodiscard]] std::string get_field(const Packet& pkt, Proto proto,
+                                    std::string_view field);
+
+/// Writes a field from its DSL string form, applying tamper's
+/// checksum/length pinning rules. An empty value for "options-*" removes the
+/// option (this is how Strategy 8 strips wscale).
+void set_field(Packet& pkt, Proto proto, std::string_view field,
+               std::string_view value);
+
+/// Sets the field to random bits of the appropriate width ("corrupt" mode).
+/// Corrupting "load" replaces the payload with random bytes of a random
+/// nonzero length when the payload is empty, preserving length otherwise.
+void corrupt_field(Packet& pkt, Proto proto, std::string_view field, Rng& rng);
+
+}  // namespace caya

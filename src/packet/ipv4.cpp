@@ -1,0 +1,100 @@
+#include "packet/ipv4.h"
+
+#include <charconv>
+#include <stdexcept>
+
+#include "util/checksum.h"
+
+namespace caya {
+
+Ipv4Address Ipv4Address::parse(std::string_view dotted) {
+  std::uint32_t value = 0;
+  int octets = 0;
+  std::size_t pos = 0;
+  while (pos <= dotted.size() && octets < 4) {
+    std::size_t dot = dotted.find('.', pos);
+    std::string_view part = dotted.substr(
+        pos, dot == std::string_view::npos ? std::string_view::npos
+                                           : dot - pos);
+    unsigned octet = 0;
+    auto [ptr, ec] =
+        std::from_chars(part.data(), part.data() + part.size(), octet);
+    if (ec != std::errc() || ptr != part.data() + part.size() || octet > 255) {
+      throw std::invalid_argument("bad IPv4 octet in: " + std::string(dotted));
+    }
+    value = value << 8 | octet;
+    ++octets;
+    if (dot == std::string_view::npos) {
+      pos = dotted.size() + 1;
+      break;
+    }
+    pos = dot + 1;
+  }
+  if (octets != 4 || pos != dotted.size() + 1) {
+    throw std::invalid_argument("bad IPv4 address: " + std::string(dotted));
+  }
+  return Ipv4Address(value);
+}
+
+std::string Ipv4Address::to_string() const {
+  std::string out;
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out += std::to_string(value_ >> shift & 0xff);
+    if (shift > 0) out.push_back('.');
+  }
+  return out;
+}
+
+Bytes Ipv4Header::serialize(std::uint16_t payload_length, bool compute_checksum,
+                            bool compute_length) const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(version << 4 | (ihl & 0xf)));
+  w.u8(tos);
+  const std::uint16_t length =
+      compute_length
+          ? static_cast<std::uint16_t>(header_length() + payload_length)
+          : total_length;
+  w.u16(length);
+  w.u16(id);
+  w.u16(static_cast<std::uint16_t>(flags << 13 | (frag_offset & 0x1fff)));
+  w.u8(ttl);
+  w.u8(protocol);
+  w.u16(0);  // checksum placeholder
+  w.u32(src.value());
+  w.u32(dst.value());
+
+  Bytes out = w.take();
+  const std::uint16_t csum =
+      compute_checksum ? internet_checksum(out) : checksum;
+  out[10] = static_cast<std::uint8_t>(csum >> 8);
+  out[11] = static_cast<std::uint8_t>(csum & 0xff);
+  return out;
+}
+
+Ipv4Header Ipv4Header::parse(std::span<const std::uint8_t> data,
+                             std::size_t& consumed) {
+  ByteReader r(data);
+  Ipv4Header h;
+  const std::uint8_t vihl = r.u8();
+  h.version = vihl >> 4;
+  h.ihl = vihl & 0xf;
+  if (h.version != 4) throw std::invalid_argument("not an IPv4 packet");
+  if (h.ihl < 5) throw std::invalid_argument("IPv4 ihl < 5");
+  h.tos = r.u8();
+  h.total_length = r.u16();
+  h.id = r.u16();
+  const std::uint16_t ff = r.u16();
+  h.flags = static_cast<std::uint8_t>(ff >> 13);
+  h.frag_offset = ff & 0x1fff;
+  h.ttl = r.u8();
+  h.protocol = r.u8();
+  h.checksum = r.u16();
+  h.src = Ipv4Address(r.u32());
+  h.dst = Ipv4Address(r.u32());
+  // Skip options if present; we model them as opaque.
+  r.skip(h.header_length() - 20);
+  consumed = r.pos();
+  return h;
+}
+
+}  // namespace caya

@@ -1,0 +1,160 @@
+#include "packet/ipv6.h"
+#include <cstdio>
+
+#include <charconv>
+#include <stdexcept>
+#include <vector>
+
+namespace caya {
+
+namespace {
+std::uint16_t parse_group(std::string_view group) {
+  if (group.empty() || group.size() > 4) {
+    throw std::invalid_argument("bad IPv6 group: " + std::string(group));
+  }
+  std::uint16_t value = 0;
+  auto [ptr, ec] = std::from_chars(group.data(), group.data() + group.size(),
+                                   value, 16);
+  if (ec != std::errc() || ptr != group.data() + group.size()) {
+    throw std::invalid_argument("bad IPv6 group: " + std::string(group));
+  }
+  return value;
+}
+
+std::vector<std::string_view> split_groups(std::string_view text) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t colon = text.find(':', start);
+    if (colon == std::string_view::npos) {
+      out.push_back(text.substr(start));
+      break;
+    }
+    out.push_back(text.substr(start, colon - start));
+    start = colon + 1;
+  }
+  return out;
+}
+}  // namespace
+
+Ipv6Address Ipv6Address::parse(std::string_view text) {
+  const std::size_t gap = text.find("::");
+  std::vector<std::uint16_t> head;
+  std::vector<std::uint16_t> tail;
+
+  if (gap == std::string_view::npos) {
+    for (const auto group : split_groups(text)) {
+      head.push_back(parse_group(group));
+    }
+    if (head.size() != 8) {
+      throw std::invalid_argument("IPv6 address needs 8 groups: " +
+                                  std::string(text));
+    }
+  } else {
+    const std::string_view left = text.substr(0, gap);
+    const std::string_view right = text.substr(gap + 2);
+    if (!left.empty()) {
+      for (const auto group : split_groups(left)) {
+        head.push_back(parse_group(group));
+      }
+    }
+    if (!right.empty()) {
+      for (const auto group : split_groups(right)) {
+        tail.push_back(parse_group(group));
+      }
+    }
+    if (head.size() + tail.size() >= 8) {
+      throw std::invalid_argument("IPv6 '::' must compress at least one "
+                                  "group: " +
+                                  std::string(text));
+    }
+  }
+
+  Octets octets{};
+  for (std::size_t i = 0; i < head.size(); ++i) {
+    octets[2 * i] = static_cast<std::uint8_t>(head[i] >> 8);
+    octets[2 * i + 1] = static_cast<std::uint8_t>(head[i] & 0xff);
+  }
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    const std::size_t pos = 8 - tail.size() + i;
+    octets[2 * pos] = static_cast<std::uint8_t>(tail[i] >> 8);
+    octets[2 * pos + 1] = static_cast<std::uint8_t>(tail[i] & 0xff);
+  }
+  return Ipv6Address(octets);
+}
+
+std::string Ipv6Address::to_string() const {
+  std::array<std::uint16_t, 8> groups;
+  for (std::size_t i = 0; i < 8; ++i) {
+    groups[i] = static_cast<std::uint16_t>(octets_[2 * i] << 8 |
+                                           octets_[2 * i + 1]);
+  }
+  // Longest run of zero groups (length >= 2) becomes "::".
+  int best_start = -1;
+  int best_len = 1;
+  for (int i = 0; i < 8;) {
+    if (groups[static_cast<std::size_t>(i)] != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && groups[static_cast<std::size_t>(j)] == 0) ++j;
+    if (j - i > best_len) {
+      best_start = i;
+      best_len = j - i;
+    }
+    i = j;
+  }
+
+  char buf[8];
+  auto join = [&](int from, int to) {
+    std::string part;
+    for (int i = from; i < to; ++i) {
+      if (!part.empty()) part += ":";
+      std::snprintf(buf, sizeof(buf), "%x",
+                    groups[static_cast<std::size_t>(i)]);
+      part += buf;
+    }
+    return part;
+  };
+
+  if (best_start < 0) return join(0, 8);
+  return join(0, best_start) + "::" + join(best_start + best_len, 8);
+}
+
+Bytes Ipv6Header::serialize(std::uint16_t payload_len,
+                            bool compute_length) const {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(6) << 28 |
+        static_cast<std::uint32_t>(traffic_class) << 20 |
+        (flow_label & 0xfffff));
+  w.u16(compute_length ? payload_len : payload_length);
+  w.u8(next_header);
+  w.u8(hop_limit);
+  w.raw(std::span(src.octets()));
+  w.raw(std::span(dst.octets()));
+  return w.take();
+}
+
+Ipv6Header Ipv6Header::parse(std::span<const std::uint8_t> data,
+                             std::size_t& consumed) {
+  ByteReader r(data);
+  Ipv6Header h;
+  const std::uint32_t first = r.u32();
+  if (first >> 28 != 6) throw std::invalid_argument("not an IPv6 packet");
+  h.traffic_class = static_cast<std::uint8_t>(first >> 20 & 0xff);
+  h.flow_label = first & 0xfffff;
+  h.payload_length = r.u16();
+  h.next_header = r.u8();
+  h.hop_limit = r.u8();
+  Ipv6Address::Octets src{};
+  Ipv6Address::Octets dst{};
+  for (auto& b : src) b = r.u8();
+  for (auto& b : dst) b = r.u8();
+  h.src = Ipv6Address(src);
+  h.dst = Ipv6Address(dst);
+  consumed = 40;
+  return h;
+}
+
+}  // namespace caya

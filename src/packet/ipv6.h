@@ -1,0 +1,53 @@
+// IPv6 header codec (appendix: Geneva's tamper was extended to support
+// IPv6). The simulated experiments run over IPv4, matching the paper; this
+// codec is library substrate for IPv6-aware tooling.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.h"
+
+namespace caya {
+
+class Ipv6Address {
+ public:
+  using Octets = std::array<std::uint8_t, 16>;
+
+  constexpr Ipv6Address() : octets_{} {}
+  explicit Ipv6Address(const Octets& octets) : octets_(octets) {}
+
+  /// Parses standard textual forms incl. "::" compression (no embedded
+  /// IPv4 dotted-quad form). Throws std::invalid_argument on bad input.
+  static Ipv6Address parse(std::string_view text);
+
+  /// Canonical RFC 5952-ish form: lowercase hex, longest zero run
+  /// compressed to "::".
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] const Octets& octets() const noexcept { return octets_; }
+
+  friend bool operator==(const Ipv6Address&, const Ipv6Address&) = default;
+
+ private:
+  Octets octets_;
+};
+
+struct Ipv6Header {
+  std::uint8_t traffic_class = 0;
+  std::uint32_t flow_label = 0;     // 20 bits
+  std::uint16_t payload_length = 0;  // recomputed unless pinned
+  std::uint8_t next_header = 6;     // TCP
+  std::uint8_t hop_limit = 64;
+  Ipv6Address src;
+  Ipv6Address dst;
+
+  [[nodiscard]] Bytes serialize(std::uint16_t payload_len,
+                                bool compute_length = true) const;
+  static Ipv6Header parse(std::span<const std::uint8_t> data,
+                          std::size_t& consumed);
+};
+
+}  // namespace caya

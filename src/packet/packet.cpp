@@ -1,0 +1,86 @@
+#include "packet/packet.h"
+
+#include <sstream>
+
+#include "util/checksum.h"
+
+namespace caya {
+
+std::uint32_t Packet::sequence_length() const noexcept {
+  std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  if (has_flag(tcp.flags, tcpflag::kSyn)) ++len;
+  if (has_flag(tcp.flags, tcpflag::kFin)) ++len;
+  return len;
+}
+
+Bytes Packet::serialize() const {
+  const Bytes segment =
+      tcp.serialize(ip.src, ip.dst, payload, !tcp_checksum_overridden,
+                    !tcp_offset_overridden);
+  Bytes wire = ip.serialize(static_cast<std::uint16_t>(segment.size()),
+                            !ip_checksum_overridden, !ip_length_overridden);
+  wire.insert(wire.end(), segment.begin(), segment.end());
+  return wire;
+}
+
+Packet Packet::parse(std::span<const std::uint8_t> wire) {
+  Packet pkt;
+  std::size_t ip_len = 0;
+  pkt.ip = Ipv4Header::parse(wire, ip_len);
+  std::size_t tcp_len = 0;
+  auto segment = wire.subspan(ip_len);
+  pkt.tcp = TcpHeader::parse(segment, tcp_len);
+  pkt.payload.assign(segment.begin() + static_cast<std::ptrdiff_t>(tcp_len),
+                     segment.end());
+  // Keep the on-wire checksums: a parsed packet re-serializes byte-for-byte.
+  pkt.ip_checksum_overridden = true;
+  pkt.tcp_checksum_overridden = true;
+  return pkt;
+}
+
+bool Packet::tcp_checksum_valid() const {
+  const Bytes segment =
+      tcp.serialize(ip.src, ip.dst, payload, /*compute_checksum=*/true,
+                    !tcp_offset_overridden);
+  const auto computed = static_cast<std::uint16_t>(segment[16] << 8 |
+                                                   segment[17]);
+  return !tcp_checksum_overridden || computed == tcp.checksum;
+}
+
+bool Packet::ip_checksum_valid() const {
+  const Bytes segment =
+      tcp.serialize(ip.src, ip.dst, payload, !tcp_checksum_overridden,
+                    !tcp_offset_overridden);
+  const Bytes hdr = ip.serialize(static_cast<std::uint16_t>(segment.size()),
+                                 /*compute_checksum=*/true,
+                                 !ip_length_overridden);
+  const auto computed = static_cast<std::uint16_t>(hdr[10] << 8 | hdr[11]);
+  return !ip_checksum_overridden || computed == ip.checksum;
+}
+
+std::string Packet::summary() const {
+  std::ostringstream os;
+  os << ip.src.to_string() << ":" << tcp.sport << " > " << ip.dst.to_string()
+     << ":" << tcp.dport << " [" << flags_to_string(tcp.flags) << "] seq="
+     << tcp.seq << " ack=" << tcp.ack << " win=" << tcp.window
+     << " len=" << payload.size();
+  if (ip.ttl != 64) os << " ttl=" << static_cast<int>(ip.ttl);
+  return os.str();
+}
+
+Packet make_tcp_packet(Ipv4Address src, std::uint16_t sport, Ipv4Address dst,
+                       std::uint16_t dport, std::uint8_t flags,
+                       std::uint32_t seq, std::uint32_t ack, Bytes payload) {
+  Packet pkt;
+  pkt.ip.src = src;
+  pkt.ip.dst = dst;
+  pkt.tcp.sport = sport;
+  pkt.tcp.dport = dport;
+  pkt.tcp.flags = flags;
+  pkt.tcp.seq = seq;
+  pkt.tcp.ack = ack;
+  pkt.payload = std::move(payload);
+  return pkt;
+}
+
+}  // namespace caya

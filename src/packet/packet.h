@@ -1,0 +1,59 @@
+// A full IPv4/TCP packet: the unit that Geneva actions manipulate and that
+// the simulator moves between hosts and censors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "packet/ipv4.h"
+#include "packet/tcp.h"
+#include "util/bytes.h"
+
+namespace caya {
+
+struct Packet {
+  Ipv4Header ip;
+  TcpHeader tcp;
+  Bytes payload;
+
+  // Geneva's tamper semantics: writes to checksum/length/offset fields pin
+  // the stored value instead of letting the serializer recompute it. These
+  // flags record such pins.
+  bool ip_checksum_overridden = false;
+  bool ip_length_overridden = false;
+  bool tcp_checksum_overridden = false;
+  bool tcp_offset_overridden = false;
+
+  [[nodiscard]] std::size_t payload_size() const noexcept {
+    return payload.size();
+  }
+
+  /// Sequence space consumed by this segment (payload bytes + SYN/FIN).
+  [[nodiscard]] std::uint32_t sequence_length() const noexcept;
+
+  /// Serializes IP header + TCP segment to wire bytes, honoring any
+  /// checksum/length overrides.
+  [[nodiscard]] Bytes serialize() const;
+
+  /// Parses wire bytes back into a Packet. The parsed packet keeps whatever
+  /// checksums were on the wire; callers use the *_valid() helpers to verify.
+  static Packet parse(std::span<const std::uint8_t> wire);
+
+  /// True when the TCP checksum on a re-serialization of this packet matches
+  /// the stored/pinned checksum. End hosts verify this; most censors do not,
+  /// which is what makes "insertion packets" possible (§7).
+  [[nodiscard]] bool tcp_checksum_valid() const;
+  [[nodiscard]] bool ip_checksum_valid() const;
+
+  /// One-line human-readable form, e.g.
+  ///   "10.0.0.2:443 > 10.0.0.1:3822 [SA] seq=1000 ack=2001 win=65535 len=0".
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Convenience factory for a bare TCP packet between two endpoints.
+[[nodiscard]] Packet make_tcp_packet(Ipv4Address src, std::uint16_t sport,
+                                     Ipv4Address dst, std::uint16_t dport,
+                                     std::uint8_t flags, std::uint32_t seq,
+                                     std::uint32_t ack, Bytes payload = {});
+
+}  // namespace caya

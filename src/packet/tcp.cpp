@@ -1,0 +1,150 @@
+#include "packet/tcp.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/checksum.h"
+
+namespace caya {
+
+const TcpOption* TcpHeader::find_option(std::uint8_t kind) const noexcept {
+  for (const auto& opt : options) {
+    if (opt.kind == kind) return &opt;
+  }
+  return nullptr;
+}
+
+std::size_t TcpHeader::remove_option(std::uint8_t kind) {
+  const auto before = options.size();
+  std::erase_if(options, [kind](const TcpOption& o) { return o.kind == kind; });
+  return before - options.size();
+}
+
+void TcpHeader::set_option(std::uint8_t kind, Bytes data) {
+  for (auto& opt : options) {
+    if (opt.kind == kind) {
+      opt.data = std::move(data);
+      return;
+    }
+  }
+  options.push_back(TcpOption{kind, std::move(data)});
+}
+
+std::optional<std::uint8_t> TcpHeader::window_scale() const noexcept {
+  const TcpOption* opt = find_option(TcpOption::kWindowScale);
+  if (opt == nullptr || opt->data.size() != 1) return std::nullopt;
+  return opt->data[0];
+}
+
+std::optional<std::uint16_t> TcpHeader::mss() const noexcept {
+  const TcpOption* opt = find_option(TcpOption::kMss);
+  if (opt == nullptr || opt->data.size() != 2) return std::nullopt;
+  return static_cast<std::uint16_t>(opt->data[0] << 8 | opt->data[1]);
+}
+
+Bytes TcpHeader::serialize_options() const {
+  ByteWriter w;
+  for (const auto& opt : options) {
+    if (opt.kind == TcpOption::kEndOfOptions || opt.kind == TcpOption::kNop) {
+      w.u8(opt.kind);
+      continue;
+    }
+    w.u8(opt.kind);
+    w.u8(static_cast<std::uint8_t>(2 + opt.data.size()));
+    w.raw(opt.data);
+  }
+  Bytes out = w.take();
+  while (out.size() % 4 != 0) out.push_back(TcpOption::kNop);
+  return out;
+}
+
+std::size_t TcpHeader::computed_header_length() const {
+  return 20 + serialize_options().size();
+}
+
+Bytes TcpHeader::serialize(Ipv4Address src, Ipv4Address dst,
+                           std::span<const std::uint8_t> payload,
+                           bool compute_checksum, bool compute_offset) const {
+  const Bytes opts = serialize_options();
+  const std::uint8_t offset_words =
+      compute_offset ? static_cast<std::uint8_t>((20 + opts.size()) / 4)
+                     : data_offset;
+
+  ByteWriter w;
+  w.u16(sport);
+  w.u16(dport);
+  w.u32(seq);
+  w.u32(ack);
+  w.u8(static_cast<std::uint8_t>(offset_words << 4));
+  w.u8(flags);
+  w.u16(window);
+  w.u16(0);  // checksum placeholder
+  w.u16(urgent_pointer);
+  w.raw(opts);
+  w.raw(payload);
+
+  Bytes out = w.take();
+  const std::uint16_t csum =
+      compute_checksum ? tcp_checksum(src, dst, out) : checksum;
+  out[16] = static_cast<std::uint8_t>(csum >> 8);
+  out[17] = static_cast<std::uint8_t>(csum & 0xff);
+  return out;
+}
+
+TcpHeader TcpHeader::parse(std::span<const std::uint8_t> data,
+                           std::size_t& consumed) {
+  ByteReader r(data);
+  TcpHeader h;
+  h.sport = r.u16();
+  h.dport = r.u16();
+  h.seq = r.u32();
+  h.ack = r.u32();
+  const std::uint8_t off = r.u8();
+  h.data_offset = off >> 4;
+  h.flags = r.u8();
+  h.window = r.u16();
+  h.checksum = r.u16();
+  h.urgent_pointer = r.u16();
+  if (h.data_offset < 5) throw std::invalid_argument("TCP data offset < 5");
+
+  const std::size_t header_len = static_cast<std::size_t>(h.data_offset) * 4;
+  std::size_t opt_remaining = header_len - 20;
+  while (opt_remaining > 0) {
+    const std::uint8_t kind = r.u8();
+    --opt_remaining;
+    if (kind == TcpOption::kEndOfOptions) {
+      r.skip(opt_remaining);
+      opt_remaining = 0;
+      break;
+    }
+    if (kind == TcpOption::kNop) continue;
+    if (opt_remaining == 0) {
+      throw std::invalid_argument("truncated TCP option");
+    }
+    const std::uint8_t len = r.u8();
+    --opt_remaining;
+    if (len < 2 || static_cast<std::size_t>(len - 2) > opt_remaining) {
+      throw std::invalid_argument("malformed TCP option length");
+    }
+    TcpOption opt;
+    opt.kind = kind;
+    opt.data = r.raw(static_cast<std::size_t>(len - 2));
+    opt_remaining -= static_cast<std::size_t>(len - 2);
+    h.options.push_back(std::move(opt));
+  }
+  consumed = header_len;
+  return h;
+}
+
+std::uint16_t tcp_checksum(Ipv4Address src, Ipv4Address dst,
+                           std::span<const std::uint8_t> segment) {
+  ChecksumAccumulator acc;
+  acc.add_u32(src.value());
+  acc.add_u32(dst.value());
+  acc.add_u16(6);  // zero byte + protocol (TCP)
+  acc.add_u16(static_cast<std::uint16_t>(segment.size()));
+  acc.add(segment);
+  return acc.finish();
+}
+
+}  // namespace caya

@@ -1,0 +1,52 @@
+#include "packet/tcp_flags.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace caya {
+
+namespace {
+struct FlagLetter {
+  char letter;
+  std::uint8_t bit;
+};
+// Canonical order used by Geneva (and scapy): F S R P A U E C.
+constexpr std::array<FlagLetter, 8> kLetters = {{
+    {'F', tcpflag::kFin},
+    {'S', tcpflag::kSyn},
+    {'R', tcpflag::kRst},
+    {'P', tcpflag::kPsh},
+    {'A', tcpflag::kAck},
+    {'U', tcpflag::kUrg},
+    {'E', tcpflag::kEce},
+    {'C', tcpflag::kCwr},
+}};
+}  // namespace
+
+std::string flags_to_string(std::uint8_t flags) {
+  std::string out;
+  for (const auto& [letter, bit] : kLetters) {
+    if (flags & bit) out.push_back(letter);
+  }
+  return out;
+}
+
+std::uint8_t flags_from_string(std::string_view s) {
+  std::uint8_t flags = 0;
+  for (char c : s) {
+    bool found = false;
+    for (const auto& [letter, bit] : kLetters) {
+      if (c == letter) {
+        flags |= bit;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw std::invalid_argument(std::string("unknown TCP flag letter: ") + c);
+    }
+  }
+  return flags;
+}
+
+}  // namespace caya

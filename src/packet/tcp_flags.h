@@ -1,0 +1,45 @@
+// TCP flag bits and their Geneva string form.
+//
+// Geneva's DSL writes flags as a letter string ("SA" = SYN+ACK, "R" = RST,
+// "" = null flags as in Strategy 11), so conversion in both directions is a
+// first-class operation here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace caya {
+
+namespace tcpflag {
+inline constexpr std::uint8_t kFin = 0x01;
+inline constexpr std::uint8_t kSyn = 0x02;
+inline constexpr std::uint8_t kRst = 0x04;
+inline constexpr std::uint8_t kPsh = 0x08;
+inline constexpr std::uint8_t kAck = 0x10;
+inline constexpr std::uint8_t kUrg = 0x20;
+inline constexpr std::uint8_t kEce = 0x40;
+inline constexpr std::uint8_t kCwr = 0x80;
+}  // namespace tcpflag
+
+/// "FSRPAUEC" subset for the given bits, in Geneva's canonical order
+/// (e.g. 0x12 -> "SA"). The empty string denotes null flags.
+[[nodiscard]] std::string flags_to_string(std::uint8_t flags);
+
+/// Parses a Geneva flag string; throws std::invalid_argument on unknown
+/// letters. Accepts the empty string (null flags).
+[[nodiscard]] std::uint8_t flags_from_string(std::string_view s);
+
+[[nodiscard]] constexpr bool has_flag(std::uint8_t flags,
+                                      std::uint8_t bit) noexcept {
+  return (flags & bit) != 0;
+}
+
+/// True when flags are exactly `bits` (no extras) — Geneva triggers demand
+/// exact matches ("TCP:flags:S" does not match SYN+ACK).
+[[nodiscard]] constexpr bool flags_exactly(std::uint8_t flags,
+                                           std::uint8_t bits) noexcept {
+  return flags == bits;
+}
+
+}  // namespace caya

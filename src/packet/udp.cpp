@@ -1,0 +1,54 @@
+#include "packet/udp.h"
+
+#include "util/checksum.h"
+
+namespace caya {
+
+Bytes UdpHeader::serialize(Ipv4Address src, Ipv4Address dst,
+                           std::span<const std::uint8_t> payload,
+                           bool compute_checksum, bool compute_length) const {
+  ByteWriter w;
+  w.u16(sport);
+  w.u16(dport);
+  const std::uint16_t len =
+      compute_length ? static_cast<std::uint16_t>(8 + payload.size())
+                     : length;
+  w.u16(len);
+  w.u16(0);  // checksum placeholder
+  w.raw(payload);
+
+  Bytes out = w.take();
+  std::uint16_t csum = checksum;
+  if (compute_checksum) {
+    csum = udp_checksum(src, dst, out);
+    if (csum == 0) csum = 0xffff;  // RFC 768: 0 means "no checksum"
+  }
+  out[6] = static_cast<std::uint8_t>(csum >> 8);
+  out[7] = static_cast<std::uint8_t>(csum & 0xff);
+  return out;
+}
+
+UdpHeader UdpHeader::parse(std::span<const std::uint8_t> data,
+                           std::size_t& consumed) {
+  ByteReader r(data);
+  UdpHeader h;
+  h.sport = r.u16();
+  h.dport = r.u16();
+  h.length = r.u16();
+  h.checksum = r.u16();
+  consumed = 8;
+  return h;
+}
+
+std::uint16_t udp_checksum(Ipv4Address src, Ipv4Address dst,
+                           std::span<const std::uint8_t> datagram) {
+  ChecksumAccumulator acc;
+  acc.add_u32(src.value());
+  acc.add_u32(dst.value());
+  acc.add_u16(17);  // zero byte + protocol (UDP)
+  acc.add_u16(static_cast<std::uint16_t>(datagram.size()));
+  acc.add(datagram);
+  return acc.finish();
+}
+
+}  // namespace caya

@@ -1,0 +1,37 @@
+// UDP header codec (appendix: Geneva's tamper was extended to support UDP).
+//
+// The paper's server-side experiments are all TCP ("all over IPv4"), so the
+// simulator's wire is IPv4/TCP; this codec exists so tamper primitives and
+// tooling can manipulate UDP datagrams (e.g. classic DNS-over-UDP captures).
+#pragma once
+
+#include <cstdint>
+
+#include "packet/ipv4.h"
+#include "util/bytes.h"
+
+namespace caya {
+
+struct UdpHeader {
+  std::uint16_t sport = 0;
+  std::uint16_t dport = 0;
+  std::uint16_t length = 0;    // recomputed at serialization unless pinned
+  std::uint16_t checksum = 0;  // recomputed at serialization unless pinned
+
+  /// Serializes header + payload with the IPv4 pseudo-header checksum.
+  [[nodiscard]] Bytes serialize(Ipv4Address src, Ipv4Address dst,
+                                std::span<const std::uint8_t> payload,
+                                bool compute_checksum = true,
+                                bool compute_length = true) const;
+
+  /// Parses the 8-byte header; `consumed` is set to 8.
+  static UdpHeader parse(std::span<const std::uint8_t> data,
+                         std::size_t& consumed);
+};
+
+/// UDP checksum over pseudo-header + datagram (0 is transmitted as 0xffff
+/// per RFC 768).
+[[nodiscard]] std::uint16_t udp_checksum(Ipv4Address src, Ipv4Address dst,
+                                         std::span<const std::uint8_t> datagram);
+
+}  // namespace caya

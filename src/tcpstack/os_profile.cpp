@@ -1,0 +1,69 @@
+#include "tcpstack/os_profile.h"
+
+namespace caya {
+
+std::string_view to_string(OsFamily family) noexcept {
+  switch (family) {
+    case OsFamily::kWindows:
+      return "Windows";
+    case OsFamily::kMacOs:
+      return "macOS";
+    case OsFamily::kIos:
+      return "iOS";
+    case OsFamily::kAndroid:
+      return "Android";
+    case OsFamily::kUbuntu:
+      return "Ubuntu";
+    case OsFamily::kCentOs:
+      return "CentOS";
+  }
+  return "?";
+}
+
+OsProfile OsProfile::linux_default() {
+  return {.name = "Ubuntu 18.04.1",
+          .family = OsFamily::kUbuntu,
+          .accepts_synack_payload = false};
+}
+
+OsProfile OsProfile::windows_default() {
+  return {.name = "Windows 10 Enterprise (17134)",
+          .family = OsFamily::kWindows,
+          .accepts_synack_payload = true};
+}
+
+OsProfile OsProfile::macos_default() {
+  return {.name = "MacOS 10.15",
+          .family = OsFamily::kMacOs,
+          .accepts_synack_payload = true};
+}
+
+const std::vector<OsProfile>& all_os_profiles() {
+  auto make = [](std::string name, OsFamily family, bool synack_payload) {
+    return OsProfile{.name = std::move(name),
+                     .family = family,
+                     .accepts_synack_payload = synack_payload};
+  };
+  static const std::vector<OsProfile> profiles = {
+      make("Windows XP SP3", OsFamily::kWindows, true),
+      make("Windows 7 Ultimate SP1", OsFamily::kWindows, true),
+      make("Windows 8.1 Pro", OsFamily::kWindows, true),
+      make("Windows 10 Enterprise (17134)", OsFamily::kWindows, true),
+      make("Windows Server 2003 Datacenter", OsFamily::kWindows, true),
+      make("Windows Server 2008 Datacenter", OsFamily::kWindows, true),
+      make("Windows Server 2013 Standard", OsFamily::kWindows, true),
+      make("Windows Server 2018 Standard", OsFamily::kWindows, true),
+      make("MacOS 10.15", OsFamily::kMacOs, true),
+      make("iOS 13.3", OsFamily::kIos, false),
+      make("Android 10", OsFamily::kAndroid, false),
+      make("Ubuntu 12.04.5", OsFamily::kUbuntu, false),
+      make("Ubuntu 14.04.3", OsFamily::kUbuntu, false),
+      make("Ubuntu 16.04.4", OsFamily::kUbuntu, false),
+      make("Ubuntu 18.04.1", OsFamily::kUbuntu, false),
+      make("CentOS 6", OsFamily::kCentOs, false),
+      make("CentOS 7", OsFamily::kCentOs, false),
+  };
+  return profiles;
+}
+
+}  // namespace caya

@@ -1,0 +1,21 @@
+// Wraparound-safe 32-bit sequence-number comparisons (RFC 793 §3.3).
+#pragma once
+
+#include <cstdint>
+
+namespace caya {
+
+[[nodiscard]] constexpr bool seq_lt(std::uint32_t a, std::uint32_t b) noexcept {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+[[nodiscard]] constexpr bool seq_le(std::uint32_t a, std::uint32_t b) noexcept {
+  return static_cast<std::int32_t>(a - b) <= 0;
+}
+[[nodiscard]] constexpr bool seq_gt(std::uint32_t a, std::uint32_t b) noexcept {
+  return static_cast<std::int32_t>(a - b) > 0;
+}
+[[nodiscard]] constexpr bool seq_ge(std::uint32_t a, std::uint32_t b) noexcept {
+  return static_cast<std::int32_t>(a - b) >= 0;
+}
+
+}  // namespace caya

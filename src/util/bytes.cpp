@@ -1,0 +1,58 @@
+#include "util/bytes.h"
+
+#include <algorithm>
+#include <array>
+
+namespace caya {
+
+namespace {
+constexpr std::array<char, 16> kHexDigits = {'0', '1', '2', '3', '4', '5',
+                                             '6', '7', '8', '9', 'a', 'b',
+                                             'c', 'd', 'e', 'f'};
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::invalid_argument("invalid hex character");
+}
+}  // namespace
+
+std::string to_hex(std::span<const std::uint8_t> data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xf]);
+  }
+  return out;
+}
+
+Bytes from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    throw std::invalid_argument("hex string must have even length");
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    out.push_back(static_cast<std::uint8_t>(hex_value(hex[i]) * 16 +
+                                            hex_value(hex[i + 1])));
+  }
+  return out;
+}
+
+std::string to_string(std::span<const std::uint8_t> data) {
+  return {data.begin(), data.end()};
+}
+
+Bytes to_bytes(std::string_view s) { return {s.begin(), s.end()}; }
+
+bool contains(std::span<const std::uint8_t> haystack, std::string_view needle) {
+  if (needle.empty()) return true;
+  auto it = std::search(
+      haystack.begin(), haystack.end(), needle.begin(), needle.end(),
+      [](std::uint8_t a, char b) { return a == static_cast<std::uint8_t>(b); });
+  return it != haystack.end();
+}
+
+}  // namespace caya

@@ -1,0 +1,31 @@
+#include "util/log.h"
+
+#include <iostream>
+
+namespace caya {
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "trace";
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "?";
+}
+
+Logger::Sink Logger::stderr_sink() {
+  return [](LogLevel level, std::string_view msg) {
+    std::cerr << "[" << to_string(level) << "] " << msg << "\n";
+  };
+}
+
+}  // namespace caya

@@ -1,0 +1,51 @@
+// Minimal leveled logger.
+//
+// Simulation components log through an injected Logger rather than a global
+// so that tests can capture output and benches can silence it.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace caya {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+
+[[nodiscard]] std::string_view to_string(LogLevel level) noexcept;
+
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+
+  Logger() = default;
+  explicit Logger(LogLevel min_level, Sink sink = stderr_sink())
+      : min_level_(min_level), sink_(std::move(sink)) {}
+
+  void log(LogLevel level, std::string_view msg) const {
+    if (level >= min_level_ && sink_) sink_(level, msg);
+  }
+
+  template <typename... Args>
+  void logf(LogLevel level, const Args&... args) const {
+    if (level < min_level_ || !sink_) return;
+    std::ostringstream os;
+    (os << ... << args);
+    sink_(level, os.str());
+  }
+
+  void set_min_level(LogLevel level) noexcept { min_level_ = level; }
+  [[nodiscard]] LogLevel min_level() const noexcept { return min_level_; }
+
+  /// Default sink: "[level] message" to stderr.
+  [[nodiscard]] static Sink stderr_sink();
+  /// A logger that discards everything (the default for benches).
+  [[nodiscard]] static Logger silent() { return Logger(LogLevel::kOff, {}); }
+
+ private:
+  LogLevel min_level_ = LogLevel::kOff;
+  Sink sink_;
+};
+
+}  // namespace caya

@@ -1,0 +1,3 @@
+#include "util/rng.h"
+
+// Rng is header-only today; this TU anchors the library target.

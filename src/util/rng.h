@@ -1,0 +1,72 @@
+// Deterministic random number generation.
+//
+// Everything stochastic in this project — censor resynchronization entry,
+// Geneva's genetic operators, simulated packet loss — draws from an Rng that
+// is seeded explicitly, so every experiment is reproducible bit-for-bit.
+// There is deliberately no global generator (see C++ Core Guidelines I.2).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace caya {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
+    std::uniform_int_distribution<std::uint64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform integer in [0, n); n must be > 0.
+  [[nodiscard]] std::size_t index(std::size_t n) {
+    return static_cast<std::size_t>(uniform(0, n - 1));
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double unit() {
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    return dist(engine_);
+  }
+
+  /// Bernoulli draw: true with probability p (clamped to [0, 1]).
+  [[nodiscard]] bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return unit() < p;
+  }
+
+  /// Uniformly chosen element of a non-empty container.
+  template <typename Container>
+  [[nodiscard]] auto& pick(Container& c) {
+    return c[index(c.size())];
+  }
+  template <typename Container>
+  [[nodiscard]] const auto& pick(const Container& c) {
+    return c[index(c.size())];
+  }
+
+  /// n independent uniform random bytes.
+  [[nodiscard]] Bytes bytes(std::size_t n) {
+    Bytes out(n);
+    for (auto& b : out) b = static_cast<std::uint8_t>(uniform(0, 255));
+    return out;
+  }
+
+  /// Derives an independent child generator (for parallel-safe subsystems).
+  [[nodiscard]] Rng fork() { return Rng(engine_()); }
+
+  [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace caya

@@ -1,0 +1,51 @@
+// Small statistics helpers for the evaluation harness: success-rate counters
+// with Wilson confidence intervals, and simple descriptive stats.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace caya {
+
+/// Counts Bernoulli trials and reports the observed success rate.
+class RateCounter {
+ public:
+  void record(bool success) noexcept {
+    ++trials_;
+    if (success) ++successes_;
+  }
+
+  [[nodiscard]] std::size_t trials() const noexcept { return trials_; }
+  [[nodiscard]] std::size_t successes() const noexcept { return successes_; }
+
+  /// Observed success fraction in [0, 1]; 0 when no trials were recorded.
+  [[nodiscard]] double rate() const noexcept {
+    return trials_ == 0 ? 0.0
+                        : static_cast<double>(successes_) /
+                              static_cast<double>(trials_);
+  }
+
+  /// Wilson score interval (95% by default) — robust for small n and extreme
+  /// rates, which both occur in the Table 2 reproduction.
+  struct Interval {
+    double lo = 0.0;
+    double hi = 0.0;
+  };
+  [[nodiscard]] Interval wilson(double z = 1.96) const noexcept;
+
+ private:
+  std::size_t trials_ = 0;
+  std::size_t successes_ = 0;
+};
+
+/// Formats 0.537 as "54%"; used by the table-regeneration benches.
+[[nodiscard]] std::string percent(double rate);
+
+/// Mean of a sample (0 for an empty sample).
+[[nodiscard]] double mean(const std::vector<double>& xs) noexcept;
+
+/// Population standard deviation (0 for fewer than two samples).
+[[nodiscard]] double stddev(const std::vector<double>& xs) noexcept;
+
+}  // namespace caya

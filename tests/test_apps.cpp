@@ -1,0 +1,200 @@
+// End-to-end application tests on a censor-free network: every protocol
+// pair must complete its dialogue. These validate the substrate the censors
+// and strategies are later layered on.
+#include <gtest/gtest.h>
+
+#include "apps/dns_app.h"
+#include "apps/ftp.h"
+#include "apps/http.h"
+#include "apps/https.h"
+#include "apps/smtp.h"
+
+namespace caya {
+namespace {
+
+const Ipv4Address kClient = Ipv4Address::parse("10.0.0.2");
+const Ipv4Address kServer = Ipv4Address::parse("93.184.216.34");
+
+struct World {
+  EventLoop loop;
+  Network net{loop, Network::Config{}, Rng(1)};
+  ClientAppConfig config;
+
+  World() {
+    config.client_addr = kClient;
+    config.server_addr = kServer;
+  }
+};
+
+TEST(LineBuffer, SplitsCompleteLines) {
+  LineBuffer buf;
+  Bytes stream = to_bytes("220 hello\r\n331 pass");
+  auto lines = buf.update(stream);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "220 hello");
+  // Completing the second line (stream grows) yields only the new line.
+  stream = to_bytes("220 hello\r\n331 pass\r\n");
+  lines = buf.update(stream);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "331 pass");
+}
+
+TEST(LineBuffer, MultipleLinesAtOnce) {
+  LineBuffer buf;
+  const auto lines = buf.update(to_bytes("a\r\nb\r\nc\r\n"));
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[2], "c");
+}
+
+TEST(LineBuffer, EmptyLine) {
+  LineBuffer buf;
+  const auto lines = buf.update(to_bytes("\r\nx\r\n"));
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "");
+}
+
+TEST(Apps, HttpRequestResponse) {
+  World w;
+  HttpServer server(w.loop, w.net, kServer, 80, "<html>hi</html>");
+  w.config.server_port = 80;
+  HttpClient client(w.loop, w.net, w.config, "example.com", "/index.html",
+                    server.expected_response());
+  w.net.set_server(&server);
+  w.net.set_client(&client);
+  client.start();
+  w.loop.run();
+  EXPECT_TRUE(server.request_seen());
+  EXPECT_TRUE(client.succeeded());
+  EXPECT_FALSE(client.was_reset());
+}
+
+TEST(Apps, HttpWrongBodyIsNotSuccess) {
+  World w;
+  HttpServer server(w.loop, w.net, kServer, 80, "actual body");
+  w.config.server_port = 80;
+  HttpClient client(w.loop, w.net, w.config, "example.com", "/",
+                    "some other expected response");
+  w.net.set_server(&server);
+  w.net.set_client(&client);
+  client.start();
+  w.loop.run();
+  EXPECT_FALSE(client.succeeded());
+}
+
+TEST(Apps, HttpRequestCarriesHostAndPath) {
+  World w;
+  HttpClient client(w.loop, w.net, w.config, "blocked-site.kz",
+                    "/?q=ultrasurf", "x");
+  const std::string request = client.request_line();
+  EXPECT_NE(request.find("GET /?q=ultrasurf HTTP/1.1"), std::string::npos);
+  EXPECT_NE(request.find("Host: blocked-site.kz"), std::string::npos);
+}
+
+TEST(Apps, HttpsHandshakeCompletes) {
+  World w;
+  HttpsServer server(w.loop, w.net, kServer, 443);
+  w.config.server_port = 443;
+  HttpsClient client(w.loop, w.net, w.config, "www.wikipedia.org");
+  w.net.set_server(&server);
+  w.net.set_client(&client);
+  client.start();
+  w.loop.run();
+  EXPECT_TRUE(server.hello_seen());
+  EXPECT_TRUE(client.succeeded());
+}
+
+TEST(Apps, DnsQueryResolves) {
+  World w;
+  const Ipv4Address answer = Ipv4Address::parse("198.51.100.7");
+  DnsServer server(w.loop, w.net, kServer, 53, answer);
+  w.config.server_port = 53;
+  DnsClient client(w.loop, w.net, w.config, "www.wikipedia.org", answer);
+  client.on_new_attempt = [&server] { server.reopen(); };
+  w.net.set_server(&server);
+  client.start();
+  w.loop.run();
+  EXPECT_TRUE(client.succeeded());
+  EXPECT_EQ(client.tries_used(), 1);
+}
+
+TEST(Apps, DnsRetriesAfterMidConnectionReset) {
+  World w;
+  const Ipv4Address answer = Ipv4Address::parse("198.51.100.7");
+  DnsServer server(w.loop, w.net, kServer, 53, answer);
+  w.config.server_port = 53;
+  DnsClient client(w.loop, w.net, w.config, "www.wikipedia.org", answer);
+  client.on_new_attempt = [&server] { server.reopen(); };
+  w.net.set_server(&server);
+  client.start();
+  // Kill the first connection with an in-window RST once it's up
+  // (handshake completes at ~40ms over the 10-hop path; the response
+  // arrives at ~80ms).
+  w.loop.run_until(duration::ms(45));
+  ASSERT_EQ(client.endpoint().state(), TcpState::kEstablished);
+  Packet rst = make_tcp_packet(kServer, 53, kClient,
+                               client.endpoint().config().local_port,
+                               tcpflag::kRst, client.endpoint().rcv_nxt(), 0);
+  client.deliver(rst);
+  w.loop.run();
+  EXPECT_TRUE(client.succeeded());
+  EXPECT_GE(client.tries_used(), 2);
+}
+
+TEST(Apps, DnsGivesUpAfterMaxTries) {
+  World w;
+  // No server attached at all: every attempt times out and resets.
+  DnsClient client(w.loop, w.net, w.config, "www.wikipedia.org",
+                   Ipv4Address::parse("198.51.100.7"), /*max_tries=*/3);
+  client.start();
+  w.loop.run();
+  EXPECT_FALSE(client.succeeded());
+  EXPECT_EQ(client.tries_used(), 3);
+}
+
+TEST(Apps, FtpDialogueCompletes) {
+  World w;
+  FtpServer server(w.loop, w.net, kServer, 21);
+  w.config.server_port = 21;
+  FtpClient client(w.loop, w.net, w.config, "ultrasurf");
+  w.net.set_server(&server);
+  w.net.set_client(&client);
+  client.start();
+  w.loop.run();
+  EXPECT_TRUE(server.retr_seen());
+  EXPECT_TRUE(client.succeeded());
+}
+
+TEST(Apps, SmtpDialogueCompletes) {
+  World w;
+  SmtpServer server(w.loop, w.net, kServer, 25);
+  w.config.server_port = 25;
+  SmtpClient client(w.loop, w.net, w.config, "xiazai@upup8.com");
+  w.net.set_server(&server);
+  w.net.set_client(&client);
+  client.start();
+  w.loop.run();
+  EXPECT_TRUE(server.message_accepted());
+  EXPECT_TRUE(client.succeeded());
+}
+
+TEST(Apps, AllProtocolsSurviveLossyLink) {
+  // Retransmission keeps every dialogue alive at 20% loss.
+  EventLoop loop;
+  Network::Config net_config;
+  net_config.loss = 0.2;
+  Network net(loop, net_config, Rng(33));
+  ClientAppConfig config;
+  config.client_addr = kClient;
+  config.server_addr = kServer;
+  config.server_port = 25;
+  SmtpServer server(loop, net, kServer, 25);
+  SmtpClient client(loop, net, config, "someone@example.com");
+  net.set_server(&server);
+  net.set_client(&client);
+  client.start();
+  loop.run();
+  EXPECT_TRUE(client.succeeded());
+}
+
+}  // namespace
+}  // namespace caya

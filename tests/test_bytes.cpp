@@ -1,0 +1,76 @@
+#include "util/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace caya {
+namespace {
+
+TEST(ByteWriter, WritesBigEndian) {
+  ByteWriter w;
+  w.u8(0x01);
+  w.u16(0x0203);
+  w.u32(0x04050607);
+  EXPECT_EQ(to_hex(w.bytes()), "01020304050607");
+}
+
+TEST(ByteWriter, RawAppendsBytesAndStrings) {
+  ByteWriter w;
+  w.raw(std::string_view("ab"));
+  const Bytes extra = {0x00, 0xff};
+  w.raw(std::span(extra));
+  EXPECT_EQ(to_hex(w.bytes()), "616200ff");
+}
+
+TEST(ByteReader, ReadsBackWhatWriterWrote) {
+  ByteWriter w;
+  w.u32(0xdeadbeef);
+  w.u16(0x1234);
+  w.u8(0x56);
+  const Bytes data = w.take();
+  ByteReader r(data);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u16(), 0x1234u);
+  EXPECT_EQ(r.u8(), 0x56u);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteReader, ThrowsOnShortRead) {
+  const Bytes data = {0x01};
+  ByteReader r(data);
+  EXPECT_THROW((void)r.u16(), ShortReadError);
+}
+
+TEST(ByteReader, SkipAdvancesAndThrowsPastEnd) {
+  const Bytes data = {1, 2, 3};
+  ByteReader r(data);
+  r.skip(2);
+  EXPECT_EQ(r.pos(), 2u);
+  EXPECT_THROW(r.skip(2), ShortReadError);
+}
+
+TEST(Hex, RoundTrips) {
+  const Bytes data = {0x00, 0x7f, 0x80, 0xff};
+  EXPECT_EQ(to_hex(data), "007f80ff");
+  EXPECT_EQ(from_hex("007f80ff"), data);
+}
+
+TEST(Hex, RejectsOddLengthAndBadChars) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+}
+
+TEST(Strings, RoundTripThroughBytes) {
+  const std::string s = "GET / HTTP/1.1";
+  const Bytes b = to_bytes(s);
+  EXPECT_EQ(to_string(b), s);
+}
+
+TEST(Contains, FindsSubsequences) {
+  const Bytes hay = to_bytes("GET /?q=ultrasurf HTTP/1.1");
+  EXPECT_TRUE(contains(hay, "ultrasurf"));
+  EXPECT_TRUE(contains(hay, ""));
+  EXPECT_FALSE(contains(hay, "falun"));
+}
+
+}  // namespace
+}  // namespace caya

@@ -1,0 +1,96 @@
+#include "censor/carrier.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/rates.h"
+#include "eval/strategies.h"
+
+namespace caya {
+namespace {
+
+const Ipv4Address kClient = Ipv4Address::parse("10.0.0.2");
+const Ipv4Address kServer = Ipv4Address::parse("93.184.216.34");
+
+class FakeInjector : public Injector {
+ public:
+  void inject(Packet, Direction) override {}
+  [[nodiscard]] Time now() const override { return 0; }
+};
+
+Packet server_packet(std::uint8_t flags) {
+  return make_tcp_packet(kServer, 80, kClient, 40000, flags, 5000, 1001);
+}
+
+TEST(Carrier, WifiPassesEverything) {
+  CarrierMiddlebox carrier(CarrierNetwork::kWifi);
+  FakeInjector inj;
+  EXPECT_EQ(carrier.on_packet(server_packet(tcpflag::kSyn),
+                              Direction::kServerToClient, inj),
+            Verdict::kPass);
+  EXPECT_EQ(carrier.dropped_count(), 0u);
+}
+
+TEST(Carrier, AttDropsAllServerBareSyns) {
+  CarrierMiddlebox carrier(CarrierNetwork::kAtt);
+  FakeInjector inj;
+  EXPECT_EQ(carrier.on_packet(server_packet(tcpflag::kSyn),
+                              Direction::kServerToClient, inj),
+            Verdict::kDrop);
+  EXPECT_EQ(carrier.on_packet(server_packet(tcpflag::kSyn | tcpflag::kAck),
+                              Direction::kServerToClient, inj),
+            Verdict::kPass);
+  // Client-direction SYNs untouched (normal connections must work).
+  Packet client_syn =
+      make_tcp_packet(kClient, 40000, kServer, 80, tcpflag::kSyn, 1000, 0);
+  EXPECT_EQ(carrier.on_packet(client_syn, Direction::kClientToServer, inj),
+            Verdict::kPass);
+}
+
+TEST(Carrier, TMobileTolaratesOpeningSynOnly) {
+  CarrierMiddlebox carrier(CarrierNetwork::kTMobile);
+  FakeInjector inj;
+  // First server packet is a SYN (Strategy 2's shape): tolerated.
+  EXPECT_EQ(carrier.on_packet(server_packet(tcpflag::kSyn),
+                              Direction::kServerToClient, inj),
+            Verdict::kPass);
+  // A SYN after other server traffic (Strategy 1/3's shape): dropped.
+  CarrierMiddlebox carrier2(CarrierNetwork::kTMobile);
+  EXPECT_EQ(carrier2.on_packet(server_packet(tcpflag::kRst),
+                               Direction::kServerToClient, inj),
+            Verdict::kPass);
+  EXPECT_EQ(carrier2.on_packet(server_packet(tcpflag::kSyn),
+                               Direction::kServerToClient, inj),
+            Verdict::kDrop);
+}
+
+double rate(int strategy_id, CarrierNetwork carrier, std::uint64_t seed) {
+  RateCounter counter;
+  for (int i = 0; i < 40; ++i) {
+    Environment::Config config;
+    config.country = Country::kChina;
+    config.protocol = AppProtocol::kHttp;
+    config.seed = seed + static_cast<std::uint64_t>(i);
+    config.carrier = carrier;
+    ConnectionOptions options;
+    options.server_strategy = parsed_strategy(strategy_id);
+    counter.record(run_trial(config, options).success);
+  }
+  return counter.rate();
+}
+
+TEST(Carrier, PaperFailureSetsReproduce) {
+  // WiFi: 1 and 2 both work.
+  EXPECT_GT(rate(1, CarrierNetwork::kWifi, 1000), 0.3);
+  EXPECT_GT(rate(2, CarrierNetwork::kWifi, 2000), 0.3);
+  // T-Mobile: strategy 1 dies, strategy 2 survives.
+  EXPECT_LT(rate(1, CarrierNetwork::kTMobile, 3000), 0.1);
+  EXPECT_GT(rate(2, CarrierNetwork::kTMobile, 4000), 0.3);
+  // AT&T: both simultaneous-open strategies die.
+  EXPECT_LT(rate(1, CarrierNetwork::kAtt, 5000), 0.1);
+  EXPECT_LT(rate(2, CarrierNetwork::kAtt, 6000), 0.1);
+  // Non-sim-open strategies are unaffected by either carrier.
+  EXPECT_GT(rate(6, CarrierNetwork::kAtt, 7000), 0.3);
+}
+
+}  // namespace
+}  // namespace caya

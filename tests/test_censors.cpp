@@ -1,0 +1,291 @@
+// Unit tests for the India (Airtel), Iran, and Kazakhstan censor models.
+#include <gtest/gtest.h>
+
+#include "apps/tls.h"
+#include "censor/airtel.h"
+#include "censor/iran.h"
+#include "censor/kazakhstan.h"
+
+namespace caya {
+namespace {
+
+const Ipv4Address kClient = Ipv4Address::parse("10.1.2.3");
+const Ipv4Address kServer = Ipv4Address::parse("93.184.216.34");
+
+class FakeInjector : public Injector {
+ public:
+  void inject(Packet pkt, Direction toward) override {
+    injected.push_back({std::move(pkt), toward});
+  }
+  [[nodiscard]] Time now() const override { return now_value; }
+
+  std::vector<std::pair<Packet, Direction>> injected;
+  Time now_value = 0;
+};
+
+ForbiddenContent content() {
+  ForbiddenContent c;
+  c.blocked_hosts = {"youtube.com"};
+  c.blocked_sni = "youtube.com";
+  return c;
+}
+
+Packet http_request(std::uint16_t dport = 80,
+                    const std::string& host = "youtube.com") {
+  return make_tcp_packet(kClient, 40000, kServer, dport,
+                         tcpflag::kPsh | tcpflag::kAck, 1001, 5001,
+                         to_bytes("GET / HTTP/1.1\r\nHost: " + host +
+                                  "\r\n\r\n"));
+}
+
+// ---------------- Airtel (India) ----------------
+
+TEST(Airtel, InjectsBlockPageAndRst) {
+  AirtelCensor censor(content());
+  FakeInjector inj;
+  EXPECT_EQ(censor.on_packet(http_request(), Direction::kClientToServer, inj),
+            Verdict::kPass);  // on-path: never drops
+  EXPECT_EQ(censor.censored_count(), 1u);
+  ASSERT_EQ(inj.injected.size(), 2u);
+  const Packet& page = inj.injected[0].first;
+  EXPECT_EQ(inj.injected[0].second, Direction::kServerToClient);
+  EXPECT_EQ(page.tcp.flags, tcpflag::kFin | tcpflag::kPsh | tcpflag::kAck);
+  EXPECT_TRUE(contains(std::span(page.payload), "HTTP/1.1 200 OK"));
+  EXPECT_TRUE(has_flag(inj.injected[1].first.tcp.flags, tcpflag::kRst));
+}
+
+TEST(Airtel, StatelessNoHandshakeRequired) {
+  // The paper: a forbidden request without any 3-way handshake still
+  // triggers censorship.
+  AirtelCensor censor(content());
+  FakeInjector inj;
+  (void)censor.on_packet(http_request(), Direction::kClientToServer, inj);
+  EXPECT_EQ(censor.censored_count(), 1u);
+}
+
+TEST(Airtel, OnlyPort80) {
+  AirtelCensor censor(content());
+  FakeInjector inj;
+  (void)censor.on_packet(http_request(8080), Direction::kClientToServer, inj);
+  EXPECT_EQ(censor.censored_count(), 0u);
+}
+
+TEST(Airtel, BenignHostPasses) {
+  AirtelCensor censor(content());
+  FakeInjector inj;
+  (void)censor.on_packet(http_request(80, "example.com"),
+                         Direction::kClientToServer, inj);
+  EXPECT_EQ(censor.censored_count(), 0u);
+}
+
+TEST(Airtel, SegmentedRequestMissed) {
+  AirtelCensor censor(content());
+  FakeInjector inj;
+  Packet first = http_request();
+  Bytes full = first.payload;
+  first.payload.assign(full.begin(), full.begin() + 10);
+  Packet second = http_request();
+  second.payload.assign(full.begin() + 10, full.end());
+  second.tcp.seq += 10;
+  (void)censor.on_packet(first, Direction::kClientToServer, inj);
+  (void)censor.on_packet(second, Direction::kClientToServer, inj);
+  EXPECT_EQ(censor.censored_count(), 0u);
+}
+
+// ---------------- Iran ----------------
+
+TEST(Iran, BlackholesHttpFlow) {
+  IranCensor censor(content());
+  FakeInjector inj;
+  EXPECT_EQ(censor.on_packet(http_request(), Direction::kClientToServer, inj),
+            Verdict::kDrop);
+  EXPECT_EQ(censor.censored_count(), 1u);
+  EXPECT_TRUE(inj.injected.empty());  // nothing injected: just a black hole
+  // Every later packet on the flow is swallowed too (even benign ones).
+  Packet benign = http_request(80, "example.com");
+  EXPECT_EQ(censor.on_packet(benign, Direction::kClientToServer, inj),
+            Verdict::kDrop);
+}
+
+TEST(Iran, BlackholeExpiresAfterSixtySeconds) {
+  IranCensor censor(content());
+  FakeInjector inj;
+  (void)censor.on_packet(http_request(), Direction::kClientToServer, inj);
+  inj.now_value = duration::sec(61);
+  Packet benign = http_request(80, "example.com");
+  EXPECT_EQ(censor.on_packet(benign, Direction::kClientToServer, inj),
+            Verdict::kPass);
+}
+
+TEST(Iran, MatchesSniOn443) {
+  IranCensor censor(content());
+  FakeInjector inj;
+  Packet hello = make_tcp_packet(kClient, 40000, kServer, 443,
+                                 tcpflag::kPsh | tcpflag::kAck, 1001, 5001,
+                                 build_client_hello("youtube.com"));
+  EXPECT_EQ(censor.on_packet(hello, Direction::kClientToServer, inj),
+            Verdict::kDrop);
+  EXPECT_EQ(censor.censored_count(), 1u);
+}
+
+TEST(Iran, OtherPortsUncensored) {
+  IranCensor censor(content());
+  FakeInjector inj;
+  EXPECT_EQ(censor.on_packet(http_request(8080), Direction::kClientToServer,
+                             inj),
+            Verdict::kPass);
+}
+
+TEST(Iran, DnsOverTcpUncensored) {
+  // §4.2 footnote: Iran no longer censors DNS-over-TCP (port 53 unmatched).
+  IranCensor censor(content());
+  FakeInjector inj;
+  Packet dns = make_tcp_packet(kClient, 40000, kServer, 53,
+                               tcpflag::kPsh | tcpflag::kAck, 1001, 5001,
+                               to_bytes("any dns bytes"));
+  EXPECT_EQ(censor.on_packet(dns, Direction::kClientToServer, inj),
+            Verdict::kPass);
+}
+
+// ---------------- Kazakhstan ----------------
+
+Packet server_sa(Bytes payload = {}, std::uint8_t flags = tcpflag::kSyn |
+                                                          tcpflag::kAck) {
+  return make_tcp_packet(kServer, 80, kClient, 40000, flags, 5000, 1001,
+                         std::move(payload));
+}
+
+TEST(Kazakhstan, InterceptsAndInjectsBlockPage) {
+  KazakhstanCensor censor(content());
+  FakeInjector inj;
+  EXPECT_EQ(censor.on_packet(http_request(), Direction::kClientToServer, inj),
+            Verdict::kDrop);  // in-path: the request is swallowed
+  EXPECT_EQ(censor.censored_count(), 1u);
+  ASSERT_EQ(inj.injected.size(), 1u);
+  EXPECT_TRUE(contains(std::span(inj.injected[0].first.payload),
+                       "blocked"));
+  // The whole stream is intercepted for ~15 s.
+  Packet retry = http_request();
+  EXPECT_EQ(censor.on_packet(retry, Direction::kClientToServer, inj),
+            Verdict::kDrop);
+  inj.now_value = duration::sec(16);
+  Packet later = http_request(80, "example.com");
+  EXPECT_EQ(censor.on_packet(later, Direction::kClientToServer, inj),
+            Verdict::kPass);
+}
+
+TEST(Kazakhstan, ThreeConsecutiveServerPayloadsIgnoreFlow) {
+  KazakhstanCensor censor(content());
+  FakeInjector inj;
+  for (int i = 0; i < 3; ++i) {
+    (void)censor.on_packet(server_sa(to_bytes("x")),
+                           Direction::kServerToClient, inj);
+  }
+  EXPECT_EQ(censor.on_packet(http_request(), Direction::kClientToServer, inj),
+            Verdict::kPass);
+  EXPECT_EQ(censor.censored_count(), 0u);
+}
+
+TEST(Kazakhstan, TwoPayloadsNotEnough) {
+  KazakhstanCensor censor(content());
+  FakeInjector inj;
+  (void)censor.on_packet(server_sa(to_bytes("x")),
+                         Direction::kServerToClient, inj);
+  (void)censor.on_packet(server_sa(to_bytes("x")),
+                         Direction::kServerToClient, inj);
+  EXPECT_EQ(censor.on_packet(http_request(), Direction::kClientToServer, inj),
+            Verdict::kDrop);
+  EXPECT_EQ(censor.censored_count(), 1u);
+}
+
+TEST(Kazakhstan, EmptyPacketResetsPayloadStreak) {
+  KazakhstanCensor censor(content());
+  FakeInjector inj;
+  (void)censor.on_packet(server_sa(to_bytes("x")),
+                         Direction::kServerToClient, inj);
+  (void)censor.on_packet(server_sa(), Direction::kServerToClient, inj);
+  (void)censor.on_packet(server_sa(to_bytes("x")),
+                         Direction::kServerToClient, inj);
+  (void)censor.on_packet(server_sa(to_bytes("x")),
+                         Direction::kServerToClient, inj);
+  // Only two consecutive payloads: still censoring.
+  EXPECT_EQ(censor.on_packet(http_request(), Direction::kClientToServer, inj),
+            Verdict::kDrop);
+}
+
+TEST(Kazakhstan, DoubleBenignGetIgnoresFlow) {
+  KazakhstanCensor censor(content());
+  FakeInjector inj;
+  (void)censor.on_packet(server_sa(to_bytes("GET / HTTP1.")),
+                         Direction::kServerToClient, inj);
+  (void)censor.on_packet(server_sa(to_bytes("GET / HTTP1.")),
+                         Direction::kServerToClient, inj);
+  EXPECT_EQ(censor.on_packet(http_request(), Direction::kClientToServer, inj),
+            Verdict::kPass);
+}
+
+TEST(Kazakhstan, SingleOrDotlessGetInsufficient) {
+  KazakhstanCensor censor(content());
+  FakeInjector inj;
+  (void)censor.on_packet(server_sa(to_bytes("GET / HTTP1.")),
+                         Direction::kServerToClient, inj);
+  EXPECT_EQ(censor.on_packet(http_request(), Direction::kClientToServer, inj),
+            Verdict::kDrop);
+
+  KazakhstanCensor censor2(content());
+  FakeInjector inj2;
+  (void)censor2.on_packet(server_sa(to_bytes("GET / HTTP1")),
+                          Direction::kServerToClient, inj2);
+  (void)censor2.on_packet(server_sa(to_bytes("GET / HTTP1")),
+                          Direction::kServerToClient, inj2);
+  EXPECT_EQ(
+      censor2.on_packet(http_request(), Direction::kClientToServer, inj2),
+      Verdict::kDrop);
+}
+
+TEST(Kazakhstan, NullFlagsIgnoresFlow) {
+  KazakhstanCensor censor(content());
+  FakeInjector inj;
+  (void)censor.on_packet(server_sa({}, 0), Direction::kServerToClient, inj);
+  (void)censor.on_packet(server_sa(), Direction::kServerToClient, inj);
+  EXPECT_EQ(censor.on_packet(http_request(), Direction::kClientToServer, inj),
+            Verdict::kPass);
+}
+
+TEST(Kazakhstan, PshOnlyFlagsAlsoIgnore) {
+  KazakhstanCensor censor(content());
+  FakeInjector inj;
+  (void)censor.on_packet(server_sa({}, tcpflag::kPsh),
+                         Direction::kServerToClient, inj);
+  EXPECT_EQ(censor.on_packet(http_request(), Direction::kClientToServer, inj),
+            Verdict::kPass);
+}
+
+TEST(Kazakhstan, InjectedForbiddenGetsElicitProbeResponse) {
+  // §5.3 probing: two forbidden GETs from the server during the handshake
+  // elicit the block page (toward the server); one does not.
+  KazakhstanCensor censor(content());
+  FakeInjector inj;
+  const Bytes forbidden =
+      to_bytes("GET / HTTP/1.1\r\nHost: youtube.com\r\n\r\n");
+  (void)censor.on_packet(server_sa(forbidden), Direction::kServerToClient,
+                         inj);
+  EXPECT_EQ(censor.probe_responses(), 0u);
+  (void)censor.on_packet(server_sa(forbidden), Direction::kServerToClient,
+                         inj);
+  EXPECT_EQ(censor.probe_responses(), 1u);
+  ASSERT_FALSE(inj.injected.empty());
+  EXPECT_EQ(inj.injected[0].second, Direction::kClientToServer);
+}
+
+TEST(Kazakhstan, OnlyPort80Watched) {
+  KazakhstanCensor censor(content());
+  FakeInjector inj;
+  EXPECT_EQ(censor.on_packet(http_request(8080), Direction::kClientToServer,
+                             inj),
+            Verdict::kPass);
+  EXPECT_EQ(censor.censored_count(), 0u);
+}
+
+}  // namespace
+}  // namespace caya

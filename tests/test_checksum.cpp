@@ -1,0 +1,56 @@
+#include "util/checksum.h"
+
+#include <gtest/gtest.h>
+
+#include "util/bytes.h"
+
+namespace caya {
+namespace {
+
+// RFC 1071's worked example: the checksum of 00 01 f2 03 f4 f5 f6 f7
+// has one's-complement sum 0xddf2, so the checksum is ~0xddf2 = 0x220d.
+TEST(InternetChecksum, Rfc1071Example) {
+  const Bytes data = from_hex("0001f203f4f5f6f7");
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(InternetChecksum, EmptyInputIsAllOnes) {
+  EXPECT_EQ(internet_checksum({}), 0xffff);
+}
+
+TEST(InternetChecksum, OddLengthPadsWithZero) {
+  const Bytes data = {0x01};
+  // sum = 0x0100 -> checksum = ~0x0100 = 0xfeff
+  EXPECT_EQ(internet_checksum(data), 0xfeff);
+}
+
+TEST(InternetChecksum, VerificationSumsToZero) {
+  // Embedding the checksum back into the data makes the total sum 0xffff
+  // (i.e. the standard receiver check).
+  Bytes data = from_hex("45000073000040004011000ac0a80001c0a800c7");
+  const std::uint16_t csum = internet_checksum(data);
+  data.push_back(static_cast<std::uint8_t>(csum >> 8));
+  data.push_back(static_cast<std::uint8_t>(csum & 0xff));
+  EXPECT_EQ(internet_checksum(data), 0x0000);
+}
+
+TEST(ChecksumAccumulator, SplitRegionsMatchSinglePass) {
+  const Bytes data = from_hex("0001f203f4f5f6f7aa");
+  ChecksumAccumulator acc;
+  acc.add(std::span(data).subspan(0, 3));  // odd split
+  acc.add(std::span(data).subspan(3, 2));
+  acc.add(std::span(data).subspan(5));
+  EXPECT_EQ(acc.finish(), internet_checksum(data));
+}
+
+TEST(ChecksumAccumulator, IntegersMatchByteEncoding) {
+  ChecksumAccumulator a;
+  a.add_u32(0xc0a80001);
+  a.add_u16(0x0006);
+  ChecksumAccumulator b;
+  b.add(from_hex("c0a800010006"));
+  EXPECT_EQ(a.finish(), b.finish());
+}
+
+}  // namespace
+}  // namespace caya

@@ -1,0 +1,91 @@
+#include "eval/clientside.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/rates.h"
+
+namespace caya {
+namespace {
+
+TEST(ClientSide, CorpusHasTwentyFiveStrategies) {
+  EXPECT_EQ(clientside_corpus().size(), 25u);
+}
+
+TEST(ClientSide, AllStrategiesParseAndPrint) {
+  for (const auto& entry : clientside_corpus()) {
+    EXPECT_FALSE(entry.name.empty());
+    EXPECT_GT(entry.client_strategy().size(), 0u);
+    EXPECT_GT(entry.server_analog_before().size(), 0u);
+    EXPECT_GT(entry.server_analog_after().size(), 0u);
+  }
+}
+
+double china_http_rate(const std::optional<Strategy>& client_strategy,
+                       const std::optional<Strategy>& server_strategy,
+                       std::uint64_t seed) {
+  RateCounter counter;
+  for (int i = 0; i < 25; ++i) {
+    Environment env({.country = Country::kChina,
+                     .protocol = AppProtocol::kHttp,
+                     .seed = seed + static_cast<std::uint64_t>(i)});
+    ConnectionOptions options;
+    options.client_strategy = client_strategy;
+    options.server_strategy = server_strategy;
+    counter.record(env.run_connection(options).success);
+  }
+  return counter.rate();
+}
+
+// Property over the whole corpus (the §3 result).
+class ClientSideEntry : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ClientSideEntry, WorksClientSideFailsServerSide) {
+  const auto& entry = clientside_corpus()[GetParam()];
+  EXPECT_GT(china_http_rate(entry.client_strategy(), std::nullopt,
+                            9000 + 100 * GetParam()),
+            0.8)
+      << entry.name << " as client-side";
+  EXPECT_LT(china_http_rate(std::nullopt, entry.server_analog_before(),
+                            9050 + 100 * GetParam()),
+            0.25)
+      << entry.name << " server-side (before)";
+  EXPECT_LT(china_http_rate(std::nullopt, entry.server_analog_after(),
+                            9075 + 100 * GetParam()),
+            0.25)
+      << entry.name << " server-side (after)";
+}
+
+// Sample the corpus (every 4th entry) to keep the suite fast; the §3 bench
+// covers all 25.
+INSTANTIATE_TEST_SUITE_P(Sampled, ClientSideEntry,
+                         ::testing::Values(0, 4, 8, 12, 16, 20, 24));
+
+TEST(ClientSide, TtlLimitedRstInvisibleToServer) {
+  // The insertion property itself: the teardown RST must reach the censor
+  // but never the server.
+  const auto& entry = clientside_corpus()[0];  // R, ttl=6, on A
+  Environment env({.country = Country::kChina,
+                   .protocol = AppProtocol::kHttp,
+                   .seed = 77});
+  ConnectionOptions options;
+  options.client_strategy = entry.client_strategy();
+  options.record_trace = true;
+  const TrialResult result = env.run_connection(options);
+  EXPECT_TRUE(result.success);
+  bool censor_saw_rst = false;
+  for (const auto& ev : result.trace.at(TracePoint::kCensorSaw)) {
+    if (ev.direction == Direction::kClientToServer &&
+        has_flag(ev.packet.tcp.flags, tcpflag::kRst)) {
+      censor_saw_rst = true;
+    }
+  }
+  bool server_got_rst = false;
+  for (const auto& ev : result.trace.at(TracePoint::kServerReceived)) {
+    if (has_flag(ev.packet.tcp.flags, tcpflag::kRst)) server_got_rst = true;
+  }
+  EXPECT_TRUE(censor_saw_rst);
+  EXPECT_FALSE(server_got_rst);
+}
+
+}  // namespace
+}  // namespace caya

@@ -1,0 +1,78 @@
+#include "eval/country.h"
+
+#include <gtest/gtest.h>
+
+namespace caya {
+namespace {
+
+TEST(Country, FourCountries) {
+  EXPECT_EQ(all_countries().size(), 4u);
+  EXPECT_EQ(to_string(Country::kChina), "China");
+  EXPECT_EQ(to_string(Country::kKazakhstan), "Kazakhstan");
+}
+
+TEST(Country, CensoredProtocolsMatchPaper) {
+  EXPECT_EQ(censored_protocols(Country::kChina).size(), 5u);
+  EXPECT_EQ(censored_protocols(Country::kIndia),
+            std::vector<AppProtocol>{AppProtocol::kHttp});
+  const auto iran = censored_protocols(Country::kIran);
+  EXPECT_EQ(iran.size(), 2u);  // HTTP + HTTPS; DNS-over-TCP no longer
+  EXPECT_EQ(censored_protocols(Country::kKazakhstan),
+            std::vector<AppProtocol>{AppProtocol::kHttp});
+}
+
+TEST(Country, RequestsTriggerTheirCensor) {
+  // The configured client request must match what the censor forbids.
+  for (const Country country : all_countries()) {
+    const ForbiddenContent content = forbidden_content(country);
+    const ClientRequest request = client_request(country);
+    if (country == Country::kChina) {
+      EXPECT_NE(request.http_path.find(content.http_keyword),
+                std::string::npos);
+      EXPECT_EQ(request.sni, content.blocked_sni);
+      EXPECT_EQ(request.dns_qname, content.blocked_qname);
+      EXPECT_NE(request.ftp_filename.find(content.ftp_keyword),
+                std::string::npos);
+      EXPECT_EQ(request.smtp_recipient, content.smtp_recipient);
+    } else {
+      ASSERT_FALSE(content.blocked_hosts.empty());
+      EXPECT_EQ(request.http_host, content.blocked_hosts[0]);
+    }
+  }
+}
+
+TEST(Country, VantageTableMatchesTable1) {
+  const auto& rows = vantage_table();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].country, Country::kChina);
+  EXPECT_EQ(rows[0].vantage_points.size(), 4u);
+  EXPECT_EQ(rows[1].vantage_points,
+            std::vector<std::string>{"Bangalore"});
+  EXPECT_EQ(rows[2].protocols.size(), 2u);
+  EXPECT_EQ(server_countries().size(), 6u);
+}
+
+TEST(Country, DefaultPorts) {
+  EXPECT_EQ(default_port(AppProtocol::kHttp), 80);
+  EXPECT_EQ(default_port(AppProtocol::kHttps), 443);
+  EXPECT_EQ(default_port(AppProtocol::kDnsOverTcp), 53);
+  EXPECT_EQ(default_port(AppProtocol::kFtp), 21);
+  EXPECT_EQ(default_port(AppProtocol::kSmtp), 25);
+}
+
+TEST(Strategies, ElevenPublished) {
+  EXPECT_EQ(published_strategies().size(), 11u);
+  EXPECT_THROW((void)published_strategy(12), std::out_of_range);
+  EXPECT_EQ(published_strategy(8).name, "TCP Window Reduction");
+}
+
+TEST(Strategies, ChinaRowsCoverFiveProtocols) {
+  for (const auto& s : published_strategies()) {
+    if (!s.china_reported.empty()) {
+      EXPECT_EQ(s.china_reported.size(), all_protocols().size()) << s.id;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace caya

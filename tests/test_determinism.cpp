@@ -1,0 +1,97 @@
+// Reproducibility guarantees: identical configuration and seed must yield
+// bit-identical behaviour across the whole stack — a prerequisite for every
+// number in EXPERIMENTS.md being re-derivable.
+#include <gtest/gtest.h>
+
+#include "eval/rates.h"
+#include "eval/strategies.h"
+#include "geneva/parser.h"
+#include "netsim/pcap.h"
+
+namespace caya {
+namespace {
+
+TrialResult run_once(std::uint64_t seed, int strategy_id) {
+  Environment env({.country = Country::kChina,
+                   .protocol = AppProtocol::kHttp,
+                   .seed = seed});
+  ConnectionOptions options;
+  options.server_strategy = parsed_strategy(strategy_id);
+  options.record_trace = true;
+  return env.run_connection(options);
+}
+
+TEST(Determinism, SameSeedSameTrialOutcome) {
+  for (const std::uint64_t seed : {1ull, 7ull, 42ull, 1000ull}) {
+    const TrialResult a = run_once(seed, 1);
+    const TrialResult b = run_once(seed, 1);
+    EXPECT_EQ(a.success, b.success) << seed;
+    EXPECT_EQ(a.censor_events, b.censor_events) << seed;
+    EXPECT_EQ(a.trace.events().size(), b.trace.events().size()) << seed;
+    // Byte-identical wire traffic.
+    EXPECT_EQ(to_pcap(a.trace), to_pcap(b.trace)) << seed;
+  }
+}
+
+TEST(Determinism, DifferentSeedsDiffer) {
+  // A ~50% strategy must flip outcomes across seeds (else the RNG is not
+  // actually being consumed).
+  int successes = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    if (run_once(seed, 1).success) ++successes;
+  }
+  EXPECT_GT(successes, 2);
+  EXPECT_LT(successes, 18);
+}
+
+TEST(Determinism, MeasureRateIsReproducible) {
+  RateOptions options;
+  options.trials = 50;
+  const auto a =
+      measure_rate(Country::kChina, AppProtocol::kFtp, parsed_strategy(5),
+                   options);
+  const auto b =
+      measure_rate(Country::kChina, AppProtocol::kFtp, parsed_strategy(5),
+                   options);
+  EXPECT_EQ(a.successes(), b.successes());
+}
+
+TEST(Determinism, Strategy6AckVariantWorksEqually) {
+  // §5: "this strategy works equally well if an ACK flag is sent instead
+  // of FIN" — the rule-1 trigger is the payload, not the FIN.
+  const Strategy ack_variant = parse_strategy(
+      "[TCP:flags:SA]-duplicate(duplicate(tamper{TCP:flags:replace:A}"
+      "(tamper{TCP:load:corrupt},),tamper{TCP:ack:corrupt}),)-| \\/");
+  RateOptions options;
+  options.trials = 120;
+  options.base_seed = 6100;
+  const double ack_rate =
+      measure_rate(Country::kChina, AppProtocol::kHttp, ack_variant, options)
+          .rate();
+  options.base_seed = 6300;
+  const double fin_rate =
+      measure_rate(Country::kChina, AppProtocol::kHttp, parsed_strategy(6),
+                   options)
+          .rate();
+  EXPECT_NEAR(ack_rate, fin_rate, 0.15);
+  EXPECT_GT(ack_rate, 0.35);
+}
+
+TEST(Determinism, ReversedStrategy3VariantAlsoWorks) {
+  // §5: "Geneva also identified successful variants of this species in
+  // which the order of the two packets is reversed" — SYN first, corrupt
+  // SYN+ACK second must still evade FTP censorship.
+  const Strategy reversed = parse_strategy(
+      "[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:S},"
+      "tamper{TCP:ack:corrupt})-| \\/");
+  RateOptions options;
+  options.trials = 80;
+  options.base_seed = 4000;
+  const double rate =
+      measure_rate(Country::kChina, AppProtocol::kFtp, reversed, options)
+          .rate();
+  EXPECT_GT(rate, 0.4);
+}
+
+}  // namespace
+}  // namespace caya

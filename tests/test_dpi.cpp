@@ -1,0 +1,102 @@
+#include "censor/dpi.h"
+
+#include <gtest/gtest.h>
+
+#include "packet/dns.h"
+#include "apps/tls.h"
+
+namespace caya {
+namespace {
+
+ForbiddenContent china() {
+  return {};  // defaults: ultrasurf / wikipedia / xiazai@upup8.com
+}
+
+ForbiddenContent host_based() {
+  ForbiddenContent content;
+  content.blocked_hosts = {"youtube.com"};
+  content.blocked_sni = "youtube.com";
+  return content;
+}
+
+TEST(Dpi, HttpKeywordInUrl) {
+  EXPECT_TRUE(http_keyword_match(
+      to_bytes("GET /?q=ultrasurf HTTP/1.1\r\nHost: x\r\n\r\n"), china()));
+  EXPECT_FALSE(http_keyword_match(
+      to_bytes("GET /?q=weather HTTP/1.1\r\nHost: x\r\n\r\n"), china()));
+}
+
+TEST(Dpi, HttpKeywordRequiresRequestStart) {
+  // A mid-stream segment containing the keyword is not a request.
+  EXPECT_FALSE(
+      http_keyword_match(to_bytes("rasurf HTTP/1.1\r\n\r\n"), china()));
+  EXPECT_FALSE(http_keyword_match(to_bytes("?q=ultrasurf"), china()));
+}
+
+TEST(Dpi, HttpKeywordOnlyInRequestLine) {
+  // Keyword in a later header does not trigger the URL-keyword censor.
+  EXPECT_FALSE(http_keyword_match(
+      to_bytes("GET / HTTP/1.1\r\nX-Note: ultrasurf\r\n\r\n"), china()));
+}
+
+TEST(Dpi, HostHeaderMatch) {
+  EXPECT_TRUE(http_host_match(
+      to_bytes("GET / HTTP/1.1\r\nHost: youtube.com\r\n\r\n"), host_based()));
+  EXPECT_FALSE(http_host_match(
+      to_bytes("GET / HTTP/1.1\r\nHost: example.com\r\n\r\n"), host_based()));
+  // Host in a packet that does not start a request: stateless DPI misses it.
+  EXPECT_FALSE(http_host_match(to_bytes("Host: youtube.com\r\n\r\n"),
+                               host_based()));
+}
+
+TEST(Dpi, SniMatch) {
+  EXPECT_TRUE(sni_match(build_client_hello("youtube.com"), host_based()));
+  EXPECT_FALSE(sni_match(build_client_hello("vimeo.com"), host_based()));
+  // Truncated hello (segmented) never matches.
+  const Bytes hello = build_client_hello("youtube.com");
+  Bytes half(hello.begin(), hello.begin() + static_cast<long>(hello.size() / 2));
+  EXPECT_FALSE(sni_match(half, host_based()));
+}
+
+TEST(Dpi, DnsMatch) {
+  EXPECT_TRUE(dns_match(
+      build_dns_query({.id = 1, .qname = "www.wikipedia.org"}), china()));
+  EXPECT_FALSE(dns_match(
+      build_dns_query({.id = 1, .qname = "www.example.org"}), china()));
+}
+
+TEST(Dpi, FtpMatchOnRetrLine) {
+  EXPECT_TRUE(ftp_match(to_bytes("RETR ultrasurf\r\n"), china()));
+  EXPECT_TRUE(ftp_match(
+      to_bytes("USER anonymous\r\nPASS guest\r\nRETR ultrasurf\r\n"),
+      china()));
+  EXPECT_FALSE(ftp_match(to_bytes("RETR weather.txt\r\n"), china()));
+  // Keyword on a non-RETR line is not a file request.
+  EXPECT_FALSE(ftp_match(to_bytes("USER ultrasurf\r\n"), china()));
+  // Segmented RETR never matches a single segment.
+  EXPECT_FALSE(ftp_match(to_bytes("RETR ultra"), china()));
+}
+
+TEST(Dpi, SmtpMatchOnRcptLine) {
+  EXPECT_TRUE(
+      smtp_match(to_bytes("RCPT TO:<xiazai@upup8.com>\r\n"), china()));
+  EXPECT_FALSE(
+      smtp_match(to_bytes("RCPT TO:<friend@example.com>\r\n"), china()));
+  EXPECT_FALSE(
+      smtp_match(to_bytes("MAIL FROM:<xiazai@upup8.com>\r\n"), china()));
+}
+
+TEST(Dpi, ProtocolDispatch) {
+  EXPECT_TRUE(protocol_match(AppProtocol::kHttp,
+                             to_bytes("GET /?q=ultrasurf HTTP/1.1\r\n\r\n"),
+                             china()));
+  EXPECT_FALSE(protocol_match(AppProtocol::kSmtp,
+                              to_bytes("GET /?q=ultrasurf HTTP/1.1\r\n\r\n"),
+                              china()));
+  EXPECT_TRUE(protocol_match(AppProtocol::kHttps,
+                             build_client_hello("www.wikipedia.org"),
+                             china()));
+}
+
+}  // namespace
+}  // namespace caya

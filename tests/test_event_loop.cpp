@@ -1,0 +1,93 @@
+#include "netsim/event_loop.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace caya {
+namespace {
+
+TEST(EventLoop, RunsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(duration::ms(30), [&] { order.push_back(3); });
+  loop.schedule_at(duration::ms(10), [&] { order.push_back(1); });
+  loop.schedule_at(duration::ms(20), [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), duration::ms(30));
+}
+
+TEST(EventLoop, TiesBreakInSchedulingOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    loop.schedule_at(duration::ms(5), [&, i] { order.push_back(i); });
+  }
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoop, ScheduleInIsRelative) {
+  EventLoop loop;
+  Time fired_at = 0;
+  loop.schedule_at(duration::ms(10), [&] {
+    loop.schedule_in(duration::ms(5), [&] { fired_at = loop.now(); });
+  });
+  loop.run();
+  EXPECT_EQ(fired_at, duration::ms(15));
+}
+
+TEST(EventLoop, EventsCanScheduleMoreEvents) {
+  EventLoop loop;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 10) loop.schedule_in(duration::ms(1), chain);
+  };
+  loop.schedule_in(duration::ms(1), chain);
+  loop.run();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(EventLoop, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  int fired = 0;
+  loop.schedule_at(duration::ms(10), [&] { ++fired; });
+  loop.schedule_at(duration::ms(50), [&] { ++fired; });
+  loop.run_until(duration::ms(20));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.now(), duration::ms(20));
+  EXPECT_EQ(loop.pending(), 1u);
+  loop.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoop, RunOneReturnsFalseWhenEmpty) {
+  EventLoop loop;
+  EXPECT_FALSE(loop.run_one());
+}
+
+TEST(EventLoop, PastTimesClampToNow) {
+  EventLoop loop;
+  loop.schedule_at(duration::ms(10), [] {});
+  loop.run();
+  Time fired_at = 0;
+  loop.schedule_at(duration::ms(1), [&] { fired_at = loop.now(); });
+  loop.run();
+  EXPECT_EQ(fired_at, duration::ms(10));
+}
+
+TEST(EventLoop, MaxEventsBoundsRun) {
+  EventLoop loop;
+  int count = 0;
+  std::function<void()> forever = [&] {
+    ++count;
+    loop.schedule_in(1, forever);
+  };
+  loop.schedule_in(1, forever);
+  loop.run(100);
+  EXPECT_EQ(count, 100);
+}
+
+}  // namespace
+}  // namespace caya

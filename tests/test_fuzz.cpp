@@ -1,0 +1,140 @@
+// Deterministic fuzzing: random packets, random byte streams, and random
+// strategies must never crash the codecs, the censors, or the full
+// simulation — censors in particular must "fail open, not fall over"
+// (§6: the GFW never fails closed).
+#include <gtest/gtest.h>
+
+#include "censor/airtel.h"
+#include "censor/gfw.h"
+#include "censor/iran.h"
+#include "censor/kazakhstan.h"
+#include "eval/rates.h"
+#include "geneva/mutation.h"
+#include "geneva/parser.h"
+
+namespace caya {
+namespace {
+
+Packet random_packet(Rng& rng) {
+  Packet pkt = make_tcp_packet(
+      Ipv4Address(static_cast<std::uint32_t>(rng.uniform(0, 0xffffffff))),
+      static_cast<std::uint16_t>(rng.uniform(0, 0xffff)),
+      Ipv4Address(static_cast<std::uint32_t>(rng.uniform(0, 0xffffffff))),
+      static_cast<std::uint16_t>(rng.uniform(0, 0xffff)),
+      static_cast<std::uint8_t>(rng.uniform(0, 0xff)),
+      static_cast<std::uint32_t>(rng.uniform(0, 0xffffffff)),
+      static_cast<std::uint32_t>(rng.uniform(0, 0xffffffff)),
+      rng.bytes(rng.index(64)));
+  pkt.ip.ttl = static_cast<std::uint8_t>(rng.uniform(1, 255));
+  if (rng.chance(0.3)) {
+    pkt.tcp.set_option(TcpOption::kWindowScale,
+                       {static_cast<std::uint8_t>(rng.uniform(0, 14))});
+  }
+  if (rng.chance(0.2)) {
+    pkt.tcp.checksum = static_cast<std::uint16_t>(rng.uniform(0, 0xffff));
+    pkt.tcp_checksum_overridden = true;
+  }
+  return pkt;
+}
+
+class FuzzSeed : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSeed, PacketSerializeParseRoundTripsExactly) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const Packet pkt = random_packet(rng);
+    const Bytes wire = pkt.serialize();
+    const Packet parsed = Packet::parse(wire);
+    EXPECT_EQ(parsed.serialize(), wire);
+  }
+}
+
+TEST_P(FuzzSeed, PacketParseOnRandomBytesNeverCrashes) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    const Bytes junk = rng.bytes(rng.index(120));
+    try {
+      const Packet parsed = Packet::parse(junk);
+      (void)parsed.serialize();  // whatever parsed must re-serialize
+    } catch (const std::exception&) {
+      // Rejecting with an exception is fine; crashing is not.
+    }
+  }
+}
+
+TEST_P(FuzzSeed, ParserOnRandomStringsThrowsCleanly) {
+  Rng rng(GetParam());
+  static const std::string kAlphabet =
+      "[]{}()-|\\/:,.abcdefTCPSAIPDNSflagsreplace corrupt0123456789";
+  for (int i = 0; i < 500; ++i) {
+    std::string text;
+    const std::size_t len = rng.index(60);
+    for (std::size_t j = 0; j < len; ++j) {
+      text.push_back(kAlphabet[rng.index(kAlphabet.size())]);
+    }
+    try {
+      const Strategy s = parse_strategy(text);
+      // If it parsed, its canonical form must re-parse.
+      (void)parse_strategy(s.to_string());
+    } catch (const ParseError&) {
+    } catch (const std::invalid_argument&) {
+    }
+  }
+}
+
+class NullInjector : public Injector {
+ public:
+  void inject(Packet, Direction) override {}
+  [[nodiscard]] Time now() const override { return 0; }
+};
+
+TEST_P(FuzzSeed, CensorsSurviveRandomPacketStorms) {
+  Rng rng(GetParam());
+  ChinaCensor china({}, Rng(GetParam()));
+  AirtelCensor airtel(ForbiddenContent{});
+  IranCensor iran(ForbiddenContent{});
+  KazakhstanCensor kazakh(ForbiddenContent{});
+  NullInjector inj;
+
+  for (int i = 0; i < 500; ++i) {
+    const Packet pkt = random_packet(rng);
+    const Direction dir = rng.chance(0.5) ? Direction::kClientToServer
+                                          : Direction::kServerToClient;
+    for (Middlebox* box : china.middleboxes()) {
+      EXPECT_NO_THROW((void)box->on_packet(pkt, dir, inj));
+    }
+    EXPECT_NO_THROW((void)airtel.on_packet(pkt, dir, inj));
+    EXPECT_NO_THROW((void)iran.on_packet(pkt, dir, inj));
+    EXPECT_NO_THROW((void)kazakh.on_packet(pkt, dir, inj));
+  }
+}
+
+TEST_P(FuzzSeed, RandomStrategiesNeverWedgeATrial) {
+  // Any random server-side strategy must leave the simulation terminating
+  // (no infinite retransmission loops, no exceptions), whatever it does to
+  // the poor connection.
+  GeneConfig genes;
+  Rng rng(GetParam());
+  for (int i = 0; i < 8; ++i) {
+    const Strategy strategy = random_strategy(genes, rng);
+    const Country country =
+        all_countries()[rng.index(all_countries().size())];
+    const auto protocols = censored_protocols(country);
+    const AppProtocol proto = protocols[rng.index(protocols.size())];
+
+    Environment::Config config;
+    config.country = country;
+    config.protocol = proto;
+    config.seed = GetParam() * 1000 + static_cast<std::uint64_t>(i);
+    ConnectionOptions options;
+    options.server_strategy = strategy;
+    EXPECT_NO_THROW((void)run_trial(config, options))
+        << strategy.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeed,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+}  // namespace
+}  // namespace caya

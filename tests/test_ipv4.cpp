@@ -1,0 +1,87 @@
+#include "packet/ipv4.h"
+
+#include <gtest/gtest.h>
+
+#include "util/checksum.h"
+
+namespace caya {
+namespace {
+
+TEST(Ipv4Address, ParsesAndPrints) {
+  const auto addr = Ipv4Address::parse("192.168.0.199");
+  EXPECT_EQ(addr.value(), 0xc0a800c7u);
+  EXPECT_EQ(addr.to_string(), "192.168.0.199");
+}
+
+TEST(Ipv4Address, ParsesEdges) {
+  EXPECT_EQ(Ipv4Address::parse("0.0.0.0").value(), 0u);
+  EXPECT_EQ(Ipv4Address::parse("255.255.255.255").value(), 0xffffffffu);
+}
+
+TEST(Ipv4Address, RejectsMalformed) {
+  EXPECT_THROW(Ipv4Address::parse("1.2.3"), std::invalid_argument);
+  EXPECT_THROW(Ipv4Address::parse("1.2.3.4.5"), std::invalid_argument);
+  EXPECT_THROW(Ipv4Address::parse("1.2.3.256"), std::invalid_argument);
+  EXPECT_THROW(Ipv4Address::parse("a.b.c.d"), std::invalid_argument);
+  EXPECT_THROW(Ipv4Address::parse(""), std::invalid_argument);
+}
+
+TEST(Ipv4Header, SerializeParseRoundTrip) {
+  Ipv4Header h;
+  h.src = Ipv4Address::parse("10.0.0.1");
+  h.dst = Ipv4Address::parse("10.0.0.2");
+  h.ttl = 55;
+  h.id = 0x1234;
+  const Bytes wire = h.serialize(100);
+  ASSERT_EQ(wire.size(), 20u);
+
+  std::size_t consumed = 0;
+  const Ipv4Header parsed = Ipv4Header::parse(wire, consumed);
+  EXPECT_EQ(consumed, 20u);
+  EXPECT_EQ(parsed.src, h.src);
+  EXPECT_EQ(parsed.dst, h.dst);
+  EXPECT_EQ(parsed.ttl, 55);
+  EXPECT_EQ(parsed.id, 0x1234);
+  EXPECT_EQ(parsed.total_length, 120);
+}
+
+TEST(Ipv4Header, ChecksumIsValidOnWire) {
+  Ipv4Header h;
+  h.src = Ipv4Address::parse("1.2.3.4");
+  h.dst = Ipv4Address::parse("5.6.7.8");
+  const Bytes wire = h.serialize(0);
+  // Header including its checksum must sum to zero.
+  EXPECT_EQ(internet_checksum(wire), 0);
+}
+
+TEST(Ipv4Header, ChecksumOverrideIsEmittedVerbatim) {
+  Ipv4Header h;
+  h.checksum = 0xbeef;
+  const Bytes wire = h.serialize(0, /*compute_checksum=*/false);
+  EXPECT_EQ(wire[10], 0xbe);
+  EXPECT_EQ(wire[11], 0xef);
+}
+
+TEST(Ipv4Header, LengthOverrideIsEmittedVerbatim) {
+  Ipv4Header h;
+  h.total_length = 9999;
+  const Bytes wire = h.serialize(10, /*compute_checksum=*/true,
+                                 /*compute_length=*/false);
+  EXPECT_EQ((wire[2] << 8 | wire[3]), 9999);
+}
+
+TEST(Ipv4Header, ParseRejectsNonV4) {
+  Bytes wire = Ipv4Header{}.serialize(0);
+  wire[0] = 0x65;  // version 6
+  std::size_t consumed = 0;
+  EXPECT_THROW(Ipv4Header::parse(wire, consumed), std::invalid_argument);
+}
+
+TEST(Ipv4Header, ParseRejectsTruncated) {
+  const Bytes wire = {0x45, 0x00};
+  std::size_t consumed = 0;
+  EXPECT_THROW(Ipv4Header::parse(wire, consumed), ShortReadError);
+}
+
+}  // namespace
+}  // namespace caya

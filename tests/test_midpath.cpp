@@ -1,0 +1,102 @@
+// §8 "Where to Deploy?": the strategies can run at any point between the
+// censor and the server — a reverse proxy, a CDN, or a TapDance-style
+// middlebox. An EngineMiddlebox placed server-side of the censor rewriting
+// server->client packets must be behaviourally equivalent to deploying the
+// engine on the server host itself.
+#include <gtest/gtest.h>
+
+#include "eval/rates.h"
+#include "eval/strategies.h"
+#include "geneva/engine.h"
+#include "geneva/parser.h"
+
+namespace caya {
+namespace {
+
+double midpath_rate(int strategy_id, AppProtocol proto, std::uint64_t seed,
+                    int trials = 60) {
+  RateCounter counter;
+  for (int i = 0; i < trials; ++i) {
+    Environment env({.country = Country::kChina,
+                     .protocol = proto,
+                     .seed = seed + static_cast<std::uint64_t>(i)});
+    // The friendly element sits between the censor (added first by the
+    // Environment) and the server: added last = closest to the server.
+    Engine engine(parsed_strategy(strategy_id),
+                  Rng(seed * 31 + static_cast<std::uint64_t>(i)));
+    EngineMiddlebox cdn(engine, Direction::kServerToClient);
+    env.network().add_middlebox(&cdn);
+    counter.record(env.run_connection({}).success);  // NO server strategy
+  }
+  return counter.rate();
+}
+
+double serverside_rate(int strategy_id, AppProtocol proto,
+                       std::uint64_t seed, int trials = 60) {
+  RateOptions options;
+  options.trials = static_cast<std::size_t>(trials);
+  options.base_seed = seed;
+  return measure_rate(Country::kChina, proto, parsed_strategy(strategy_id),
+                      options)
+      .rate();
+}
+
+TEST(MidPath, Strategy1EquivalentToServerSide) {
+  const double mid = midpath_rate(1, AppProtocol::kHttp, 5000);
+  const double srv = serverside_rate(1, AppProtocol::kHttp, 6000);
+  EXPECT_NEAR(mid, srv, 0.2);
+  EXPECT_GT(mid, 0.35);
+}
+
+TEST(MidPath, Strategy8EquivalentToServerSide) {
+  const double mid = midpath_rate(8, AppProtocol::kSmtp, 7000, 30);
+  EXPECT_DOUBLE_EQ(mid, 1.0);
+}
+
+TEST(MidPath, RewriterOnlyTouchesItsConfiguredDirection) {
+  // A strategy that drops packets destined to the server's port matches
+  // only client->server traffic. Attached for that direction it starves
+  // the server and the connection fails; attached for server->client it is
+  // inert and the (uncensored, off-port India) connection succeeds.
+  auto run = [](Direction dir, std::uint64_t seed) {
+    Environment env({.country = Country::kIndia,
+                     .protocol = AppProtocol::kHttp,
+                     .seed = seed,
+                     .server_port = 8080});  // off-port: India won't censor
+    Engine engine(parse_strategy("[TCP:dport:8080]-drop-| \\/"), Rng(1));
+    EngineMiddlebox box(engine, dir);
+    env.network().add_middlebox(&box);
+    return env.run_connection({}).success;
+  };
+  EXPECT_FALSE(run(Direction::kClientToServer, 1));
+  EXPECT_TRUE(run(Direction::kServerToClient, 2));
+}
+
+TEST(MidPath, PassThroughRewriterIsTransparent) {
+  // An engine whose strategy matches nothing must not perturb baseline
+  // behaviour at all.
+  RateCounter with_box;
+  RateCounter without_box;
+  for (int i = 0; i < 30; ++i) {
+    const std::uint64_t seed = 9000 + static_cast<std::uint64_t>(i);
+    {
+      Environment env({.country = Country::kChina,
+                       .protocol = AppProtocol::kHttp,
+                       .seed = seed});
+      Engine engine(Strategy{}, Rng(1));  // no rules: everything passes
+      EngineMiddlebox cdn(engine, Direction::kServerToClient);
+      env.network().add_middlebox(&cdn);
+      with_box.record(env.run_connection({}).success);
+    }
+    {
+      Environment env({.country = Country::kChina,
+                       .protocol = AppProtocol::kHttp,
+                       .seed = seed});
+      without_box.record(env.run_connection({}).success);
+    }
+  }
+  EXPECT_EQ(with_box.successes(), without_box.successes());
+}
+
+}  // namespace
+}  // namespace caya

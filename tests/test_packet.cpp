@@ -1,0 +1,72 @@
+#include "packet/packet.h"
+
+#include <gtest/gtest.h>
+
+namespace caya {
+namespace {
+
+Packet sample() {
+  return make_tcp_packet(Ipv4Address::parse("10.0.0.1"), 3822,
+                         Ipv4Address::parse("10.0.0.2"), 80,
+                         tcpflag::kPsh | tcpflag::kAck, 1001, 2001,
+                         to_bytes("GET /?q=ultrasurf HTTP/1.1\r\n\r\n"));
+}
+
+TEST(Packet, SerializeParseRoundTrip) {
+  const Packet pkt = sample();
+  const Bytes wire = pkt.serialize();
+  const Packet parsed = Packet::parse(wire);
+  EXPECT_EQ(parsed.ip.src, pkt.ip.src);
+  EXPECT_EQ(parsed.tcp.sport, 3822);
+  EXPECT_EQ(parsed.tcp.seq, 1001u);
+  EXPECT_EQ(parsed.payload, pkt.payload);
+  // A parsed packet re-serializes byte-for-byte.
+  EXPECT_EQ(parsed.serialize(), wire);
+}
+
+TEST(Packet, FreshPacketHasValidChecksums) {
+  const Packet pkt = sample();
+  EXPECT_TRUE(pkt.tcp_checksum_valid());
+  EXPECT_TRUE(pkt.ip_checksum_valid());
+  const Packet parsed = Packet::parse(pkt.serialize());
+  EXPECT_TRUE(parsed.tcp_checksum_valid());
+  EXPECT_TRUE(parsed.ip_checksum_valid());
+}
+
+TEST(Packet, CorruptedChecksumDetected) {
+  Packet pkt = sample();
+  pkt.tcp.checksum = 0x1234;
+  pkt.tcp_checksum_overridden = true;
+  EXPECT_FALSE(pkt.tcp_checksum_valid());
+  // ...and survives a wire round trip as invalid.
+  const Packet parsed = Packet::parse(pkt.serialize());
+  EXPECT_FALSE(parsed.tcp_checksum_valid());
+}
+
+TEST(Packet, SequenceLengthCountsSynFinAndPayload) {
+  Packet pkt = sample();
+  EXPECT_EQ(pkt.sequence_length(), pkt.payload.size());
+  pkt.tcp.flags = tcpflag::kSyn;
+  EXPECT_EQ(pkt.sequence_length(), pkt.payload.size() + 1);
+  pkt.tcp.flags = tcpflag::kSyn | tcpflag::kFin;
+  EXPECT_EQ(pkt.sequence_length(), pkt.payload.size() + 2);
+}
+
+TEST(Packet, SummaryMentionsEndpointsAndFlags) {
+  const std::string s = sample().summary();
+  EXPECT_NE(s.find("10.0.0.1:3822"), std::string::npos);
+  EXPECT_NE(s.find("10.0.0.2:80"), std::string::npos);
+  EXPECT_NE(s.find("[PA]"), std::string::npos);
+  EXPECT_NE(s.find("len=30"), std::string::npos);
+}
+
+TEST(Packet, TamperedPayloadStillSerializes) {
+  Packet pkt = sample();
+  pkt.payload = to_bytes("x");
+  const Packet parsed = Packet::parse(pkt.serialize());
+  EXPECT_EQ(to_string(parsed.payload), "x");
+  EXPECT_TRUE(parsed.tcp_checksum_valid());
+}
+
+}  // namespace
+}  // namespace caya

@@ -1,0 +1,182 @@
+#include "geneva/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/strategies.h"
+#include "packet/dns.h"
+
+namespace caya {
+namespace {
+
+Packet synack() {
+  Packet pkt = make_tcp_packet(Ipv4Address::parse("93.184.216.34"), 80,
+                               Ipv4Address::parse("10.0.0.2"), 40000,
+                               tcpflag::kSyn | tcpflag::kAck, 50000, 10001);
+  pkt.tcp.set_option(TcpOption::kWindowScale, {7});
+  return pkt;
+}
+
+TEST(Parser, MinimalStrategy) {
+  const Strategy s = parse_strategy("[TCP:flags:SA]-drop-| \\/");
+  ASSERT_EQ(s.outbound.size(), 1u);
+  EXPECT_TRUE(s.inbound.empty());
+  EXPECT_EQ(s.outbound[0].trigger.field, "flags");
+  EXPECT_EQ(s.outbound[0].trigger.value, "SA");
+}
+
+TEST(Parser, EmptyActionMeansSend) {
+  const Strategy s = parse_strategy("[TCP:flags:SA]--| \\/");
+  ASSERT_EQ(s.outbound.size(), 1u);
+  EXPECT_EQ(s.outbound[0].root, nullptr);
+}
+
+TEST(Parser, InboundSide) {
+  const Strategy s =
+      parse_strategy("[TCP:flags:SA]-drop-| \\/ [TCP:flags:R]-drop-|");
+  EXPECT_EQ(s.outbound.size(), 1u);
+  EXPECT_EQ(s.inbound.size(), 1u);
+  EXPECT_EQ(s.inbound[0].trigger.value, "R");
+}
+
+TEST(Parser, BackslashVeeOptional) {
+  const Strategy s = parse_strategy("[TCP:flags:SA]-drop-|");
+  EXPECT_EQ(s.outbound.size(), 1u);
+}
+
+TEST(Parser, WhitespaceAndNewlinesTolerated) {
+  const Strategy s = parse_strategy(
+      "[TCP:flags:SA]-\n  duplicate(\n    tamper{TCP:flags:replace:R},\n"
+      "    tamper{TCP:flags:replace:S})-| \\/");
+  ASSERT_EQ(s.outbound.size(), 1u);
+  EXPECT_EQ(s.outbound[0].root->size(), 3u);
+}
+
+TEST(Parser, TamperValueKeepsSpacesAndSlashes) {
+  const Strategy s = parse_strategy(
+      "[TCP:flags:SA]-tamper{TCP:load:replace:GET / HTTP1.}-| \\/");
+  Rng rng(1);
+  const auto out = s.apply_outbound(synack(), rng);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(to_string(out[0].payload), "GET / HTTP1.");
+}
+
+TEST(Parser, TamperValueMayContainColons) {
+  const Strategy s = parse_strategy(
+      "[TCP:flags:SA]-tamper{TCP:load:replace:a:b:c}-| \\/");
+  Rng rng(1);
+  const auto out = s.apply_outbound(synack(), rng);
+  EXPECT_EQ(to_string(out[0].payload), "a:b:c");
+}
+
+TEST(Parser, RejectsUnknownAction) {
+  EXPECT_THROW(parse_strategy("[TCP:flags:SA]-explode-| \\/"), ParseError);
+}
+
+TEST(Parser, RejectsUnknownField) {
+  EXPECT_THROW(parse_strategy("[TCP:bogus:SA]-drop-| \\/"), ParseError);
+  EXPECT_THROW(
+      parse_strategy("[TCP:flags:SA]-tamper{TCP:bogus:corrupt}-| \\/"),
+      ParseError);
+}
+
+TEST(Parser, RejectsUnknownTamperMode) {
+  EXPECT_THROW(
+      parse_strategy("[TCP:flags:SA]-tamper{TCP:flags:melt:S}-| \\/"),
+      ParseError);
+}
+
+TEST(Parser, RejectsTrailingGarbage) {
+  EXPECT_THROW(parse_strategy("[TCP:flags:SA]-drop-| extra"), ParseError);
+}
+
+TEST(Parser, RejectsUnbalancedParens) {
+  EXPECT_THROW(parse_strategy("[TCP:flags:SA]-duplicate(drop,-| \\/"),
+               ParseError);
+}
+
+TEST(Parser, RejectsChildrenOnLeaves) {
+  EXPECT_THROW(parse_strategy("[TCP:flags:SA]-drop(send,)-| \\/"),
+               ParseError);
+  EXPECT_THROW(parse_strategy("[TCP:flags:SA]-send(drop,)-| \\/"),
+               ParseError);
+}
+
+TEST(Parser, RejectsTamperWithTwoChildren) {
+  EXPECT_THROW(parse_strategy(
+                   "[TCP:flags:SA]-tamper{TCP:flags:replace:R}(send,drop)-| "
+                   "\\/"),
+               ParseError);
+}
+
+TEST(Parser, FragmentSpecParsed) {
+  const ActionPtr a = parse_action("fragment{TCP:8:False}(drop,)");
+  auto* frag = dynamic_cast<FragmentAction*>(a.get());
+  ASSERT_NE(frag, nullptr);
+  EXPECT_EQ(frag->proto(), Proto::kTcp);
+  EXPECT_EQ(frag->offset(), 8u);
+  EXPECT_FALSE(frag->in_order());
+}
+
+TEST(Parser, FragmentRejectsBadSpec) {
+  EXPECT_THROW((void)parse_action("fragment{TCP:x:True}"), ParseError);
+  EXPECT_THROW((void)parse_action("fragment{TCP:8:maybe}"), ParseError);
+  EXPECT_THROW((void)parse_action("fragment{TCP:8}"), ParseError);
+}
+
+TEST(Parser, ParseErrorCarriesPosition) {
+  try {
+    (void)parse_strategy("[TCP:flags:SA]-explode-|");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_GT(e.position(), 10u);
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+  }
+}
+
+
+TEST(Parser, DnsTamperInDsl) {
+  // The appendix's DNS extension end-to-end through the DSL: rewrite the
+  // qname inside a DNS-over-TCP payload.
+  const Strategy s = parse_strategy(
+      "[TCP:dport:53]-tamper{DNS:qname:replace:benign.example}-| \\/");
+  Packet pkt = make_tcp_packet(Ipv4Address::parse("10.0.0.1"), 40000,
+                               Ipv4Address::parse("8.8.8.8"), 53,
+                               tcpflag::kPsh | tcpflag::kAck, 1, 1);
+  set_field(pkt, Proto::kDns, "qname", "x");  // no-op (payload empty)
+  pkt.payload = build_dns_query({.id = 7, .qname = "www.wikipedia.org"});
+  Rng rng(1);
+  const auto out = s.apply_outbound(pkt, rng);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(get_field(out[0], Proto::kDns, "qname"), "benign.example");
+}
+
+// Round-trip property: every published strategy parses, prints, and
+// re-parses to an identical tree.
+class PublishedStrategyRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(PublishedStrategyRoundTrip, ParsePrintReparse) {
+  const auto& published = published_strategy(GetParam());
+  const Strategy first = parse_strategy(published.dsl);
+  const std::string printed = first.to_string();
+  const Strategy second = parse_strategy(printed);
+  EXPECT_EQ(second.to_string(), printed);
+  EXPECT_EQ(second.size(), first.size());
+}
+
+TEST_P(PublishedStrategyRoundTrip, AppliesDeterministically) {
+  const Strategy s = parsed_strategy(GetParam());
+  Rng rng_a(5);
+  Rng rng_b(5);
+  const auto out_a = s.apply_outbound(synack(), rng_a);
+  const auto out_b = s.apply_outbound(synack(), rng_b);
+  ASSERT_EQ(out_a.size(), out_b.size());
+  for (std::size_t i = 0; i < out_a.size(); ++i) {
+    EXPECT_EQ(out_a[i].serialize(), out_b[i].serialize());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEleven, PublishedStrategyRoundTrip,
+                         ::testing::Range(1, 12));
+
+}  // namespace
+}  // namespace caya

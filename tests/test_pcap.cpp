@@ -1,0 +1,81 @@
+#include "netsim/pcap.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "packet/packet.h"
+
+namespace caya {
+namespace {
+
+Trace sample_trace() {
+  Trace trace;
+  Packet syn = make_tcp_packet(Ipv4Address::parse("10.0.0.1"), 40000,
+                               Ipv4Address::parse("93.184.216.34"), 80,
+                               tcpflag::kSyn, 1000, 0);
+  Packet data = make_tcp_packet(Ipv4Address::parse("10.0.0.1"), 40000,
+                                Ipv4Address::parse("93.184.216.34"), 80,
+                                tcpflag::kPsh | tcpflag::kAck, 1001, 5001,
+                                to_bytes("GET / HTTP/1.1\r\n\r\n"));
+  trace.record({duration::ms(6), TracePoint::kCensorSaw,
+                Direction::kClientToServer, syn, ""});
+  trace.record({duration::sec(2) + 123, TracePoint::kCensorSaw,
+                Direction::kClientToServer, data, ""});
+  trace.record({duration::ms(1), TracePoint::kClientSent,
+                Direction::kClientToServer, syn, ""});  // different point
+  return trace;
+}
+
+TEST(Pcap, RoundTrip) {
+  const Trace trace = sample_trace();
+  const Bytes pcap = to_pcap(trace);
+  const auto records = from_pcap(pcap);
+  ASSERT_EQ(records.size(), 2u);  // only kCensorSaw events
+  EXPECT_EQ(records[0].at, duration::ms(6));
+  EXPECT_EQ(records[1].at, duration::sec(2) + 123);
+
+  // Payload bytes survive and re-parse as the original packet.
+  const Packet parsed = Packet::parse(records[1].data);
+  EXPECT_EQ(parsed.tcp.dport, 80);
+  EXPECT_EQ(to_string(parsed.payload), "GET / HTTP/1.1\r\n\r\n");
+  EXPECT_TRUE(parsed.tcp_checksum_valid());
+}
+
+TEST(Pcap, HeaderFields) {
+  const Bytes pcap = to_pcap(sample_trace());
+  ASSERT_GE(pcap.size(), 24u);
+  // Little-endian magic 0xa1b2c3d4.
+  EXPECT_EQ(pcap[0], 0xd4);
+  EXPECT_EQ(pcap[3], 0xa1);
+  // Linktype RAW (101) at offset 20.
+  EXPECT_EQ(pcap[20], 101);
+}
+
+TEST(Pcap, SelectablePoint) {
+  const Bytes pcap = to_pcap(sample_trace(), TracePoint::kClientSent);
+  EXPECT_EQ(from_pcap(pcap).size(), 1u);
+}
+
+TEST(Pcap, RejectsGarbage) {
+  const Bytes garbage = to_bytes("definitely not a pcap");
+  EXPECT_THROW((void)from_pcap(garbage), std::invalid_argument);
+  Bytes truncated = to_pcap(sample_trace());
+  truncated.resize(truncated.size() - 3);
+  EXPECT_THROW((void)from_pcap(truncated), std::invalid_argument);
+}
+
+TEST(Pcap, WriteFile) {
+  const std::string path = ::testing::TempDir() + "/caya_test.pcap";
+  write_pcap_file(path, sample_trace());
+  std::ifstream file(path, std::ios::binary);
+  ASSERT_TRUE(file.good());
+  Bytes data((std::istreambuf_iterator<char>(file)),
+             std::istreambuf_iterator<char>());
+  EXPECT_EQ(from_pcap(data).size(), 2u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace caya

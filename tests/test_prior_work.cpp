@@ -1,0 +1,128 @@
+// Cross-validation against prior work's client-side findings that the paper
+// builds on:
+//   * Wang et al.: the GFW reassembles TCP segments for HTTP — client-side
+//     segmentation fails against China — but (this paper's refinement) the
+//     FTP/SMTP boxes frequently cannot, and the India/Iran/Kazakhstan
+//     middleboxes never can, so segmentation works there.
+//   * brdgrd's window-reduction became defunct against Chinese HTTP when
+//     reassembly was added in 2013 — our HTTP box reproduces that.
+//   * §6: the GFW never "fails closed" — garbage it cannot parse passes.
+#include <gtest/gtest.h>
+
+#include "eval/rates.h"
+#include "eval/strategies.h"
+#include "geneva/parser.h"
+
+namespace caya {
+namespace {
+
+/// Client-side segmentation species: split every outbound request packet.
+Strategy client_segmentation() {
+  return parse_strategy("[TCP:flags:PA]-fragment{TCP:8:True}-| \\/");
+}
+
+double rate(Country country, AppProtocol proto,
+            const std::optional<Strategy>& client_strategy,
+            std::uint64_t seed) {
+  RateCounter counter;
+  for (int i = 0; i < 40; ++i) {
+    Environment env({.country = country,
+                     .protocol = proto,
+                     .seed = seed + static_cast<std::uint64_t>(i)});
+    ConnectionOptions options;
+    options.client_strategy = client_strategy;
+    counter.record(env.run_connection(options).success);
+  }
+  return counter.rate();
+}
+
+TEST(PriorWork, ClientSegmentationFailsAgainstChinaHttp) {
+  // Wang et al.: the HTTP GFW reassembles; brdgrd-era tricks are dead.
+  EXPECT_LT(rate(Country::kChina, AppProtocol::kHttp, client_segmentation(),
+                 11'000),
+            0.15);
+}
+
+TEST(PriorWork, ClientSegmentationWorksAgainstChinaSmtp) {
+  // This paper's refinement: the SMTP box cannot reassemble.
+  EXPECT_GT(rate(Country::kChina, AppProtocol::kSmtp, client_segmentation(),
+                 12'000),
+            0.9);
+}
+
+TEST(PriorWork, ClientSegmentationWorksOutsideChina) {
+  EXPECT_GT(rate(Country::kIndia, AppProtocol::kHttp, client_segmentation(),
+                 13'000),
+            0.9);
+  EXPECT_GT(rate(Country::kIran, AppProtocol::kHttp, client_segmentation(),
+                 14'000),
+            0.9);
+  EXPECT_GT(rate(Country::kKazakhstan, AppProtocol::kHttp,
+                 client_segmentation(), 15'000),
+            0.9);
+}
+
+TEST(PriorWork, SegmentationHasNoServerSideAnalogByConstruction) {
+  // §3 discarded 11 strategies "with no obvious server-side analog" such
+  // as segmentation: the server cannot segment the *client's* request.
+  // The nearest server-side translation — segmenting the SYN+ACK — does
+  // nothing (no payload to split) and does not evade.
+  const Strategy analog =
+      parse_strategy("[TCP:flags:SA]-fragment{TCP:8:True}-| \\/");
+  RateCounter counter;
+  for (int i = 0; i < 40; ++i) {
+    Environment env({.country = Country::kChina,
+                     .protocol = AppProtocol::kHttp,
+                     .seed = 16'000 + static_cast<std::uint64_t>(i)});
+    ConnectionOptions options;
+    options.server_strategy = analog;
+    counter.record(env.run_connection(options).success);
+  }
+  EXPECT_LT(counter.rate(), 0.15);
+}
+
+TEST(PriorWork, GfwNeverFailsClosed) {
+  // §6: the GFW never defaults to censorship when it cannot parse a flow —
+  // with five boxes sharing the tap, a fail-closed box would destroy every
+  // connection. Drive all five boxes with a flow speaking pure garbage:
+  // none may censor it.
+  ChinaCensor china({}, Rng(1));
+  class NullInjector : public Injector {
+   public:
+    void inject(Packet, Direction) override {}
+    [[nodiscard]] Time now() const override { return 0; }
+  } inj;
+
+  const Ipv4Address client = Ipv4Address::parse("101.6.8.2");
+  const Ipv4Address server = Ipv4Address::parse("93.184.216.34");
+  Rng rng(7);
+  auto send_all = [&](const Packet& pkt, Direction dir) {
+    for (Middlebox* box : china.middleboxes()) {
+      (void)box->on_packet(pkt, dir, inj);
+    }
+  };
+  send_all(make_tcp_packet(client, 40000, server, 80, tcpflag::kSyn, 1000,
+                           0),
+           Direction::kClientToServer);
+  send_all(make_tcp_packet(server, 80, client, 40000,
+                           tcpflag::kSyn | tcpflag::kAck, 5000, 1001),
+           Direction::kServerToClient);
+  send_all(make_tcp_packet(client, 40000, server, 80, tcpflag::kAck, 1001,
+                           5001),
+           Direction::kClientToServer);
+  std::uint32_t seq = 1001;
+  for (int i = 0; i < 10; ++i) {
+    const Bytes garbage = rng.bytes(40);
+    send_all(make_tcp_packet(client, 40000, server, 80,
+                             tcpflag::kPsh | tcpflag::kAck, seq, 5001,
+                             garbage),
+             Direction::kClientToServer);
+    seq += 40;
+  }
+  for (const AppProtocol proto : all_protocols()) {
+    EXPECT_EQ(china.box(proto).censored_count(), 0u) << to_string(proto);
+  }
+}
+
+}  // namespace
+}  // namespace caya

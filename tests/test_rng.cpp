@@ -1,0 +1,80 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace caya {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform(0, 1'000'000), b.uniform(0, 1'000'000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform(0, 1'000'000) == b.uniform(0, 1'000'000)) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceIsRoughlyCalibrated) {
+  Rng rng(123);
+  int hits = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  const double rate = static_cast<double>(hits) / kTrials;
+  EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(Rng, BytesProducesRequestedLength) {
+  Rng rng(9);
+  EXPECT_EQ(rng.bytes(16).size(), 16u);
+  EXPECT_TRUE(rng.bytes(0).empty());
+}
+
+TEST(Rng, PickCoversAllElements) {
+  Rng rng(5);
+  const std::vector<int> xs = {1, 2, 3, 4};
+  std::set<int> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.pick(xs));
+  EXPECT_EQ(seen.size(), xs.size());
+}
+
+TEST(Rng, ForkIsIndependentOfParentDraws) {
+  Rng a(42);
+  Rng child = a.fork();
+  // The child must be deterministic given the parent's seed...
+  Rng b(42);
+  Rng child2 = b.fork();
+  EXPECT_EQ(child.uniform(0, 1'000'000), child2.uniform(0, 1'000'000));
+}
+
+}  // namespace
+}  // namespace caya

@@ -1,0 +1,68 @@
+#include "geneva/species.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/strategies.h"
+#include "geneva/mutation.h"
+#include "geneva/parser.h"
+
+namespace caya {
+namespace {
+
+TEST(Species, SameStrategySameFingerprint) {
+  const Strategy a = parsed_strategy(1);
+  const Strategy b = parsed_strategy(1);
+  EXPECT_EQ(strategy_fingerprint(a), strategy_fingerprint(b));
+}
+
+TEST(Species, PublishedStrategiesAreDistinctSpecies) {
+  std::vector<Strategy> all;
+  for (const auto& s : published_strategies()) {
+    all.push_back(parse_strategy(s.dsl));
+  }
+  EXPECT_EQ(distinct_species(all).size(), all.size());
+}
+
+TEST(Species, SyntacticVariantsCollapse) {
+  // "send" leaves and null (implicit-send) slots are behaviourally equal.
+  const Strategy a = parse_strategy("[TCP:flags:SA]-duplicate(,)-| \\/");
+  const Strategy b =
+      parse_strategy("[TCP:flags:SA]-duplicate(send,send)-| \\/");
+  EXPECT_EQ(strategy_fingerprint(a), strategy_fingerprint(b));
+  EXPECT_EQ(distinct_species({a, b}).size(), 1u);
+}
+
+TEST(Species, NoOpRuleEqualsEmptyBehaviour) {
+  const Strategy a = parse_strategy("[TCP:flags:SA]-send-| \\/");
+  const Strategy b = parse_strategy("\\/");
+  EXPECT_EQ(strategy_fingerprint(a), strategy_fingerprint(b));
+}
+
+TEST(Species, DifferentTriggersDiffer) {
+  const Strategy a = parse_strategy("[TCP:flags:SA]-drop-| \\/");
+  const Strategy b = parse_strategy("[TCP:flags:S]-drop-| \\/");
+  EXPECT_NE(strategy_fingerprint(a), strategy_fingerprint(b));
+}
+
+TEST(Species, InboundOutboundDiffer) {
+  const Strategy a = parse_strategy("[TCP:flags:R]-drop-| \\/");
+  const Strategy b = parse_strategy("\\/ [TCP:flags:R]-drop-|");
+  EXPECT_NE(strategy_fingerprint(a), strategy_fingerprint(b));
+}
+
+TEST(Species, RandomPopulationCollapses) {
+  // A random population always contains behavioural duplicates (drop-only
+  // trees, plain sends, etc.): dedup must shrink it.
+  GeneConfig config;
+  Rng rng(12);
+  std::vector<Strategy> population;
+  for (int i = 0; i < 200; ++i) {
+    population.push_back(random_strategy(config, rng));
+  }
+  const auto species = distinct_species(population);
+  EXPECT_LT(species.size(), population.size());
+  EXPECT_GT(species.size(), 10u);
+}
+
+}  // namespace
+}  // namespace caya

@@ -1,0 +1,258 @@
+// Additional TCP endpoint coverage: teardown paths, window negotiation
+// combinations, handshake packet ordering, and retransmission edge cases.
+#include <gtest/gtest.h>
+
+#include "netsim/network.h"
+#include "tcpstack/tcp_endpoint.h"
+
+namespace caya {
+namespace {
+
+const Ipv4Address kClientAddr = Ipv4Address::parse("10.0.0.1");
+const Ipv4Address kServerAddr = Ipv4Address::parse("93.184.216.34");
+
+struct Pair {
+  EventLoop loop;
+  Network net{loop, Network::Config{}, Rng(1)};
+  TcpEndpoint client;
+  TcpEndpoint server;
+
+  explicit Pair(TcpEndpoint::Config server_extra = {})
+      : client(loop,
+               {.local_addr = kClientAddr,
+                .local_port = 3822,
+                .remote_addr = kServerAddr,
+                .remote_port = 80,
+                .isn = 1000},
+               [this](Packet p) { net.send_from_client(std::move(p)); }),
+        server(loop,
+               [&] {
+                 TcpEndpoint::Config c = server_extra;
+                 c.local_addr = kServerAddr;
+                 c.local_port = 80;
+                 c.isn = 5000;
+                 return c;
+               }(),
+               [this](Packet p) { net.send_from_server(std::move(p)); }) {
+    net.set_client(&client);
+    net.set_server(&server);
+    server.listen();
+  }
+};
+
+TEST(TcpEndpointMore, HandshakeAckPrecedesRequestOnTheWire) {
+  // Real stacks emit the pure handshake ACK before the application's first
+  // data segment — §3's "on A" teardown strategies depend on it.
+  Pair p;
+  p.client.on_established = [&] { p.client.send_data(to_bytes("request")); };
+  p.client.connect();
+  p.loop.run();
+  std::vector<std::string> kinds;
+  for (const auto& ev : p.net.trace().at(TracePoint::kClientSent)) {
+    kinds.push_back(flags_to_string(ev.packet.tcp.flags) +
+                    (ev.packet.payload.empty() ? "" : "+data"));
+  }
+  ASSERT_GE(kinds.size(), 3u);
+  EXPECT_EQ(kinds[0], "S");
+  EXPECT_EQ(kinds[1], "A");
+  EXPECT_EQ(kinds[2], "PA+data");
+}
+
+TEST(TcpEndpointMore, SimultaneousCloseReachesQuiescence) {
+  Pair p;
+  p.client.on_established = [&] { p.client.close(); };
+  p.server.on_remote_close = [&] { p.server.close(); };
+  p.client.connect();
+  p.loop.run();
+  EXPECT_TRUE(p.client.state() == TcpState::kTimeWait ||
+              p.client.state() == TcpState::kClosed);
+  EXPECT_EQ(p.server.state(), TcpState::kClosed);
+  EXPECT_TRUE(p.loop.empty());
+}
+
+TEST(TcpEndpointMore, HalfCloseStillDeliversData) {
+  // Client FINs right after its request; the server can still respond into
+  // the half-open direction.
+  Pair p;
+  p.client.on_established = [&] {
+    p.client.send_data(to_bytes("req"));
+    p.client.close();
+  };
+  p.server.on_remote_close = [&] {
+    p.server.send_data(to_bytes("late response"));
+    p.server.close();
+  };
+  p.client.connect();
+  p.loop.run();
+  EXPECT_EQ(to_string(p.client.received()), "late response");
+}
+
+TEST(TcpEndpointMore, AbortSendsRst) {
+  Pair p;
+  p.client.connect();
+  p.loop.run();
+  ASSERT_EQ(p.server.state(), TcpState::kEstablished);
+  p.client.abort();
+  p.loop.run();
+  EXPECT_EQ(p.client.state(), TcpState::kClosed);
+  EXPECT_EQ(p.server.state(), TcpState::kClosed);  // RST accepted
+  EXPECT_TRUE(p.server.was_reset());
+}
+
+TEST(TcpEndpointMore, WscaleNegotiatedWindowIsScaled) {
+  TcpEndpoint::Config extra;
+  extra.advertised_window = 1000;
+  extra.window_scale = 3;  // effective 8000 after handshake packets
+  Pair p(extra);
+  Bytes big(20000, 'x');
+  p.client.on_established = [&] { p.client.send_data(big); };
+  p.client.connect();
+  p.loop.run();
+  EXPECT_EQ(p.server.received().size(), big.size());
+}
+
+TEST(TcpEndpointMore, NoWscaleInSynAckDisablesScalingBothWays) {
+  // Client offers wscale; server's SYN+ACK omits it (e.g. Strategy 8
+  // stripped it): scaling must be off for the whole connection.
+  TcpEndpoint::Config extra;
+  extra.advertised_window = 100;
+  extra.window_scale = std::nullopt;
+  Pair p(extra);
+  Bytes data(1000, 'y');
+  p.client.on_established = [&] { p.client.send_data(data); };
+  p.client.connect();
+  p.loop.run();
+  EXPECT_EQ(p.server.received().size(), data.size());
+  // First flight limited to the unscaled 100 bytes.
+  for (const auto& ev : p.net.trace().at(TracePoint::kClientSent)) {
+    if (!ev.packet.payload.empty()) {
+      EXPECT_LE(ev.packet.payload.size(), 100u);
+      break;
+    }
+  }
+}
+
+TEST(TcpEndpointMore, ZeroWindowStillMakesProgress) {
+  // A zero advertised window is clamped to 1 byte so the sim can't stall
+  // forever (real stacks use window probes).
+  TcpEndpoint::Config extra;
+  extra.advertised_window = 0;
+  extra.window_scale = std::nullopt;
+  Pair p(extra);
+  p.client.on_established = [&] { p.client.send_data(to_bytes("abc")); };
+  p.client.connect();
+  p.loop.run();
+  EXPECT_EQ(to_string(p.server.received()), "abc");
+}
+
+TEST(TcpEndpointMore, DuplicateDataDeliveredOnce) {
+  Pair p;
+  p.client.connect();
+  p.loop.run();
+  const Packet data = make_tcp_packet(kServerAddr, 80, kClientAddr, 3822,
+                                      tcpflag::kPsh | tcpflag::kAck,
+                                      p.client.rcv_nxt(), 1001,
+                                      to_bytes("once"));
+  p.client.deliver(data);
+  p.client.deliver(data);  // exact duplicate
+  EXPECT_EQ(to_string(p.client.received()), "once");
+}
+
+TEST(TcpEndpointMore, OverlappingSegmentTrimmed) {
+  Pair p;
+  p.client.connect();
+  p.loop.run();
+  const std::uint32_t base = p.client.rcv_nxt();
+  p.client.deliver(make_tcp_packet(kServerAddr, 80, kClientAddr, 3822,
+                                   tcpflag::kPsh | tcpflag::kAck, base, 1001,
+                                   to_bytes("hello")));
+  // Overlaps the last two bytes and adds three new ones.
+  p.client.deliver(make_tcp_packet(kServerAddr, 80, kClientAddr, 3822,
+                                   tcpflag::kPsh | tcpflag::kAck, base + 3,
+                                   1001, to_bytes("loworld")));
+  EXPECT_EQ(to_string(p.client.received()), "helloworld");
+}
+
+TEST(TcpEndpointMore, SynRetransmittedWhenSynAckLost) {
+  EventLoop loop;
+  int syns = 0;
+  TcpEndpoint client(loop,
+                     {.local_addr = kClientAddr,
+                      .local_port = 3822,
+                      .remote_addr = kServerAddr,
+                      .remote_port = 80,
+                      .isn = 1000},
+                     [&](Packet p) {
+                       if (has_flag(p.tcp.flags, tcpflag::kSyn)) ++syns;
+                     });
+  client.connect();
+  loop.run();
+  EXPECT_GE(syns, 3);  // original + retransmissions before giving up
+}
+
+TEST(TcpEndpointMore, RetransmitBackoffDoubles) {
+  EventLoop loop;
+  std::vector<Time> sent_at;
+  TcpEndpoint client(loop,
+                     {.local_addr = kClientAddr,
+                      .local_port = 3822,
+                      .remote_addr = kServerAddr,
+                      .remote_port = 80,
+                      .isn = 1000,
+                      .rto = duration::ms(100),
+                      .max_retransmits = 3},
+                     [&](Packet) { sent_at.push_back(loop.now()); });
+  client.connect();
+  loop.run();
+  ASSERT_GE(sent_at.size(), 3u);
+  const Time gap1 = sent_at[1] - sent_at[0];
+  const Time gap2 = sent_at[2] - sent_at[1];
+  EXPECT_GE(gap2, gap1 * 2);
+}
+
+TEST(TcpEndpointMore, ListenIgnoresNonSyn) {
+  EventLoop loop;
+  std::vector<Packet> sent;
+  TcpEndpoint server(loop,
+                     {.local_addr = kServerAddr, .local_port = 80,
+                      .isn = 5000},
+                     [&](Packet p) { sent.push_back(std::move(p)); });
+  server.listen();
+  server.deliver(make_tcp_packet(kClientAddr, 3822, kServerAddr, 80,
+                                 tcpflag::kAck, 1, 1));
+  server.deliver(make_tcp_packet(kClientAddr, 3822, kServerAddr, 80,
+                                 tcpflag::kRst, 1, 0));
+  server.deliver(make_tcp_packet(kClientAddr, 3822, kServerAddr, 80,
+                                 tcpflag::kSyn | tcpflag::kAck, 1, 1));
+  EXPECT_EQ(server.state(), TcpState::kListen);
+  EXPECT_TRUE(sent.empty());
+}
+
+TEST(TcpEndpointMore, WindowsProfileStillCompletesBenignTransfer) {
+  // The Windows profile differences only matter for SYN+ACK payloads; a
+  // clean connection behaves identically.
+  EventLoop loop;
+  Network net{loop, Network::Config{}, Rng(1)};
+  TcpEndpoint client(loop,
+                     {.local_addr = kClientAddr,
+                      .local_port = 3822,
+                      .remote_addr = kServerAddr,
+                      .remote_port = 80,
+                      .isn = 1000,
+                      .os = OsProfile::windows_default()},
+                     [&](Packet p) { net.send_from_client(std::move(p)); });
+  TcpEndpoint server(loop,
+                     {.local_addr = kServerAddr, .local_port = 80,
+                      .isn = 5000},
+                     [&](Packet p) { net.send_from_server(std::move(p)); });
+  net.set_client(&client);
+  net.set_server(&server);
+  server.listen();
+  client.on_established = [&] { client.send_data(to_bytes("from windows")); };
+  client.connect();
+  loop.run();
+  EXPECT_EQ(to_string(server.received()), "from windows");
+}
+
+}  // namespace
+}  // namespace caya

@@ -1,0 +1,46 @@
+#include "packet/tcp_flags.h"
+
+#include <gtest/gtest.h>
+
+namespace caya {
+namespace {
+
+TEST(TcpFlags, ToStringCanonicalOrder) {
+  EXPECT_EQ(flags_to_string(tcpflag::kSyn | tcpflag::kAck), "SA");
+  EXPECT_EQ(flags_to_string(tcpflag::kFin | tcpflag::kPsh | tcpflag::kAck),
+            "FPA");
+  EXPECT_EQ(flags_to_string(tcpflag::kRst), "R");
+  EXPECT_EQ(flags_to_string(0), "");
+}
+
+TEST(TcpFlags, FromStringParsesAllLetters) {
+  EXPECT_EQ(flags_from_string("FSRPAUEC"), 0xff);
+  EXPECT_EQ(flags_from_string("SA"), tcpflag::kSyn | tcpflag::kAck);
+  EXPECT_EQ(flags_from_string(""), 0);
+}
+
+TEST(TcpFlags, FromStringOrderInsensitive) {
+  EXPECT_EQ(flags_from_string("AS"), flags_from_string("SA"));
+}
+
+TEST(TcpFlags, FromStringRejectsUnknown) {
+  EXPECT_THROW((void)flags_from_string("X"), std::invalid_argument);
+  EXPECT_THROW((void)flags_from_string("S A"), std::invalid_argument);
+}
+
+TEST(TcpFlags, RoundTripEveryCombination) {
+  for (int f = 0; f < 256; ++f) {
+    const auto s = flags_to_string(static_cast<std::uint8_t>(f));
+    EXPECT_EQ(flags_from_string(s), f);
+  }
+}
+
+TEST(TcpFlags, ExactMatchSemantics) {
+  // Geneva triggers demand exact flag matches: "S" must not match SYN+ACK.
+  EXPECT_TRUE(flags_exactly(tcpflag::kSyn, tcpflag::kSyn));
+  EXPECT_FALSE(
+      flags_exactly(tcpflag::kSyn | tcpflag::kAck, tcpflag::kSyn));
+}
+
+}  // namespace
+}  // namespace caya

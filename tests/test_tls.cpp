@@ -1,0 +1,65 @@
+#include "apps/tls.h"
+
+#include <gtest/gtest.h>
+
+namespace caya {
+namespace {
+
+TEST(Tls, ClientHelloSniRoundTrip) {
+  const Bytes hello = build_client_hello("www.wikipedia.org");
+  const auto sni = parse_sni(hello);
+  ASSERT_TRUE(sni.has_value());
+  EXPECT_EQ(*sni, "www.wikipedia.org");
+}
+
+TEST(Tls, DifferentSniDifferentBytes) {
+  EXPECT_NE(build_client_hello("a.com"), build_client_hello("b.com"));
+}
+
+TEST(Tls, RecordStructure) {
+  const Bytes hello = build_client_hello("x.org");
+  ASSERT_GE(hello.size(), 5u);
+  EXPECT_EQ(hello[0], 0x16);  // handshake record
+  EXPECT_EQ(hello[1], 0x03);  // TLS 1.2
+  EXPECT_EQ(hello[2], 0x03);
+  const std::size_t record_len = hello[3] << 8 | hello[4];
+  EXPECT_EQ(record_len + 5, hello.size());
+}
+
+TEST(Tls, ServerHelloIsNotAClientHello) {
+  EXPECT_EQ(parse_sni(build_server_hello()), std::nullopt);
+}
+
+TEST(Tls, TruncatedHelloHasNoSni) {
+  Bytes hello = build_client_hello("www.wikipedia.org");
+  // Chop the stream mid-extension: a censor that cannot reassemble sees
+  // exactly this on a segmented handshake.
+  Bytes truncated(hello.begin(), hello.begin() + 20);
+  EXPECT_EQ(parse_sni(truncated), std::nullopt);
+}
+
+TEST(Tls, TruncatedAtEveryPointNeverCrashes) {
+  const Bytes hello = build_client_hello("www.wikipedia.org");
+  for (std::size_t n = 0; n < hello.size(); ++n) {
+    Bytes prefix(hello.begin(), hello.begin() + static_cast<long>(n));
+    EXPECT_EQ(parse_sni(prefix), std::nullopt) << "prefix length " << n;
+  }
+}
+
+TEST(Tls, GarbageIsRejected) {
+  const Bytes garbage = {0x17, 0x03, 0x03, 0x00, 0x05, 1, 2, 3, 4, 5};
+  EXPECT_EQ(parse_sni(garbage), std::nullopt);
+  EXPECT_EQ(parse_sni(Bytes{}), std::nullopt);
+}
+
+TEST(Tls, SniParsedFromStreamWithTrailingData) {
+  Bytes stream = build_client_hello("example.net");
+  const Bytes extra = {0xde, 0xad};
+  stream.insert(stream.end(), extra.begin(), extra.end());
+  const auto sni = parse_sni(stream);
+  ASSERT_TRUE(sni.has_value());
+  EXPECT_EQ(*sni, "example.net");
+}
+
+}  // namespace
+}  // namespace caya

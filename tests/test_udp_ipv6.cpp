@@ -1,0 +1,176 @@
+// Tests for the appendix protocol extensions: UDP and IPv6 codecs and the
+// DNS-level tamper fields.
+#include <gtest/gtest.h>
+
+#include "packet/dns.h"
+#include "packet/field.h"
+#include "packet/ipv6.h"
+#include "packet/udp.h"
+
+namespace caya {
+namespace {
+
+// ---------------- UDP ----------------
+
+TEST(Udp, SerializeParseRoundTrip) {
+  UdpHeader h;
+  h.sport = 5353;
+  h.dport = 53;
+  const Bytes payload = to_bytes("dns-ish payload");
+  const Bytes wire = h.serialize(Ipv4Address::parse("10.0.0.1"),
+                                 Ipv4Address::parse("10.0.0.2"), payload);
+  ASSERT_EQ(wire.size(), 8 + payload.size());
+  std::size_t consumed = 0;
+  const UdpHeader parsed = UdpHeader::parse(wire, consumed);
+  EXPECT_EQ(consumed, 8u);
+  EXPECT_EQ(parsed.sport, 5353);
+  EXPECT_EQ(parsed.dport, 53);
+  EXPECT_EQ(parsed.length, wire.size());
+}
+
+TEST(Udp, ChecksumVerifies) {
+  UdpHeader h;
+  h.sport = 1;
+  h.dport = 2;
+  const Ipv4Address src = Ipv4Address::parse("1.2.3.4");
+  const Ipv4Address dst = Ipv4Address::parse("5.6.7.8");
+  const Bytes wire = h.serialize(src, dst, to_bytes("payload"));
+  // Receiver check: checksum over the datagram (with embedded checksum)
+  // must be zero (or the datagram used the 0xffff representation of zero).
+  const std::uint16_t check = udp_checksum(src, dst, wire);
+  EXPECT_TRUE(check == 0 || check == 0xffff);
+}
+
+TEST(Udp, LengthOverride) {
+  UdpHeader h;
+  h.length = 999;
+  const Bytes wire =
+      h.serialize(Ipv4Address::parse("1.2.3.4"),
+                  Ipv4Address::parse("5.6.7.8"), {}, true,
+                  /*compute_length=*/false);
+  EXPECT_EQ((wire[4] << 8 | wire[5]), 999);
+}
+
+// ---------------- IPv6 ----------------
+
+TEST(Ipv6, ParseAndPrintCanonical) {
+  const auto addr = Ipv6Address::parse("2001:db8::1");
+  EXPECT_EQ(addr.to_string(), "2001:db8::1");
+  EXPECT_EQ(Ipv6Address::parse("::").to_string(), "::");
+  EXPECT_EQ(Ipv6Address::parse("::1").to_string(), "::1");
+  EXPECT_EQ(Ipv6Address::parse("fe80::").to_string(), "fe80::");
+}
+
+TEST(Ipv6, FullFormRoundTrip) {
+  const auto addr =
+      Ipv6Address::parse("2001:0db8:85a3:0000:0000:8a2e:0370:7334");
+  EXPECT_EQ(addr.to_string(), "2001:db8:85a3::8a2e:370:7334");
+}
+
+TEST(Ipv6, CompressesLongestZeroRun) {
+  const auto addr = Ipv6Address::parse("1:0:0:2:0:0:0:3");
+  EXPECT_EQ(addr.to_string(), "1:0:0:2::3");
+}
+
+TEST(Ipv6, RejectsMalformed) {
+  EXPECT_THROW(Ipv6Address::parse("1:2:3"), std::invalid_argument);
+  EXPECT_THROW(Ipv6Address::parse("1:2:3:4:5:6:7:8:9"),
+               std::invalid_argument);
+  EXPECT_THROW(Ipv6Address::parse("xyz::1"), std::invalid_argument);
+  EXPECT_THROW(Ipv6Address::parse("1:2:3:4::5:6:7:8"),
+               std::invalid_argument);
+}
+
+TEST(Ipv6, HeaderRoundTrip) {
+  Ipv6Header h;
+  h.src = Ipv6Address::parse("2001:db8::1");
+  h.dst = Ipv6Address::parse("2001:db8::2");
+  h.hop_limit = 55;
+  h.flow_label = 0xabcde;
+  const Bytes wire = h.serialize(100);
+  ASSERT_EQ(wire.size(), 40u);
+  std::size_t consumed = 0;
+  const Ipv6Header parsed = Ipv6Header::parse(wire, consumed);
+  EXPECT_EQ(consumed, 40u);
+  EXPECT_EQ(parsed.src, h.src);
+  EXPECT_EQ(parsed.dst, h.dst);
+  EXPECT_EQ(parsed.hop_limit, 55);
+  EXPECT_EQ(parsed.flow_label, 0xabcdeu);
+  EXPECT_EQ(parsed.payload_length, 100);
+}
+
+TEST(Ipv6, ParseRejectsNonV6) {
+  Bytes wire = Ipv6Header{}.serialize(0);
+  wire[0] = 0x45;
+  std::size_t consumed = 0;
+  EXPECT_THROW(Ipv6Header::parse(wire, consumed), std::invalid_argument);
+}
+
+// ---------------- DNS tamper fields ----------------
+
+Packet dns_packet() {
+  return make_tcp_packet(Ipv4Address::parse("10.0.0.1"), 40000,
+                         Ipv4Address::parse("8.8.8.8"), 53,
+                         tcpflag::kPsh | tcpflag::kAck, 1001, 5001,
+                         build_dns_query({.id = 0x1234,
+                                          .qname = "www.wikipedia.org"}));
+}
+
+TEST(DnsFields, ReadIdAndQname) {
+  const Packet pkt = dns_packet();
+  EXPECT_EQ(get_field(pkt, Proto::kDns, "id"), "4660");
+  EXPECT_EQ(get_field(pkt, Proto::kDns, "qname"), "www.wikipedia.org");
+}
+
+TEST(DnsFields, ReplaceQnameRebuildsQuery) {
+  Packet pkt = dns_packet();
+  set_field(pkt, Proto::kDns, "qname", "benign.example");
+  EXPECT_EQ(get_field(pkt, Proto::kDns, "qname"), "benign.example");
+  EXPECT_EQ(get_field(pkt, Proto::kDns, "id"), "4660");  // id preserved
+  EXPECT_EQ(parse_dns_qname(std::span(pkt.payload)), "benign.example");
+}
+
+TEST(DnsFields, ReplaceId) {
+  Packet pkt = dns_packet();
+  set_field(pkt, Proto::kDns, "id", "255");
+  EXPECT_EQ(get_field(pkt, Proto::kDns, "id"), "255");
+  EXPECT_EQ(get_field(pkt, Proto::kDns, "qname"), "www.wikipedia.org");
+}
+
+TEST(DnsFields, NonDnsPayloadIsLeftAlone) {
+  Packet pkt = dns_packet();
+  pkt.payload = to_bytes("GET / HTTP/1.1\r\n\r\n");
+  const Bytes before = pkt.payload;
+  set_field(pkt, Proto::kDns, "qname", "x.example");
+  EXPECT_EQ(pkt.payload, before);
+  EXPECT_EQ(get_field(pkt, Proto::kDns, "qname"), "");
+}
+
+TEST(DnsFields, CorruptQnameChangesIt) {
+  Packet pkt = dns_packet();
+  Rng rng(1);
+  corrupt_field(pkt, Proto::kDns, "qname", rng);
+  EXPECT_NE(get_field(pkt, Proto::kDns, "qname"), "www.wikipedia.org");
+  EXPECT_FALSE(get_field(pkt, Proto::kDns, "qname").empty());
+}
+
+TEST(DnsFields, ProtoStringsRoundTrip) {
+  EXPECT_EQ(proto_from_string("DNS"), Proto::kDns);
+  EXPECT_EQ(to_string(Proto::kDns), "DNS");
+  EXPECT_TRUE(field_exists(Proto::kDns, "qname"));
+  EXPECT_FALSE(field_exists(Proto::kDns, "flags"));
+}
+
+TEST(DnsFields, TamperDslRoundTrip) {
+  // The appendix extension end-to-end: a DNS tamper in the DSL.
+  const Packet pkt = dns_packet();
+  Rng rng(1);
+  // Built inline to avoid a geneva dependency in this packet-level test:
+  // tamper is exercised via set_field, which is what TamperAction calls.
+  Packet copy = pkt;
+  set_field(copy, Proto::kDns, "qname", "replaced.example");
+  EXPECT_EQ(get_field(copy, Proto::kDns, "qname"), "replaced.example");
+}
+
+}  // namespace
+}  // namespace caya

@@ -1,0 +1,70 @@
+#include "eval/waterfall.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/strategies.h"
+#include "eval/trial.h"
+
+namespace caya {
+namespace {
+
+TEST(Waterfall, PacketLabels) {
+  Packet pkt = make_tcp_packet(Ipv4Address::parse("1.2.3.4"), 80,
+                               Ipv4Address::parse("5.6.7.8"), 443,
+                               tcpflag::kSyn | tcpflag::kAck, 1, 100);
+  EXPECT_EQ(packet_label(pkt), "SYN/ACK");
+  pkt.payload = to_bytes("x");
+  EXPECT_EQ(packet_label(pkt), "SYN/ACK (w/ load)");
+  EXPECT_EQ(packet_label(pkt, /*expected_ack=*/999),
+            "SYN/ACK (w/ load) (bad ackno)");
+  pkt.tcp.flags = 0;
+  pkt.payload.clear();
+  EXPECT_EQ(packet_label(pkt), "(no flags)");
+}
+
+TEST(Waterfall, RendersStrategy1Exchange) {
+  Environment env({.country = Country::kChina,
+                   .protocol = AppProtocol::kHttp,
+                   .seed = 3});
+  ConnectionOptions options;
+  options.server_strategy = parsed_strategy(1);
+  options.record_trace = true;
+  const TrialResult result = env.run_connection(options);
+  const std::string art = render_waterfall(result.trace);
+  // Client header line plus the characteristic strategy-1 packets.
+  EXPECT_NE(art.find("client"), std::string::npos);
+  EXPECT_NE(art.find("server"), std::string::npos);
+  EXPECT_NE(art.find("RST"), std::string::npos);
+  EXPECT_NE(art.find("SYN/ACK"), std::string::npos);
+}
+
+TEST(Waterfall, TruncatesLongTraces) {
+  Trace trace;
+  Packet pkt = make_tcp_packet(Ipv4Address::parse("1.2.3.4"), 80,
+                               Ipv4Address::parse("5.6.7.8"), 443,
+                               tcpflag::kAck, 1, 1);
+  for (int i = 0; i < 100; ++i) {
+    trace.record({0, TracePoint::kClientSent, Direction::kClientToServer,
+                  pkt, ""});
+  }
+  WaterfallOptions options;
+  options.max_rows = 5;
+  const std::string art = render_waterfall(trace, options);
+  EXPECT_NE(art.find("truncated"), std::string::npos);
+}
+
+TEST(Waterfall, TraceToTextListsEvents) {
+  Trace trace;
+  Packet pkt = make_tcp_packet(Ipv4Address::parse("1.2.3.4"), 80,
+                               Ipv4Address::parse("5.6.7.8"), 443,
+                               tcpflag::kSyn, 42, 0);
+  trace.record({duration::ms(5), TracePoint::kCensorSaw,
+                Direction::kClientToServer, pkt, "note"});
+  const std::string text = trace.to_text();
+  EXPECT_NE(text.find("censor-saw"), std::string::npos);
+  EXPECT_NE(text.find("(note)"), std::string::npos);
+  EXPECT_NE(text.find("seq=42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace caya

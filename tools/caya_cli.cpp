@@ -1,0 +1,373 @@
+// caya — command-line front end to the library.
+//
+//   caya list
+//       List the paper's eleven published strategies.
+//   caya parse "<dsl>"
+//       Validate a strategy and print its canonical form.
+//   caya run [options]
+//       Run trials of a strategy against a simulated censor.
+//         --country china|india|iran|kazakhstan   (default china)
+//         --protocol dns|ftp|http|https|smtp      (default http)
+//         --strategy "<dsl>" | --published N      (default: no evasion)
+//         --client-side                           (deploy at the client)
+//         --trials N                              (default 100)
+//         --seed N                                (default 1)
+//         --os <substring of OS name>             (default Ubuntu 18.04.1)
+//         --waterfall                             (print one packet diagram)
+//         --pcap FILE                             (write censor-view pcap)
+//
+// Examples:
+//   caya run --country china --protocol http --published 1 --trials 500
+//   caya run --country kazakhstan --strategy
+//       "[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:},)-| \\/"
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "eval/rates.h"
+#include "eval/replay.h"
+#include "eval/strategies.h"
+#include "eval/waterfall.h"
+#include "geneva/ga.h"
+#include "geneva/library.h"
+#include "geneva/parser.h"
+#include "netsim/pcap.h"
+
+namespace caya {
+namespace {
+
+[[noreturn]] void usage(int code) {
+  std::printf(
+      "usage: caya list | caya parse \"<dsl>\" | caya run [options] |\n"
+      "       caya library FILE | caya evolve [options] |\n"
+      "       caya replay FILE --country C\n"
+      "run options   : --country C --protocol P\n"
+      "                [--strategy DSL | --published N | --from FILE --name "
+      "N]\n"
+      "                [--client-side] [--trials N] [--seed N] [--os NAME]\n"
+      "                [--waterfall] [--pcap FILE]\n"
+      "evolve options: --country C --protocol P [--population N] [--gens N]"
+      "\n                [--seed N] [--save FILE --name NAME]\n");
+  std::exit(code);
+}
+
+Country parse_country(const std::string& name) {
+  if (name == "china") return Country::kChina;
+  if (name == "india") return Country::kIndia;
+  if (name == "iran") return Country::kIran;
+  if (name == "kazakhstan") return Country::kKazakhstan;
+  std::fprintf(stderr, "unknown country: %s\n", name.c_str());
+  usage(2);
+}
+
+AppProtocol parse_protocol(const std::string& name) {
+  if (name == "dns") return AppProtocol::kDnsOverTcp;
+  if (name == "ftp") return AppProtocol::kFtp;
+  if (name == "http") return AppProtocol::kHttp;
+  if (name == "https") return AppProtocol::kHttps;
+  if (name == "smtp") return AppProtocol::kSmtp;
+  std::fprintf(stderr, "unknown protocol: %s\n", name.c_str());
+  usage(2);
+}
+
+OsProfile parse_os(const std::string& needle) {
+  for (const auto& os : all_os_profiles()) {
+    if (os.name.find(needle) != std::string::npos) return os;
+  }
+  std::fprintf(stderr, "no OS profile matches \"%s\"; available:\n",
+               needle.c_str());
+  for (const auto& os : all_os_profiles()) {
+    std::fprintf(stderr, "  %s\n", os.name.c_str());
+  }
+  std::exit(2);
+}
+
+int cmd_list() {
+  std::printf("%-3s %-34s %s\n", "id", "name", "dsl");
+  for (const auto& s : published_strategies()) {
+    std::printf("%-3d %-34s %s\n", s.id, s.name.c_str(), s.dsl.c_str());
+  }
+  return 0;
+}
+
+int cmd_parse(const std::string& dsl) {
+  try {
+    const Strategy s = parse_strategy(dsl);
+    std::printf("ok: %s\n", s.to_string().c_str());
+    std::printf("size: %zu nodes\n", s.size());
+    return 0;
+  } catch (const ParseError& e) {
+    std::fprintf(stderr, "parse error: %s\n", e.what());
+    return 1;
+  }
+}
+
+int cmd_library(const std::string& path) {
+  try {
+    const StrategyLibrary library = StrategyLibrary::load(path);
+    std::printf("%-20s %8s  %-30s %s\n", "name", "success", "notes", "dsl");
+    for (const auto& entry : library.entries()) {
+      std::printf("%-20s %7.0f%%  %-30s %s\n", entry.name.c_str(),
+                  entry.success * 100, entry.notes.c_str(),
+                  entry.dsl.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+}
+
+int cmd_evolve(int argc, char** argv) {
+  Country country = Country::kChina;
+  AppProtocol protocol = AppProtocol::kHttp;
+  std::size_t population = 80;
+  std::size_t generations = 20;
+  std::uint64_t seed = 1;
+  std::string save_path;
+  std::string save_name = "evolved";
+
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(2);
+      return argv[++i];
+    };
+    if (arg == "--country") {
+      country = parse_country(next());
+    } else if (arg == "--protocol") {
+      protocol = parse_protocol(next());
+    } else if (arg == "--population") {
+      population = static_cast<std::size_t>(std::atoll(next().c_str()));
+    } else if (arg == "--gens") {
+      generations = static_cast<std::size_t>(std::atoll(next().c_str()));
+    } else if (arg == "--seed") {
+      seed = static_cast<std::uint64_t>(std::atoll(next().c_str()));
+    } else if (arg == "--save") {
+      save_path = next();
+    } else if (arg == "--name") {
+      save_name = next();
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      usage(2);
+    }
+  }
+
+  GaConfig config;
+  config.population_size = population;
+  config.generations = generations;
+  Logger logger(LogLevel::kInfo, [](LogLevel, std::string_view msg) {
+    std::printf("  %.*s\n", static_cast<int>(msg.size()), msg.data());
+  });
+  GeneticAlgorithm ga(GeneConfig{}, config,
+                      make_fitness(country, protocol, 20, seed), Rng(seed),
+                      logger);
+  const Individual best = ga.run();
+
+  RateOptions options;
+  options.trials = 200;
+  options.base_seed = seed + 777'777;
+  const double confirmed =
+      measure_rate(country, protocol, best.strategy, options).rate();
+  std::printf("\nbest      : %s\n", best.strategy.to_string().c_str());
+  std::printf("confirmed : %.0f%% over 200 fresh trials\n", confirmed * 100);
+
+  if (!save_path.empty()) {
+    StrategyLibrary library;
+    try {
+      library = StrategyLibrary::load(save_path);
+    } catch (const std::exception&) {
+      // New file.
+    }
+    library.add({.name = save_name,
+                 .success = confirmed,
+                 .notes = "GA vs " + std::string(to_string(country)) + "/" +
+                          std::string(to_string(protocol)),
+                 .dsl = best.strategy.to_string()});
+    library.save(save_path);
+    std::printf("saved to  : %s (as \"%s\")\n", save_path.c_str(),
+                save_name.c_str());
+  }
+  return 0;
+}
+
+int cmd_replay(int argc, char** argv) {
+  if (argc < 1) usage(2);
+  const std::string path = argv[0];
+  Country country = Country::kChina;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--country" && i + 1 < argc) {
+      country = parse_country(argv[++i]);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      usage(2);
+    }
+  }
+  try {
+    const ReplayResult result = replay_pcap_file(path, country);
+    std::printf("capture        : %s\n", path.c_str());
+    std::printf("country        : %s\n",
+                std::string(to_string(country)).c_str());
+    std::printf("packets        : %zu (%zu unparseable)\n", result.packets,
+                result.parse_failures);
+    std::printf("censor events  : %zu\n", result.censor_events);
+    std::printf("would inject   : %zu packets\n", result.injected_packets);
+    for (const auto& ev : result.events) {
+      std::printf("  pkt #%zu: %s\n", ev.packet_index,
+                  ev.description.c_str());
+    }
+    return result.censor_events > 0 ? 3 : 0;  // exit code: censored or not
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+}
+
+int cmd_run(int argc, char** argv) {
+  Country country = Country::kChina;
+  AppProtocol protocol = AppProtocol::kHttp;
+  std::optional<Strategy> strategy;
+  std::string from_path;
+  std::string from_name;
+  bool client_side = false;
+  std::size_t trials = 100;
+  std::uint64_t seed = 1;
+  OsProfile os = OsProfile::linux_default();
+  bool waterfall = false;
+  std::string pcap_path;
+
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(2);
+      return argv[++i];
+    };
+    if (arg == "--country") {
+      country = parse_country(next());
+    } else if (arg == "--protocol") {
+      protocol = parse_protocol(next());
+    } else if (arg == "--strategy") {
+      try {
+        strategy = parse_strategy(next());
+      } catch (const ParseError& e) {
+        std::fprintf(stderr, "parse error: %s\n", e.what());
+        return 1;
+      }
+    } else if (arg == "--published") {
+      try {
+        strategy = parsed_strategy(std::atoi(next().c_str()));
+      } catch (const std::out_of_range& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+      }
+    } else if (arg == "--from") {
+      from_path = next();
+    } else if (arg == "--name") {
+      from_name = next();
+    } else if (arg == "--client-side") {
+      client_side = true;
+    } else if (arg == "--trials") {
+      trials = static_cast<std::size_t>(std::atoll(next().c_str()));
+    } else if (arg == "--seed") {
+      seed = static_cast<std::uint64_t>(std::atoll(next().c_str()));
+    } else if (arg == "--os") {
+      os = parse_os(next());
+    } else if (arg == "--waterfall") {
+      waterfall = true;
+    } else if (arg == "--pcap") {
+      pcap_path = next();
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      usage(2);
+    }
+  }
+
+  if (!from_path.empty()) {
+    try {
+      const StrategyLibrary library = StrategyLibrary::load(from_path);
+      const LibraryEntry* entry = library.find(from_name);
+      if (entry == nullptr) {
+        std::fprintf(stderr, "no entry \"%s\" in %s\n", from_name.c_str(),
+                     from_path.c_str());
+        return 1;
+      }
+      strategy = parse_strategy(entry->dsl);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+  }
+
+  RateCounter counter;
+  Trace first_trace;
+  bool have_trace = false;
+  for (std::size_t i = 0; i < trials; ++i) {
+    Environment::Config config;
+    config.country = country;
+    config.protocol = protocol;
+    config.seed = seed + i;
+    ConnectionOptions options;
+    if (client_side) {
+      options.client_strategy = strategy;
+    } else {
+      options.server_strategy = strategy;
+    }
+    options.client_os = os;
+    options.record_trace = (waterfall || !pcap_path.empty()) && !have_trace;
+    Environment env(config);
+    const TrialResult result = env.run_connection(options);
+    if (options.record_trace) {
+      first_trace = result.trace;
+      have_trace = true;
+    }
+    counter.record(result.success);
+  }
+
+  const auto interval = counter.wilson();
+  std::printf("country   : %s\n", std::string(to_string(country)).c_str());
+  std::printf("protocol  : %s\n", std::string(to_string(protocol)).c_str());
+  std::printf("strategy  : %s%s\n",
+              strategy ? strategy->to_string().c_str() : "(no evasion)",
+              client_side ? "  [client-side]" : "");
+  std::printf("client OS : %s\n", os.name.c_str());
+  std::printf("success   : %zu/%zu = %.1f%%  (95%% CI %.1f%%-%.1f%%)\n",
+              counter.successes(), counter.trials(), counter.rate() * 100,
+              interval.lo * 100, interval.hi * 100);
+
+  if (waterfall && have_trace) {
+    std::printf("\nfirst trial, endpoint view:\n%s",
+                render_waterfall(first_trace).c_str());
+  }
+  if (!pcap_path.empty() && have_trace) {
+    write_pcap_file(pcap_path, first_trace);
+    std::printf("wrote censor-view pcap: %s\n", pcap_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace caya
+
+int main(int argc, char** argv) {
+  if (argc < 2) caya::usage(1);
+  const std::string command = argv[1];
+  if (command == "list") return caya::cmd_list();
+  if (command == "parse") {
+    if (argc < 3) caya::usage(2);
+    return caya::cmd_parse(argv[2]);
+  }
+  if (command == "run") return caya::cmd_run(argc - 2, argv + 2);
+  if (command == "library") {
+    if (argc < 3) caya::usage(2);
+    return caya::cmd_library(argv[2]);
+  }
+  if (command == "evolve") return caya::cmd_evolve(argc - 2, argv + 2);
+  if (command == "replay") {
+    if (argc < 3) caya::usage(2);
+    return caya::cmd_replay(argc - 2, argv + 2);
+  }
+  caya::usage(1);
+}
