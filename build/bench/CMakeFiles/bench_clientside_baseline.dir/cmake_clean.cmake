@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_clientside_baseline.dir/bench_clientside_baseline.cpp.o"
+  "CMakeFiles/bench_clientside_baseline.dir/bench_clientside_baseline.cpp.o.d"
+  "bench_clientside_baseline"
+  "bench_clientside_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_clientside_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

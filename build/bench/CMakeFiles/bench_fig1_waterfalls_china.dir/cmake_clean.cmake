@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_waterfalls_china.dir/bench_fig1_waterfalls_china.cpp.o"
+  "CMakeFiles/bench_fig1_waterfalls_china.dir/bench_fig1_waterfalls_china.cpp.o.d"
+  "bench_fig1_waterfalls_china"
+  "bench_fig1_waterfalls_china.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_waterfalls_china.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

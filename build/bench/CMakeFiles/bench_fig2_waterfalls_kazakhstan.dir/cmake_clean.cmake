@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_waterfalls_kazakhstan.dir/bench_fig2_waterfalls_kazakhstan.cpp.o"
+  "CMakeFiles/bench_fig2_waterfalls_kazakhstan.dir/bench_fig2_waterfalls_kazakhstan.cpp.o.d"
+  "bench_fig2_waterfalls_kazakhstan"
+  "bench_fig2_waterfalls_kazakhstan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_waterfalls_kazakhstan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_multibox.dir/bench_fig3_multibox.cpp.o"
+  "CMakeFiles/bench_fig3_multibox.dir/bench_fig3_multibox.cpp.o.d"
+  "bench_fig3_multibox"
+  "bench_fig3_multibox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_multibox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ga_discovery.dir/bench_ga_discovery.cpp.o"
+  "CMakeFiles/bench_ga_discovery.dir/bench_ga_discovery.cpp.o.d"
+  "bench_ga_discovery"
+  "bench_ga_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ga_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

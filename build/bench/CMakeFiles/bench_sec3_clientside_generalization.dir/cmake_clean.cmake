@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec3_clientside_generalization.dir/bench_sec3_clientside_generalization.cpp.o"
+  "CMakeFiles/bench_sec3_clientside_generalization.dir/bench_sec3_clientside_generalization.cpp.o.d"
+  "bench_sec3_clientside_generalization"
+  "bench_sec3_clientside_generalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec3_clientside_generalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec4_dns_retries.dir/bench_sec4_dns_retries.cpp.o"
+  "CMakeFiles/bench_sec4_dns_retries.dir/bench_sec4_dns_retries.cpp.o.d"
+  "bench_sec4_dns_retries"
+  "bench_sec4_dns_retries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_dns_retries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec4_residual.dir/bench_sec4_residual.cpp.o"
+  "CMakeFiles/bench_sec4_residual.dir/bench_sec4_residual.cpp.o.d"
+  "bench_sec4_residual"
+  "bench_sec4_residual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_residual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec5_resync_model.dir/bench_sec5_resync_model.cpp.o"
+  "CMakeFiles/bench_sec5_resync_model.dir/bench_sec5_resync_model.cpp.o.d"
+  "bench_sec5_resync_model"
+  "bench_sec5_resync_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec5_resync_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec7_client_compat.dir/bench_sec7_client_compat.cpp.o"
+  "CMakeFiles/bench_sec7_client_compat.dir/bench_sec7_client_compat.cpp.o.d"
+  "bench_sec7_client_compat"
+  "bench_sec7_client_compat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec7_client_compat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_vantage.dir/bench_table1_vantage.cpp.o"
+  "CMakeFiles/bench_table1_vantage.dir/bench_table1_vantage.cpp.o.d"
+  "bench_table1_vantage"
+  "bench_table1_vantage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_vantage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/client_compat_survey.dir/client_compat_survey.cpp.o"
+  "CMakeFiles/client_compat_survey.dir/client_compat_survey.cpp.o.d"
+  "client_compat_survey"
+  "client_compat_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/client_compat_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discover_strategy_ga.dir/discover_strategy_ga.cpp.o"
+  "CMakeFiles/discover_strategy_ga.dir/discover_strategy_ga.cpp.o.d"
+  "discover_strategy_ga"
+  "discover_strategy_ga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discover_strategy_ga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evade_china_http.dir/evade_china_http.cpp.o"
+  "CMakeFiles/evade_china_http.dir/evade_china_http.cpp.o.d"
+  "evade_china_http"
+  "evade_china_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evade_china_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_country_deploy.dir/multi_country_deploy.cpp.o"
+  "CMakeFiles/multi_country_deploy.dir/multi_country_deploy.cpp.o.d"
+  "multi_country_deploy"
+  "multi_country_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_country_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

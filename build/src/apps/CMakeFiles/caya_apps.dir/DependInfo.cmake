@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/dns_app.cpp" "src/apps/CMakeFiles/caya_apps.dir/dns_app.cpp.o" "gcc" "src/apps/CMakeFiles/caya_apps.dir/dns_app.cpp.o.d"
+  "/root/repo/src/apps/ftp.cpp" "src/apps/CMakeFiles/caya_apps.dir/ftp.cpp.o" "gcc" "src/apps/CMakeFiles/caya_apps.dir/ftp.cpp.o.d"
+  "/root/repo/src/apps/http.cpp" "src/apps/CMakeFiles/caya_apps.dir/http.cpp.o" "gcc" "src/apps/CMakeFiles/caya_apps.dir/http.cpp.o.d"
+  "/root/repo/src/apps/https.cpp" "src/apps/CMakeFiles/caya_apps.dir/https.cpp.o" "gcc" "src/apps/CMakeFiles/caya_apps.dir/https.cpp.o.d"
+  "/root/repo/src/apps/protocol.cpp" "src/apps/CMakeFiles/caya_apps.dir/protocol.cpp.o" "gcc" "src/apps/CMakeFiles/caya_apps.dir/protocol.cpp.o.d"
+  "/root/repo/src/apps/smtp.cpp" "src/apps/CMakeFiles/caya_apps.dir/smtp.cpp.o" "gcc" "src/apps/CMakeFiles/caya_apps.dir/smtp.cpp.o.d"
+  "/root/repo/src/apps/tls.cpp" "src/apps/CMakeFiles/caya_apps.dir/tls.cpp.o" "gcc" "src/apps/CMakeFiles/caya_apps.dir/tls.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tcpstack/CMakeFiles/caya_tcpstack.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/caya_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/caya_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/caya_packet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

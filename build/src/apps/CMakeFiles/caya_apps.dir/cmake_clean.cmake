@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caya_apps.dir/dns_app.cpp.o"
+  "CMakeFiles/caya_apps.dir/dns_app.cpp.o.d"
+  "CMakeFiles/caya_apps.dir/ftp.cpp.o"
+  "CMakeFiles/caya_apps.dir/ftp.cpp.o.d"
+  "CMakeFiles/caya_apps.dir/http.cpp.o"
+  "CMakeFiles/caya_apps.dir/http.cpp.o.d"
+  "CMakeFiles/caya_apps.dir/https.cpp.o"
+  "CMakeFiles/caya_apps.dir/https.cpp.o.d"
+  "CMakeFiles/caya_apps.dir/protocol.cpp.o"
+  "CMakeFiles/caya_apps.dir/protocol.cpp.o.d"
+  "CMakeFiles/caya_apps.dir/smtp.cpp.o"
+  "CMakeFiles/caya_apps.dir/smtp.cpp.o.d"
+  "CMakeFiles/caya_apps.dir/tls.cpp.o"
+  "CMakeFiles/caya_apps.dir/tls.cpp.o.d"
+  "libcaya_apps.a"
+  "libcaya_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caya_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/censor/airtel.cpp" "src/censor/CMakeFiles/caya_censor.dir/airtel.cpp.o" "gcc" "src/censor/CMakeFiles/caya_censor.dir/airtel.cpp.o.d"
+  "/root/repo/src/censor/carrier.cpp" "src/censor/CMakeFiles/caya_censor.dir/carrier.cpp.o" "gcc" "src/censor/CMakeFiles/caya_censor.dir/carrier.cpp.o.d"
+  "/root/repo/src/censor/dpi.cpp" "src/censor/CMakeFiles/caya_censor.dir/dpi.cpp.o" "gcc" "src/censor/CMakeFiles/caya_censor.dir/dpi.cpp.o.d"
+  "/root/repo/src/censor/flow.cpp" "src/censor/CMakeFiles/caya_censor.dir/flow.cpp.o" "gcc" "src/censor/CMakeFiles/caya_censor.dir/flow.cpp.o.d"
+  "/root/repo/src/censor/gfw.cpp" "src/censor/CMakeFiles/caya_censor.dir/gfw.cpp.o" "gcc" "src/censor/CMakeFiles/caya_censor.dir/gfw.cpp.o.d"
+  "/root/repo/src/censor/iran.cpp" "src/censor/CMakeFiles/caya_censor.dir/iran.cpp.o" "gcc" "src/censor/CMakeFiles/caya_censor.dir/iran.cpp.o.d"
+  "/root/repo/src/censor/kazakhstan.cpp" "src/censor/CMakeFiles/caya_censor.dir/kazakhstan.cpp.o" "gcc" "src/censor/CMakeFiles/caya_censor.dir/kazakhstan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/caya_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/caya_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/caya_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/caya_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcpstack/CMakeFiles/caya_tcpstack.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caya_censor.dir/airtel.cpp.o"
+  "CMakeFiles/caya_censor.dir/airtel.cpp.o.d"
+  "CMakeFiles/caya_censor.dir/carrier.cpp.o"
+  "CMakeFiles/caya_censor.dir/carrier.cpp.o.d"
+  "CMakeFiles/caya_censor.dir/dpi.cpp.o"
+  "CMakeFiles/caya_censor.dir/dpi.cpp.o.d"
+  "CMakeFiles/caya_censor.dir/flow.cpp.o"
+  "CMakeFiles/caya_censor.dir/flow.cpp.o.d"
+  "CMakeFiles/caya_censor.dir/gfw.cpp.o"
+  "CMakeFiles/caya_censor.dir/gfw.cpp.o.d"
+  "CMakeFiles/caya_censor.dir/iran.cpp.o"
+  "CMakeFiles/caya_censor.dir/iran.cpp.o.d"
+  "CMakeFiles/caya_censor.dir/kazakhstan.cpp.o"
+  "CMakeFiles/caya_censor.dir/kazakhstan.cpp.o.d"
+  "libcaya_censor.a"
+  "libcaya_censor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caya_censor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/clientside.cpp" "src/eval/CMakeFiles/caya_eval.dir/clientside.cpp.o" "gcc" "src/eval/CMakeFiles/caya_eval.dir/clientside.cpp.o.d"
+  "/root/repo/src/eval/country.cpp" "src/eval/CMakeFiles/caya_eval.dir/country.cpp.o" "gcc" "src/eval/CMakeFiles/caya_eval.dir/country.cpp.o.d"
+  "/root/repo/src/eval/rates.cpp" "src/eval/CMakeFiles/caya_eval.dir/rates.cpp.o" "gcc" "src/eval/CMakeFiles/caya_eval.dir/rates.cpp.o.d"
+  "/root/repo/src/eval/replay.cpp" "src/eval/CMakeFiles/caya_eval.dir/replay.cpp.o" "gcc" "src/eval/CMakeFiles/caya_eval.dir/replay.cpp.o.d"
+  "/root/repo/src/eval/strategies.cpp" "src/eval/CMakeFiles/caya_eval.dir/strategies.cpp.o" "gcc" "src/eval/CMakeFiles/caya_eval.dir/strategies.cpp.o.d"
+  "/root/repo/src/eval/trial.cpp" "src/eval/CMakeFiles/caya_eval.dir/trial.cpp.o" "gcc" "src/eval/CMakeFiles/caya_eval.dir/trial.cpp.o.d"
+  "/root/repo/src/eval/waterfall.cpp" "src/eval/CMakeFiles/caya_eval.dir/waterfall.cpp.o" "gcc" "src/eval/CMakeFiles/caya_eval.dir/waterfall.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geneva/CMakeFiles/caya_geneva.dir/DependInfo.cmake"
+  "/root/repo/build/src/censor/CMakeFiles/caya_censor.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/caya_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcpstack/CMakeFiles/caya_tcpstack.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/caya_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/caya_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/caya_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caya_eval.dir/clientside.cpp.o"
+  "CMakeFiles/caya_eval.dir/clientside.cpp.o.d"
+  "CMakeFiles/caya_eval.dir/country.cpp.o"
+  "CMakeFiles/caya_eval.dir/country.cpp.o.d"
+  "CMakeFiles/caya_eval.dir/rates.cpp.o"
+  "CMakeFiles/caya_eval.dir/rates.cpp.o.d"
+  "CMakeFiles/caya_eval.dir/replay.cpp.o"
+  "CMakeFiles/caya_eval.dir/replay.cpp.o.d"
+  "CMakeFiles/caya_eval.dir/strategies.cpp.o"
+  "CMakeFiles/caya_eval.dir/strategies.cpp.o.d"
+  "CMakeFiles/caya_eval.dir/trial.cpp.o"
+  "CMakeFiles/caya_eval.dir/trial.cpp.o.d"
+  "CMakeFiles/caya_eval.dir/waterfall.cpp.o"
+  "CMakeFiles/caya_eval.dir/waterfall.cpp.o.d"
+  "libcaya_eval.a"
+  "libcaya_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caya_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

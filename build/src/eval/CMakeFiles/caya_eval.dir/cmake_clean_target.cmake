@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcaya_eval.a"
+)

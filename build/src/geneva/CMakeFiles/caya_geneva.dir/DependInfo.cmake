@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geneva/action.cpp" "src/geneva/CMakeFiles/caya_geneva.dir/action.cpp.o" "gcc" "src/geneva/CMakeFiles/caya_geneva.dir/action.cpp.o.d"
+  "/root/repo/src/geneva/engine.cpp" "src/geneva/CMakeFiles/caya_geneva.dir/engine.cpp.o" "gcc" "src/geneva/CMakeFiles/caya_geneva.dir/engine.cpp.o.d"
+  "/root/repo/src/geneva/ga.cpp" "src/geneva/CMakeFiles/caya_geneva.dir/ga.cpp.o" "gcc" "src/geneva/CMakeFiles/caya_geneva.dir/ga.cpp.o.d"
+  "/root/repo/src/geneva/library.cpp" "src/geneva/CMakeFiles/caya_geneva.dir/library.cpp.o" "gcc" "src/geneva/CMakeFiles/caya_geneva.dir/library.cpp.o.d"
+  "/root/repo/src/geneva/mutation.cpp" "src/geneva/CMakeFiles/caya_geneva.dir/mutation.cpp.o" "gcc" "src/geneva/CMakeFiles/caya_geneva.dir/mutation.cpp.o.d"
+  "/root/repo/src/geneva/parser.cpp" "src/geneva/CMakeFiles/caya_geneva.dir/parser.cpp.o" "gcc" "src/geneva/CMakeFiles/caya_geneva.dir/parser.cpp.o.d"
+  "/root/repo/src/geneva/species.cpp" "src/geneva/CMakeFiles/caya_geneva.dir/species.cpp.o" "gcc" "src/geneva/CMakeFiles/caya_geneva.dir/species.cpp.o.d"
+  "/root/repo/src/geneva/strategy.cpp" "src/geneva/CMakeFiles/caya_geneva.dir/strategy.cpp.o" "gcc" "src/geneva/CMakeFiles/caya_geneva.dir/strategy.cpp.o.d"
+  "/root/repo/src/geneva/trigger.cpp" "src/geneva/CMakeFiles/caya_geneva.dir/trigger.cpp.o" "gcc" "src/geneva/CMakeFiles/caya_geneva.dir/trigger.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/packet/CMakeFiles/caya_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/caya_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/caya_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

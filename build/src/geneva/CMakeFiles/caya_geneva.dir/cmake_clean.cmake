@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caya_geneva.dir/action.cpp.o"
+  "CMakeFiles/caya_geneva.dir/action.cpp.o.d"
+  "CMakeFiles/caya_geneva.dir/engine.cpp.o"
+  "CMakeFiles/caya_geneva.dir/engine.cpp.o.d"
+  "CMakeFiles/caya_geneva.dir/ga.cpp.o"
+  "CMakeFiles/caya_geneva.dir/ga.cpp.o.d"
+  "CMakeFiles/caya_geneva.dir/library.cpp.o"
+  "CMakeFiles/caya_geneva.dir/library.cpp.o.d"
+  "CMakeFiles/caya_geneva.dir/mutation.cpp.o"
+  "CMakeFiles/caya_geneva.dir/mutation.cpp.o.d"
+  "CMakeFiles/caya_geneva.dir/parser.cpp.o"
+  "CMakeFiles/caya_geneva.dir/parser.cpp.o.d"
+  "CMakeFiles/caya_geneva.dir/species.cpp.o"
+  "CMakeFiles/caya_geneva.dir/species.cpp.o.d"
+  "CMakeFiles/caya_geneva.dir/strategy.cpp.o"
+  "CMakeFiles/caya_geneva.dir/strategy.cpp.o.d"
+  "CMakeFiles/caya_geneva.dir/trigger.cpp.o"
+  "CMakeFiles/caya_geneva.dir/trigger.cpp.o.d"
+  "libcaya_geneva.a"
+  "libcaya_geneva.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caya_geneva.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

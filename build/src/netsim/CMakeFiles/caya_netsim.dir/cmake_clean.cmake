@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caya_netsim.dir/event_loop.cpp.o"
+  "CMakeFiles/caya_netsim.dir/event_loop.cpp.o.d"
+  "CMakeFiles/caya_netsim.dir/network.cpp.o"
+  "CMakeFiles/caya_netsim.dir/network.cpp.o.d"
+  "CMakeFiles/caya_netsim.dir/pcap.cpp.o"
+  "CMakeFiles/caya_netsim.dir/pcap.cpp.o.d"
+  "CMakeFiles/caya_netsim.dir/trace.cpp.o"
+  "CMakeFiles/caya_netsim.dir/trace.cpp.o.d"
+  "libcaya_netsim.a"
+  "libcaya_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caya_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/packet/dns.cpp" "src/packet/CMakeFiles/caya_packet.dir/dns.cpp.o" "gcc" "src/packet/CMakeFiles/caya_packet.dir/dns.cpp.o.d"
+  "/root/repo/src/packet/field.cpp" "src/packet/CMakeFiles/caya_packet.dir/field.cpp.o" "gcc" "src/packet/CMakeFiles/caya_packet.dir/field.cpp.o.d"
+  "/root/repo/src/packet/ipv4.cpp" "src/packet/CMakeFiles/caya_packet.dir/ipv4.cpp.o" "gcc" "src/packet/CMakeFiles/caya_packet.dir/ipv4.cpp.o.d"
+  "/root/repo/src/packet/ipv6.cpp" "src/packet/CMakeFiles/caya_packet.dir/ipv6.cpp.o" "gcc" "src/packet/CMakeFiles/caya_packet.dir/ipv6.cpp.o.d"
+  "/root/repo/src/packet/packet.cpp" "src/packet/CMakeFiles/caya_packet.dir/packet.cpp.o" "gcc" "src/packet/CMakeFiles/caya_packet.dir/packet.cpp.o.d"
+  "/root/repo/src/packet/tcp.cpp" "src/packet/CMakeFiles/caya_packet.dir/tcp.cpp.o" "gcc" "src/packet/CMakeFiles/caya_packet.dir/tcp.cpp.o.d"
+  "/root/repo/src/packet/tcp_flags.cpp" "src/packet/CMakeFiles/caya_packet.dir/tcp_flags.cpp.o" "gcc" "src/packet/CMakeFiles/caya_packet.dir/tcp_flags.cpp.o.d"
+  "/root/repo/src/packet/udp.cpp" "src/packet/CMakeFiles/caya_packet.dir/udp.cpp.o" "gcc" "src/packet/CMakeFiles/caya_packet.dir/udp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/caya_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caya_packet.dir/dns.cpp.o"
+  "CMakeFiles/caya_packet.dir/dns.cpp.o.d"
+  "CMakeFiles/caya_packet.dir/field.cpp.o"
+  "CMakeFiles/caya_packet.dir/field.cpp.o.d"
+  "CMakeFiles/caya_packet.dir/ipv4.cpp.o"
+  "CMakeFiles/caya_packet.dir/ipv4.cpp.o.d"
+  "CMakeFiles/caya_packet.dir/ipv6.cpp.o"
+  "CMakeFiles/caya_packet.dir/ipv6.cpp.o.d"
+  "CMakeFiles/caya_packet.dir/packet.cpp.o"
+  "CMakeFiles/caya_packet.dir/packet.cpp.o.d"
+  "CMakeFiles/caya_packet.dir/tcp.cpp.o"
+  "CMakeFiles/caya_packet.dir/tcp.cpp.o.d"
+  "CMakeFiles/caya_packet.dir/tcp_flags.cpp.o"
+  "CMakeFiles/caya_packet.dir/tcp_flags.cpp.o.d"
+  "CMakeFiles/caya_packet.dir/udp.cpp.o"
+  "CMakeFiles/caya_packet.dir/udp.cpp.o.d"
+  "libcaya_packet.a"
+  "libcaya_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caya_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

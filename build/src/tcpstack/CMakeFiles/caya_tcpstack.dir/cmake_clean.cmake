@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caya_tcpstack.dir/os_profile.cpp.o"
+  "CMakeFiles/caya_tcpstack.dir/os_profile.cpp.o.d"
+  "CMakeFiles/caya_tcpstack.dir/tcp_endpoint.cpp.o"
+  "CMakeFiles/caya_tcpstack.dir/tcp_endpoint.cpp.o.d"
+  "libcaya_tcpstack.a"
+  "libcaya_tcpstack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caya_tcpstack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

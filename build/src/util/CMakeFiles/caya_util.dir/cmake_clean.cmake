@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caya_util.dir/bytes.cpp.o"
+  "CMakeFiles/caya_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/caya_util.dir/checksum.cpp.o"
+  "CMakeFiles/caya_util.dir/checksum.cpp.o.d"
+  "CMakeFiles/caya_util.dir/log.cpp.o"
+  "CMakeFiles/caya_util.dir/log.cpp.o.d"
+  "CMakeFiles/caya_util.dir/rng.cpp.o"
+  "CMakeFiles/caya_util.dir/rng.cpp.o.d"
+  "CMakeFiles/caya_util.dir/stats.cpp.o"
+  "CMakeFiles/caya_util.dir/stats.cpp.o.d"
+  "libcaya_util.a"
+  "libcaya_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caya_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_carrier.dir/test_carrier.cpp.o"
+  "CMakeFiles/test_carrier.dir/test_carrier.cpp.o.d"
+  "test_carrier"
+  "test_carrier.pdb"
+  "test_carrier[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_carrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_censors.dir/test_censors.cpp.o"
+  "CMakeFiles/test_censors.dir/test_censors.cpp.o.d"
+  "test_censors"
+  "test_censors.pdb"
+  "test_censors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_censors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

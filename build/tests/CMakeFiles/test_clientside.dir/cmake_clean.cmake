@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clientside.dir/test_clientside.cpp.o"
+  "CMakeFiles/test_clientside.dir/test_clientside.cpp.o.d"
+  "test_clientside"
+  "test_clientside.pdb"
+  "test_clientside[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clientside.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_country.dir/test_country.cpp.o"
+  "CMakeFiles/test_country.dir/test_country.cpp.o.d"
+  "test_country"
+  "test_country.pdb"
+  "test_country[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_country.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

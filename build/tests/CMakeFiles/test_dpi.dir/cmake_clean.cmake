@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dpi.dir/test_dpi.cpp.o"
+  "CMakeFiles/test_dpi.dir/test_dpi.cpp.o.d"
+  "test_dpi"
+  "test_dpi.pdb"
+  "test_dpi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

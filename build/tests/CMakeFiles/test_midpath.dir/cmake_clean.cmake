@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_midpath.dir/test_midpath.cpp.o"
+  "CMakeFiles/test_midpath.dir/test_midpath.cpp.o.d"
+  "test_midpath"
+  "test_midpath.pdb"
+  "test_midpath[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_midpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_os_profiles.cpp" "tests/CMakeFiles/test_os_profiles.dir/test_os_profiles.cpp.o" "gcc" "tests/CMakeFiles/test_os_profiles.dir/test_os_profiles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/caya_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/geneva/CMakeFiles/caya_geneva.dir/DependInfo.cmake"
+  "/root/repo/build/src/censor/CMakeFiles/caya_censor.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/caya_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcpstack/CMakeFiles/caya_tcpstack.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/caya_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/caya_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/caya_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_os_profiles.dir/test_os_profiles.cpp.o"
+  "CMakeFiles/test_os_profiles.dir/test_os_profiles.cpp.o.d"
+  "test_os_profiles"
+  "test_os_profiles.pdb"
+  "test_os_profiles[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_os_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prior_work.dir/test_prior_work.cpp.o"
+  "CMakeFiles/test_prior_work.dir/test_prior_work.cpp.o.d"
+  "test_prior_work"
+  "test_prior_work.pdb"
+  "test_prior_work[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prior_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_species.dir/test_species.cpp.o"
+  "CMakeFiles/test_species.dir/test_species.cpp.o.d"
+  "test_species"
+  "test_species.pdb"
+  "test_species[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_species.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

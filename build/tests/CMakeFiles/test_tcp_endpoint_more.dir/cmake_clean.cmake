@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcp_endpoint_more.dir/test_tcp_endpoint_more.cpp.o"
+  "CMakeFiles/test_tcp_endpoint_more.dir/test_tcp_endpoint_more.cpp.o.d"
+  "test_tcp_endpoint_more"
+  "test_tcp_endpoint_more.pdb"
+  "test_tcp_endpoint_more[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcp_endpoint_more.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

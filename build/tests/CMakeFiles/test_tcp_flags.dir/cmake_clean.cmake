@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcp_flags.dir/test_tcp_flags.cpp.o"
+  "CMakeFiles/test_tcp_flags.dir/test_tcp_flags.cpp.o.d"
+  "test_tcp_flags"
+  "test_tcp_flags.pdb"
+  "test_tcp_flags[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcp_flags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

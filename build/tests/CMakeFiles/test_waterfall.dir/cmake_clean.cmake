@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_waterfall.dir/test_waterfall.cpp.o"
+  "CMakeFiles/test_waterfall.dir/test_waterfall.cpp.o.d"
+  "test_waterfall"
+  "test_waterfall.pdb"
+  "test_waterfall[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_waterfall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wire_signatures.dir/test_wire_signatures.cpp.o"
+  "CMakeFiles/test_wire_signatures.dir/test_wire_signatures.cpp.o.d"
+  "test_wire_signatures"
+  "test_wire_signatures.pdb"
+  "test_wire_signatures[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wire_signatures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

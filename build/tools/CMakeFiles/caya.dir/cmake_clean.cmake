@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caya.dir/caya_cli.cpp.o"
+  "CMakeFiles/caya.dir/caya_cli.cpp.o.d"
+  "caya"
+  "caya.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caya.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
