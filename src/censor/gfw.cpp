@@ -384,4 +384,8 @@ void ChinaCensor::reset() {
   for (const auto& box : boxes_) box->reset();
 }
 
+void ChinaCensor::set_fault_schedule(const FaultSchedule& schedule) {
+  for (const auto& box : boxes_) box->set_fault_schedule(schedule);
+}
+
 }  // namespace caya

@@ -163,6 +163,11 @@ class ChinaCensor {
   [[nodiscard]] GfwBox& box(AppProtocol proto);
   void reset();
 
+  /// Attaches a copy of `schedule` to every box (each keeps its own cursor):
+  /// the whole colocated deployment flushes/stalls/restarts together, which
+  /// models a failover of the shared path tap.
+  void set_fault_schedule(const FaultSchedule& schedule);
+
  private:
   std::vector<std::unique_ptr<GfwBox>> boxes_;
 };

@@ -1,24 +1,117 @@
 #include "eval/rates.h"
 
+#include <iomanip>
+#include <sstream>
+#include <utility>
+
 namespace caya {
 
-RateCounter measure_rate(Country country, AppProtocol protocol,
-                         const std::optional<Strategy>& strategy,
-                         const RateOptions& options) {
-  RateCounter counter;
+std::string_view to_string(ImpairmentProfile profile) noexcept {
+  switch (profile) {
+    case ImpairmentProfile::kClean: return "clean";
+    case ImpairmentProfile::kLossy: return "lossy";
+    case ImpairmentProfile::kBursty: return "bursty";
+    case ImpairmentProfile::kFlakyCensor: return "flaky-censor";
+  }
+  return "?";
+}
+
+std::optional<ImpairmentProfile> parse_profile(std::string_view name) noexcept {
+  for (const ImpairmentProfile profile : all_profiles()) {
+    if (name == to_string(profile)) return profile;
+  }
+  return std::nullopt;
+}
+
+const std::vector<ImpairmentProfile>& all_profiles() {
+  static const std::vector<ImpairmentProfile> kAll = {
+      ImpairmentProfile::kClean, ImpairmentProfile::kLossy,
+      ImpairmentProfile::kBursty, ImpairmentProfile::kFlakyCensor};
+  return kAll;
+}
+
+void apply_profile(ImpairmentProfile profile, Environment::Config& config) {
+  switch (profile) {
+    case ImpairmentProfile::kClean:
+      config.net.link = LinkModel::Config{};
+      config.censor_faults = FaultSchedule{};
+      return;
+    case ImpairmentProfile::kLossy: {
+      // Steady 2% random loss plus mild jitter on every lane: the kind of
+      // long-haul residential path the paper's measurement clients sit on.
+      Impairments imp;
+      imp.loss = 0.02;
+      imp.reorder = 0.05;
+      imp.jitter_min = duration::ms(1);
+      imp.jitter_max = duration::ms(5);
+      config.net.link.set_all(imp);
+      return;
+    }
+    case ImpairmentProfile::kBursty: {
+      // Gilbert–Elliott bursts (outages of a few packets) plus reordering —
+      // stresses retransmission paths and the censors' resync machinery.
+      Impairments imp;
+      imp.burst.p_good_to_bad = 0.05;
+      imp.burst.p_bad_to_good = 0.3;
+      imp.burst.loss_bad = 0.6;
+      imp.reorder = 0.1;
+      imp.jitter_min = duration::ms(2);
+      imp.jitter_max = duration::ms(10);
+      config.net.link.set_all(imp);
+      return;
+    }
+    case ImpairmentProfile::kFlakyCensor: {
+      // A clean link, but the censor deployment fails over mid-connection:
+      // a restart (state wipe + 10 ms fail-open outage) during the
+      // handshake/early data exchange, then a plain state flush later. Each
+      // trial starts at sim time 0, so the schedule fires every trial.
+      config.net.link = LinkModel::Config{};
+      FaultSchedule faults;
+      faults.add({duration::ms(15), FaultKind::kRestart, duration::ms(10)});
+      faults.add({duration::ms(200), FaultKind::kFlush, 0});
+      config.censor_faults = std::move(faults);
+      return;
+    }
+  }
+}
+
+namespace {
+
+struct RatePoint {
+  RateCounter rate;
+  std::size_t timeouts = 0;
+};
+
+RatePoint run_trials(Country country, AppProtocol protocol,
+                     const std::optional<Strategy>& strategy,
+                     const RateOptions& options,
+                     const LinkModel::Config* link_override) {
+  RatePoint point;
   for (std::size_t i = 0; i < options.trials; ++i) {
     Environment::Config env_config;
     env_config.country = country;
     env_config.protocol = protocol;
     env_config.seed = options.base_seed + i;
+    apply_profile(options.profile, env_config);
+    if (link_override != nullptr) env_config.net.link = *link_override;
 
     ConnectionOptions conn;
     conn.server_strategy = strategy;
     conn.client_os = options.client_os;
 
-    counter.record(run_trial(env_config, conn).success);
+    const TrialResult result = run_trial(env_config, conn);
+    point.rate.record(result.success);
+    if (result.timed_out) ++point.timeouts;
   }
-  return counter;
+  return point;
+}
+
+}  // namespace
+
+RateCounter measure_rate(Country country, AppProtocol protocol,
+                         const std::optional<Strategy>& strategy,
+                         const RateOptions& options) {
+  return run_trials(country, protocol, strategy, options, nullptr).rate;
 }
 
 FitnessFn make_fitness(Country country, AppProtocol protocol,
@@ -31,6 +124,102 @@ FitnessFn make_fitness(Country country, AppProtocol protocol,
         measure_rate(country, protocol, strategy, options);
     return rate.rate() * 100.0;
   };
+}
+
+FitnessFn make_robust_fitness(Country country, AppProtocol protocol,
+                              std::size_t trials, std::uint64_t base_seed,
+                              std::vector<ImpairmentProfile> profiles) {
+  if (profiles.empty()) profiles = all_profiles();
+  return [=, profiles = std::move(profiles)](const Strategy& strategy) {
+    double sum = 0.0;
+    for (std::size_t p = 0; p < profiles.size(); ++p) {
+      RateOptions options;
+      options.trials = trials;
+      // Disjoint seed blocks per profile so the clean and impaired runs are
+      // independent samples rather than replays of the same randomness.
+      options.base_seed = base_seed + p * trials;
+      options.profile = profiles[p];
+      sum += measure_rate(country, protocol, strategy, options).rate();
+    }
+    return sum / static_cast<double>(profiles.size()) * 100.0;
+  };
+}
+
+// ---- Impairment sweeps ----------------------------------------------------
+
+std::string_view to_string(SweepAxis axis) noexcept {
+  switch (axis) {
+    case SweepAxis::kLoss: return "loss";
+    case SweepAxis::kBurst: return "burst";
+    case SweepAxis::kReorder: return "reorder";
+  }
+  return "?";
+}
+
+LinkModel::Config sweep_link_config(SweepAxis axis, double value) {
+  Impairments imp;
+  switch (axis) {
+    case SweepAxis::kLoss:
+      imp.loss = value;
+      break;
+    case SweepAxis::kBurst:
+      imp.burst.p_good_to_bad = value;
+      imp.burst.p_bad_to_good = 0.3;
+      imp.burst.loss_bad = 0.75;
+      break;
+    case SweepAxis::kReorder:
+      imp.reorder = value;
+      imp.jitter_min = duration::ms(2);
+      imp.jitter_max = duration::ms(12);
+      break;
+  }
+  LinkModel::Config link;
+  link.set_all(imp);
+  return link;
+}
+
+std::vector<SweepCurve> measure_impairment_sweep(
+    Country country, AppProtocol protocol,
+    const std::vector<std::pair<std::string, std::optional<Strategy>>>&
+        strategies,
+    SweepAxis axis, const std::vector<double>& values,
+    const RateOptions& options) {
+  std::vector<SweepCurve> curves;
+  curves.reserve(strategies.size());
+  for (const auto& [name, strategy] : strategies) {
+    SweepCurve curve;
+    curve.strategy_name = name;
+    curve.points.reserve(values.size());
+    for (const double value : values) {
+      const LinkModel::Config link = sweep_link_config(axis, value);
+      const RatePoint point =
+          run_trials(country, protocol, strategy, options, &link);
+      curve.points.push_back({value, point.rate, point.timeouts});
+    }
+    curves.push_back(std::move(curve));
+  }
+  return curves;
+}
+
+std::string render_sweep(const std::vector<SweepCurve>& curves,
+                         SweepAxis axis) {
+  std::ostringstream out;
+  if (curves.empty()) return out.str();
+  out << std::left << std::setw(38) << to_string(axis);
+  for (const SweepPoint& point : curves.front().points) {
+    std::ostringstream v;
+    v << std::setprecision(3) << point.value;
+    out << std::right << std::setw(8) << v.str();
+  }
+  out << '\n';
+  for (const SweepCurve& curve : curves) {
+    out << std::left << std::setw(38) << curve.strategy_name;
+    for (const SweepPoint& point : curve.points) {
+      out << std::right << std::setw(8) << percent(point.rate.rate());
+    }
+    out << '\n';
+  }
+  return out.str();
 }
 
 }  // namespace caya

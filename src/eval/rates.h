@@ -1,8 +1,14 @@
 // Success-rate measurement over repeated trials — the machinery behind the
-// Table 2 reproduction and the GA's fitness function.
+// Table 2 reproduction and the GA's fitness function — plus the robustness
+// harness: named impairment profiles and success-rate-vs-impairment sweeps.
 #pragma once
 
 #include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "eval/trial.h"
 #include "geneva/ga.h"
@@ -10,10 +16,29 @@
 
 namespace caya {
 
+/// Named path/censor conditions for the robustness experiments. Profiles map
+/// onto the paper's deployment reality: `clean` is the calibrated Table 2
+/// substrate; `lossy` and `bursty` reproduce the degraded paths measurement
+/// work reports between vantage points and far-away servers; `flaky-censor`
+/// models middlebox failover (a mid-connection state flush and a restart
+/// outage), the condition under which the GFW's resynchronization machinery
+/// is entered in the wild.
+enum class ImpairmentProfile { kClean, kLossy, kBursty, kFlakyCensor };
+
+[[nodiscard]] std::string_view to_string(ImpairmentProfile profile) noexcept;
+[[nodiscard]] std::optional<ImpairmentProfile> parse_profile(
+    std::string_view name) noexcept;
+[[nodiscard]] const std::vector<ImpairmentProfile>& all_profiles();
+
+/// Applies `profile` to an environment config (link impairments and, for
+/// flaky-censor, the censor fault schedule).
+void apply_profile(ImpairmentProfile profile, Environment::Config& config);
+
 struct RateOptions {
   std::size_t trials = 200;
   std::uint64_t base_seed = 1000;
   OsProfile client_os = OsProfile::linux_default();
+  ImpairmentProfile profile = ImpairmentProfile::kClean;
 };
 
 /// Runs `trials` independent connections (fresh Environment per trial so
@@ -27,5 +52,52 @@ struct RateOptions {
 [[nodiscard]] FitnessFn make_fitness(Country country, AppProtocol protocol,
                                      std::size_t trials,
                                      std::uint64_t base_seed);
+
+/// Robust Geneva fitness: the mean success-rate (x100) across `profiles`
+/// (`trials` connections per profile) — evolves strategies that keep working
+/// on degraded paths and across censor failovers, not just on a clean link.
+[[nodiscard]] FitnessFn make_robust_fitness(
+    Country country, AppProtocol protocol, std::size_t trials,
+    std::uint64_t base_seed, std::vector<ImpairmentProfile> profiles);
+
+// ---- Impairment sweeps ----------------------------------------------------
+
+/// The impairment dimension a sweep varies.
+enum class SweepAxis {
+  kLoss,     // uniform per-traversal loss probability on all four lanes
+  kBurst,    // Gilbert–Elliott p(good->bad); bad-state loss fixed at 0.75
+  kReorder,  // jitter probability on all four lanes (2–12 ms spread)
+};
+
+[[nodiscard]] std::string_view to_string(SweepAxis axis) noexcept;
+
+/// Builds the link configuration for one sweep point.
+[[nodiscard]] LinkModel::Config sweep_link_config(SweepAxis axis,
+                                                  double value);
+
+struct SweepPoint {
+  double value = 0.0;          // the axis setting
+  RateCounter rate;            // app-level success over the trials
+  std::size_t timeouts = 0;    // trials cut off by the deadline/event cap
+};
+
+struct SweepCurve {
+  std::string strategy_name;
+  std::vector<SweepPoint> points;
+};
+
+/// Success-rate-vs-impairment curves: for each named strategy, measures the
+/// success rate at every axis value. Deterministic for a fixed base_seed.
+[[nodiscard]] std::vector<SweepCurve> measure_impairment_sweep(
+    Country country, AppProtocol protocol,
+    const std::vector<std::pair<std::string, std::optional<Strategy>>>&
+        strategies,
+    SweepAxis axis, const std::vector<double>& values,
+    const RateOptions& options = {});
+
+/// Renders curves as an aligned text table (axis value columns x strategy
+/// rows), the format bench_robustness_sweeps and `caya sweep` print.
+[[nodiscard]] std::string render_sweep(const std::vector<SweepCurve>& curves,
+                                       SweepAxis axis);
 
 }  // namespace caya

@@ -38,6 +38,28 @@ Environment::Environment(Config config)
       net_->add_middlebox(kazakh_.get());
       break;
   }
+
+  if (!config_.censor_faults.empty()) {
+    if (china_) {
+      china_->set_fault_schedule(config_.censor_faults);
+    }
+    if (airtel_) airtel_->set_fault_schedule(config_.censor_faults);
+    if (iran_) iran_->set_fault_schedule(config_.censor_faults);
+    if (kazakh_) kazakh_->set_fault_schedule(config_.censor_faults);
+  }
+}
+
+bool Environment::run_bounded(Time deadline, std::size_t max_events) {
+  const Time deadline_abs = loop_.now() + deadline;
+  std::size_t ran = 0;
+  while (!loop_.empty() && ran < max_events &&
+         loop_.next_at() <= deadline_abs) {
+    (void)loop_.run_one();
+    ++ran;
+  }
+  // Anything still pending was cut off by the deadline or the event cap: the
+  // connection never reached quiescence (dropped FIN, retransmit storm, ...).
+  return !loop_.empty();
 }
 
 std::size_t Environment::censored_total() const {
@@ -105,8 +127,6 @@ TrialResult Environment::run_connection(const ConnectionOptions& options) {
     net_->set_server(nullptr);
   };
 
-  constexpr std::size_t kMaxEvents = 500000;
-
   switch (config_.protocol) {
     case AppProtocol::kHttp: {
       HttpServer server(loop_, *net_, eval_server_addr(), server_port_,
@@ -119,7 +139,7 @@ TrialResult Environment::run_connection(const ConnectionOptions& options) {
       client.endpoint().set_suppress_induced_rst(
           options.suppress_induced_rst);
       client.start();
-      loop_.run(kMaxEvents);
+      result.timed_out = run_bounded(options.deadline, options.max_events);
       finish(client.succeeded(), client.was_reset());
       return result;
     }
@@ -132,7 +152,7 @@ TrialResult Environment::run_connection(const ConnectionOptions& options) {
       client.endpoint().set_suppress_induced_rst(
           options.suppress_induced_rst);
       client.start();
-      loop_.run(kMaxEvents);
+      result.timed_out = run_bounded(options.deadline, options.max_events);
       finish(client.succeeded(), client.was_reset());
       return result;
     }
@@ -145,7 +165,7 @@ TrialResult Environment::run_connection(const ConnectionOptions& options) {
       net_->set_server(&server);
       net_->set_client(&client);
       client.start();
-      loop_.run(kMaxEvents);
+      result.timed_out = run_bounded(options.deadline, options.max_events);
       finish(client.succeeded(), !client.succeeded());
       return result;
     }
@@ -158,7 +178,7 @@ TrialResult Environment::run_connection(const ConnectionOptions& options) {
       client.endpoint().set_suppress_induced_rst(
           options.suppress_induced_rst);
       client.start();
-      loop_.run(kMaxEvents);
+      result.timed_out = run_bounded(options.deadline, options.max_events);
       finish(client.succeeded(), client.was_reset());
       return result;
     }
@@ -171,7 +191,7 @@ TrialResult Environment::run_connection(const ConnectionOptions& options) {
       client.endpoint().set_suppress_induced_rst(
           options.suppress_induced_rst);
       client.start();
-      loop_.run(kMaxEvents);
+      result.timed_out = run_bounded(options.deadline, options.max_events);
       finish(client.succeeded(), client.was_reset());
       return result;
     }

@@ -38,11 +38,18 @@ struct ConnectionOptions {
   std::int32_t client_data_seq_shift = 0;
   bool suppress_induced_rst = false;
   bool record_trace = false;
+  /// Robustness bounds: a connection that has not reached quiescence within
+  /// `deadline` of simulated time (or `max_events` loop events — a
+  /// retransmit storm under heavy impairment) is cut off and classified as
+  /// timed out instead of hanging the harness.
+  Time deadline = duration::sec(60);
+  std::size_t max_events = 500000;
 };
 
 struct TrialResult {
   bool success = false;       // paper criterion: correct data, no teardown
   bool client_reset = false;
+  bool timed_out = false;     // cut off by the deadline or the event cap
   std::size_t censor_events = 0;  // censorship actions during the connection
   double server_amplification = 1.0;  // packets out per packet in (§8)
   Trace trace;                // populated when record_trace was set
@@ -62,6 +69,9 @@ class Environment {
         ChinaCensor::Architecture::kMultiBox;
     /// §7 cellular anecdote: interpose a carrier middlebox on the path.
     CarrierNetwork carrier = CarrierNetwork::kWifi;
+    /// Scheduled censor faults (state flush / stall / restart), applied to
+    /// every censor middlebox of the configured country.
+    FaultSchedule censor_faults;
   };
 
   explicit Environment(Config config);
@@ -82,6 +92,10 @@ class Environment {
   [[nodiscard]] std::size_t censored_total() const;
 
  private:
+  /// Runs the loop until quiescence, the sim-time deadline, or the event
+  /// cap; returns true when the connection was cut off (timed out).
+  bool run_bounded(Time deadline, std::size_t max_events);
+
   Config config_;
   Rng rng_;
   EventLoop loop_;

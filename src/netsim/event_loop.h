@@ -29,6 +29,8 @@ class EventLoop {
   [[nodiscard]] Time now() const noexcept { return now_; }
   [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
   [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  /// Fire time of the earliest pending event (undefined when empty()).
+  [[nodiscard]] Time next_at() const noexcept { return queue_.top().at; }
 
   /// Runs a single event; returns false if the queue was empty.
   bool run_one();

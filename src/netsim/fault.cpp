@@ -1,0 +1,32 @@
+#include "netsim/fault.h"
+
+namespace caya {
+
+void FaultSchedule::add(FaultEvent event) {
+  const auto pos = std::upper_bound(
+      events_.begin(), events_.end(), event,
+      [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+  if (static_cast<std::size_t>(pos - events_.begin()) < next_) {
+    ++next_;  // keep already-fired events fired
+  }
+  events_.insert(pos, event);
+}
+
+std::vector<FaultEvent> FaultSchedule::take_due(Time now) {
+  std::vector<FaultEvent> due;
+  while (next_ < events_.size() && events_[next_].at <= now) {
+    due.push_back(events_[next_]);
+    ++next_;
+  }
+  return due;
+}
+
+bool FaultSchedule::stalled_at(Time now) const noexcept {
+  for (const FaultEvent& ev : events_) {
+    if (ev.kind == FaultKind::kFlush) continue;
+    if (now >= ev.at && now < ev.at + ev.duration) return true;
+  }
+  return false;
+}
+
+}  // namespace caya

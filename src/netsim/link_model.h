@@ -1,0 +1,139 @@
+// Deterministic link-impairment model.
+//
+// The paper's strategies live or die on real, lossy paths: the GFW's
+// resynchronization state machine (§5) is *entered* precisely when the censor
+// observes gaps, retransmissions and out-of-order segments, and follow-up
+// measurement work (Yadav et al.; Nourin et al.) shows evasion success rates
+// are highly sensitive to path conditions. This model impairs each of the two
+// path segments (client<->censor and censor<->server) independently, per
+// direction, with:
+//
+//   * independent uniform per-traversal loss,
+//   * Gilbert–Elliott two-state bursty loss,
+//   * reordering (probabilistic delay jitter with a configurable spread),
+//   * duplication,
+//   * bit corruption (the checksum is pinned to its pre-corruption value, so
+//     checksum-verifying endpoints drop the packet while most censors, which
+//     do not verify, still inspect it),
+//   * timed link flaps (deterministic outage windows).
+//
+// Every impairment on every (segment, direction) draws from its *own* forked
+// RNG stream, so toggling one impairment never perturbs another's outcomes:
+// the loss pattern with duplication enabled is byte-identical to the loss
+// pattern without it.
+#pragma once
+
+#include <array>
+#include <string_view>
+#include <vector>
+
+#include "netsim/endpoint.h"
+#include "netsim/time.h"
+#include "packet/packet.h"
+#include "util/rng.h"
+
+namespace caya {
+
+/// Two-state Markov (Gilbert–Elliott) loss: the link alternates between a
+/// good and a bad state with per-packet transition probabilities, and drops
+/// with a state-dependent probability. Disabled while p_good_to_bad == 0.
+struct GilbertElliott {
+  double p_good_to_bad = 0.0;
+  double p_bad_to_good = 0.3;
+  double loss_good = 0.0;
+  double loss_bad = 0.75;
+
+  [[nodiscard]] bool enabled() const noexcept { return p_good_to_bad > 0.0; }
+};
+
+/// A deterministic outage: every traversal in [at, at + duration) is dropped.
+struct LinkFlap {
+  Time at = 0;
+  Time duration = 0;
+};
+
+/// Impairments for one direction of one path segment.
+struct Impairments {
+  double loss = 0.0;       // independent per-traversal loss
+  GilbertElliott burst;    // bursty loss, on top of `loss`
+  double duplicate = 0.0;  // P(deliver a second copy)
+  double corrupt = 0.0;    // P(flip a bit; checksum left stale)
+  double reorder = 0.0;    // P(extra jitter delay is added)
+  Time jitter_min = 0;     // extra delay drawn uniformly from
+  Time jitter_max = 0;     //   [jitter_min, jitter_max]
+  std::vector<LinkFlap> flaps;
+
+  [[nodiscard]] bool any() const noexcept {
+    return loss > 0.0 || burst.enabled() || duplicate > 0.0 ||
+           corrupt > 0.0 || reorder > 0.0 || !flaps.empty();
+  }
+};
+
+/// The two physical segments of the simulated path.
+enum class LinkSegment { kClientCensor, kCensorServer };
+
+/// The fate of one packet traversal, as decided by the model.
+struct LinkDecision {
+  bool drop = false;
+  bool duplicate = false;
+  bool corrupt = false;
+  Time extra_delay = 0;             // reordering jitter
+  std::string_view drop_reason;     // set when drop is true
+};
+
+class LinkModel {
+ public:
+  struct Config {
+    Impairments client_censor_up;    // client -> censor
+    Impairments client_censor_down;  // censor -> client
+    Impairments censor_server_up;    // censor -> server
+    Impairments censor_server_down;  // server -> censor
+
+    /// The impairments governing `segment` traversed toward `dir`'s sink.
+    [[nodiscard]] Impairments& at(LinkSegment segment, Direction dir);
+    [[nodiscard]] const Impairments& at(LinkSegment segment,
+                                        Direction dir) const;
+    /// Applies the same impairments to all four (segment, direction) lanes.
+    void set_all(const Impairments& impairments);
+
+    [[nodiscard]] bool any() const noexcept {
+      return client_censor_up.any() || client_censor_down.any() ||
+             censor_server_up.any() || censor_server_down.any();
+    }
+  };
+
+  LinkModel(Config config, Rng rng);
+
+  /// Decides the fate of one traversal of `segment` in direction `dir` at
+  /// simulated time `now`. Every impairment stream consumes exactly one draw
+  /// per traversal (two for the burst stream), independent of the other
+  /// impairments' settings and outcomes — the determinism guarantee.
+  [[nodiscard]] LinkDecision traverse(LinkSegment segment, Direction dir,
+                                      Time now);
+
+  /// Flips one bit of `pkt` while pinning the TCP checksum to its
+  /// pre-corruption value: checksum-verifying endpoints will discard the
+  /// packet, checksum-blind censors will still inspect it.
+  static void corrupt_packet(Packet& pkt);
+
+ private:
+  struct Lane {
+    Impairments config;
+    Rng loss_rng = Rng(0);
+    Rng burst_rng = Rng(0);
+    Rng duplicate_rng = Rng(0);
+    Rng corrupt_rng = Rng(0);
+    Rng reorder_rng = Rng(0);
+    bool burst_bad = false;
+  };
+
+  [[nodiscard]] Lane& lane(LinkSegment segment, Direction dir) noexcept {
+    const std::size_t seg = segment == LinkSegment::kClientCensor ? 0 : 1;
+    const std::size_t d = dir == Direction::kClientToServer ? 0 : 1;
+    return lanes_[seg * 2 + d];
+  }
+
+  std::array<Lane, 4> lanes_;
+};
+
+}  // namespace caya

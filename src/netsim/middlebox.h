@@ -7,9 +7,11 @@
 #pragma once
 
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "netsim/endpoint.h"
+#include "netsim/fault.h"
 #include "netsim/time.h"
 #include "packet/packet.h"
 
@@ -52,6 +54,18 @@ class Middlebox {
 
   /// Resets all per-flow state (between trials).
   virtual void reset() {}
+
+  /// Attaches a schedule of faults (state flushes, stalls, restarts). The
+  /// Network consults it before each packet crosses this box; see fault.h.
+  void set_fault_schedule(FaultSchedule schedule) {
+    faults_ = std::move(schedule);
+  }
+  [[nodiscard]] FaultSchedule* fault_schedule() noexcept {
+    return faults_.empty() ? nullptr : &faults_;
+  }
+
+ private:
+  FaultSchedule faults_;
 };
 
 /// A friendly in-path element running a Geneva engine over one direction of

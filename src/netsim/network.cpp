@@ -4,9 +4,34 @@
 #include <utility>
 
 namespace caya {
+namespace {
+
+// Two independent loss processes survive or drop a traversal together.
+double combine_loss(double a, double b) {
+  return 1.0 - (1.0 - a) * (1.0 - b);
+}
+
+// Folds the legacy Config::loss knob into the link model: one draw per
+// endpoint send, applied on the sender's own segment (the same distribution
+// the old single-draw-per-transmit code produced), drawn from the dedicated
+// loss stream so it never perturbs delivery ordering or other impairments.
+LinkModel::Config effective_link(const Network::Config& config) {
+  LinkModel::Config link = config.link;
+  link.client_censor_up.loss =
+      combine_loss(link.client_censor_up.loss, config.loss);
+  link.censor_server_down.loss =
+      combine_loss(link.censor_server_down.loss, config.loss);
+  return link;
+}
+
+}  // namespace
 
 Network::Network(EventLoop& loop, Config config, Rng rng, Logger logger)
-    : loop_(loop), config_(config), rng_(rng), logger_(std::move(logger)) {}
+    : loop_(loop),
+      config_(config),
+      rng_(rng),
+      logger_(std::move(logger)),
+      link_(effective_link(config), rng_.fork()) {}
 
 void Network::send_from_client(Packet pkt) {
   std::vector<Packet> out;
@@ -39,14 +64,45 @@ void Network::send_from_server(Packet pkt) {
 void Network::inject(Packet pkt, Direction toward) {
   trace_.record(
       {loop_.now(), TracePoint::kCensorInjected, toward, pkt, "injected"});
+  // Injected packets ride the segment from the censor hop to their target
+  // and face that lane's impairments like any other traffic.
+  const LinkSegment segment = toward == Direction::kClientToServer
+                                  ? LinkSegment::kCensorServer
+                                  : LinkSegment::kClientCensor;
+  Time extra_delay = 0;
+  bool duplicate = false;
+  if (!impair(pkt, segment, toward, extra_delay, duplicate)) return;
   const int hops = toward == Direction::kClientToServer
                        ? config_.censor_to_server_hops
                        : config_.client_to_censor_hops;
-  const Time arrival = loop_.now() + static_cast<Time>(hops) *
-                                         config_.per_hop_delay;
-  loop_.schedule_at(arrival, [this, pkt = std::move(pkt), toward]() mutable {
+  const Time arrival = loop_.now() +
+                       static_cast<Time>(hops) * config_.per_hop_delay +
+                       extra_delay;
+  loop_.schedule_at(arrival, [this, pkt, toward]() mutable {
     deliver_to_endpoint(std::move(pkt), toward);
   });
+  if (duplicate) {
+    trace_.record({loop_.now(), TracePoint::kDuplicated, toward, pkt,
+                   "link duplication"});
+    loop_.schedule_at(arrival + duration::us(1),
+                      [this, pkt = std::move(pkt), toward]() mutable {
+                        deliver_to_endpoint(std::move(pkt), toward);
+                      });
+  }
+}
+
+bool Network::apply_faults(Middlebox* box, const Packet& pkt,
+                           Direction dir) {
+  FaultSchedule* faults = box->fault_schedule();
+  if (faults == nullptr) return false;
+  for (const FaultEvent& ev : faults->take_due(loop_.now())) {
+    const char* note = ev.kind == FaultKind::kFlush   ? "censor state flush"
+                       : ev.kind == FaultKind::kStall ? "censor stall"
+                                                      : "censor restart";
+    if (ev.kind != FaultKind::kStall) box->reset();
+    trace_.record({loop_.now(), TracePoint::kCensorFault, dir, pkt, note});
+  }
+  return faults->stalled_at(loop_.now());
 }
 
 std::vector<Packet> Network::run_middleboxes(Packet pkt, Direction dir) {
@@ -60,6 +116,11 @@ std::vector<Packet> Network::run_middleboxes(Packet pkt, Direction dir) {
   std::vector<Packet> in_flight;
   in_flight.push_back(std::move(pkt));
   for (Middlebox* box : order) {
+    if (in_flight.empty()) break;
+    if (apply_faults(box, in_flight.front(), dir)) {
+      // Stalled box: fail open — traffic passes uninspected.
+      continue;
+    }
     std::vector<Packet> next;
     for (auto& p : in_flight) {
       if (box->in_path()) {
@@ -80,11 +141,36 @@ std::vector<Packet> Network::run_middleboxes(Packet pkt, Direction dir) {
   return in_flight;
 }
 
-void Network::transmit(Packet pkt, Direction dir, bool from_censor) {
-  if (rng_.chance(config_.loss)) {
-    trace_.record({loop_.now(), TracePoint::kLost, dir, pkt, "link loss"});
-    return;
+bool Network::impair(Packet& pkt, LinkSegment segment, Direction dir,
+                     Time& extra_delay, bool& duplicate) {
+  const LinkDecision decision = link_.traverse(segment, dir, loop_.now());
+  if (decision.drop) {
+    trace_.record({loop_.now(), TracePoint::kLost, dir, pkt,
+                   std::string(decision.drop_reason)});
+    return false;
   }
+  if (decision.corrupt) {
+    LinkModel::corrupt_packet(pkt);
+    trace_.record(
+        {loop_.now(), TracePoint::kCorrupted, dir, pkt, "bit corruption"});
+  }
+  if (decision.extra_delay > 0) {
+    trace_.record({loop_.now(), TracePoint::kReordered, dir, pkt,
+                   "jitter delay"});
+  }
+  extra_delay = decision.extra_delay;
+  duplicate = decision.duplicate;
+  return true;
+}
+
+void Network::transmit(Packet pkt, Direction dir, bool from_censor) {
+  // First segment: sender to the censor hop.
+  const LinkSegment first_segment = dir == Direction::kClientToServer
+                                        ? LinkSegment::kClientCensor
+                                        : LinkSegment::kCensorServer;
+  Time extra_delay = 0;
+  bool duplicate = false;
+  if (!impair(pkt, first_segment, dir, extra_delay, duplicate)) return;
 
   const int hops_to_censor = dir == Direction::kClientToServer
                                  ? config_.client_to_censor_hops
@@ -99,29 +185,55 @@ void Network::transmit(Packet pkt, Direction dir, bool from_censor) {
 
   const Time censor_arrival =
       loop_.now() +
-      static_cast<Time>(hops_to_censor) * config_.per_hop_delay;
-  loop_.schedule_at(
-      censor_arrival, [this, pkt = std::move(pkt), dir, hops_to_censor,
-                       hops_total]() mutable {
-        trace_.record(
-            {loop_.now(), TracePoint::kCensorSaw, dir, pkt, ""});
-        std::vector<Packet> survivors =
-            run_middleboxes(std::move(pkt), dir);
-        const Time remaining = static_cast<Time>(hops_total - hops_to_censor) *
-                               config_.per_hop_delay;
-        for (auto& p : survivors) {
-          if (p.ip.ttl < hops_total) {
-            trace_.record(
-                {loop_.now(), TracePoint::kLost, dir, p, "ttl expired"});
-            continue;
-          }
-          p.ip.ttl = static_cast<std::uint8_t>(p.ip.ttl - hops_total);
-          loop_.schedule_in(remaining,
-                            [this, p = std::move(p), dir]() mutable {
-                              deliver_to_endpoint(std::move(p), dir);
-                            });
-        }
-      });
+      static_cast<Time>(hops_to_censor) * config_.per_hop_delay + extra_delay;
+
+  // Second segment: censor hop to the receiver (traversed by each survivor
+  // of the middleboxes, with its own lane's impairments).
+  const LinkSegment second_segment = dir == Direction::kClientToServer
+                                         ? LinkSegment::kCensorServer
+                                         : LinkSegment::kClientCensor;
+  auto censor_leg = [this, dir, hops_total, hops_to_censor,
+                     second_segment](Packet arriving) mutable {
+    trace_.record({loop_.now(), TracePoint::kCensorSaw, dir, arriving, ""});
+    std::vector<Packet> survivors = run_middleboxes(std::move(arriving), dir);
+    const Time remaining =
+        static_cast<Time>(hops_total - hops_to_censor) * config_.per_hop_delay;
+    for (auto& p : survivors) {
+      if (p.ip.ttl < hops_total) {
+        trace_.record({loop_.now(), TracePoint::kLost, dir, p, "ttl expired"});
+        continue;
+      }
+      p.ip.ttl = static_cast<std::uint8_t>(p.ip.ttl - hops_total);
+      Time leg_delay = 0;
+      bool leg_duplicate = false;
+      if (!impair(p, second_segment, dir, leg_delay, leg_duplicate)) continue;
+      loop_.schedule_in(remaining + leg_delay,
+                        [this, p, dir]() mutable {
+                          deliver_to_endpoint(std::move(p), dir);
+                        });
+      if (leg_duplicate) {
+        trace_.record({loop_.now(), TracePoint::kDuplicated, dir, p,
+                       "link duplication"});
+        loop_.schedule_in(remaining + leg_delay + duration::us(1),
+                          [this, p = std::move(p), dir]() mutable {
+                            deliver_to_endpoint(std::move(p), dir);
+                          });
+      }
+    }
+  };
+
+  if (duplicate) {
+    trace_.record({loop_.now(), TracePoint::kDuplicated, dir, pkt,
+                   "link duplication"});
+    loop_.schedule_at(censor_arrival + duration::us(1),
+                      [censor_leg, copy = pkt]() mutable {
+                        censor_leg(std::move(copy));
+                      });
+  }
+  loop_.schedule_at(censor_arrival,
+                    [censor_leg, pkt = std::move(pkt)]() mutable {
+                      censor_leg(std::move(pkt));
+                    });
 }
 
 void Network::deliver_to_endpoint(Packet pkt, Direction dir) {

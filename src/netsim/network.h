@@ -12,6 +12,7 @@
 
 #include "netsim/endpoint.h"
 #include "netsim/event_loop.h"
+#include "netsim/link_model.h"
 #include "netsim/middlebox.h"
 #include "netsim/trace.h"
 #include "util/log.h"
@@ -25,7 +26,12 @@ class Network : public Injector {
     int client_to_censor_hops = 3;   // hops before the censor sees a packet
     int censor_to_server_hops = 7;   // hops from censor to server
     Time per_hop_delay = duration::ms(2);
-    double loss = 0.0;               // independent per-traversal loss
+    /// Legacy independent per-traversal loss: one draw per endpoint send,
+    /// applied on the sender's own segment. Folded into `link` (and drawn
+    /// from the loss stream, never shared with other impairments).
+    double loss = 0.0;
+    /// Per-segment, per-direction impairments (see link_model.h).
+    LinkModel::Config link;
   };
 
   Network(EventLoop& loop, Config config, Rng rng, Logger logger = {});
@@ -73,11 +79,21 @@ class Network : public Injector {
   /// the surviving (possibly rewritten) packets to forward.
   [[nodiscard]] std::vector<Packet> run_middleboxes(Packet pkt,
                                                     Direction dir);
+  /// Applies due fault-schedule events for `box` and reports whether the box
+  /// is currently stalled (fail-open: the packet passes uninspected).
+  [[nodiscard]] bool apply_faults(Middlebox* box, const Packet& pkt,
+                                  Direction dir);
+  /// Consults the link model for one traversal of `segment`; returns false
+  /// when the packet was dropped (already traced). On true, `pkt` may have
+  /// been corrupted and `extra_delay`/`duplicate` reflect the decision.
+  [[nodiscard]] bool impair(Packet& pkt, LinkSegment segment, Direction dir,
+                            Time& extra_delay, bool& duplicate);
 
   EventLoop& loop_;
   Config config_;
   Rng rng_;
   Logger logger_;
+  LinkModel link_;
   Trace trace_;
   Endpoint* client_ = nullptr;
   Endpoint* server_ = nullptr;

@@ -22,6 +22,14 @@ std::string_view to_string(TracePoint point) noexcept {
       return "censor-drop";
     case TracePoint::kLost:
       return "lost";
+    case TracePoint::kDuplicated:
+      return "duplicated";
+    case TracePoint::kCorrupted:
+      return "corrupted";
+    case TracePoint::kReordered:
+      return "reordered";
+    case TracePoint::kCensorFault:
+      return "censor-fault";
   }
   return "?";
 }

@@ -19,7 +19,11 @@ enum class TracePoint {
   kCensorSaw,
   kCensorInjected,
   kCensorDropped,
-  kLost,  // dropped by simulated link loss or TTL expiry
+  kLost,        // dropped by link loss, burst loss, a flap, or TTL expiry
+  kDuplicated,  // link delivered a second copy
+  kCorrupted,   // link flipped a bit (checksum left stale)
+  kReordered,   // link added jitter delay to this traversal
+  kCensorFault, // scheduled middlebox fault fired (flush/stall/restart)
 };
 
 [[nodiscard]] std::string_view to_string(TracePoint point) noexcept;

@@ -412,5 +412,84 @@ TEST(ChinaCensor, ResetClearsState) {
   EXPECT_FALSE(http.residual_active(kServer, 80, 0));
 }
 
+GfwBoxParams deterministic_ftp() {
+  GfwBoxParams params = gfw_params(AppProtocol::kFtp);
+  params.p_miss = 0.0;
+  params.p_reassembly = 1.0;
+  params.p_resync_on_payload_syn = 1.0;
+  params.p_resync_on_payload_other = 1.0;
+  return params;
+}
+
+TEST(GfwBox, LossInducedResyncCatchesTheRetransmission) {
+  // Path loss swallows the client's handshake ACK and first command before
+  // they reach the censor tap. The server's banner (payload on a non-SYN+ACK
+  // packet) is the §5 rule-1 trigger: the box arms resynchronization and
+  // adopts the client's *retransmitted* command as the new stream position —
+  // re-entering sync exactly because packets were lost, and still censoring.
+  GfwBox box(deterministic_ftp(), {}, Rng(1));
+  FakeInjector inj;
+  (void)box.on_packet(client_pkt(tcpflag::kSyn, 1000, 0),
+                      Direction::kClientToServer, inj);
+  (void)box.on_packet(server_pkt(tcpflag::kSyn | tcpflag::kAck, 5000, 1001),
+                      Direction::kServerToClient, inj);
+  // Client handshake ACK: lost before the censor hop (box never sees it).
+  (void)box.on_packet(
+      server_pkt(tcpflag::kPsh | tcpflag::kAck, 5001, 1001,
+                 to_bytes("220 service ready\r\n")),
+      Direction::kServerToClient, inj);
+  // First copy of the command: also lost. The retransmission arrives:
+  (void)box.on_packet(
+      client_pkt(tcpflag::kPsh | tcpflag::kAck, 1001, 5020,
+                 to_bytes("RETR ultrasurf\r\n")),
+      Direction::kClientToServer, inj);
+  EXPECT_EQ(box.censored_count(), 1u);
+  EXPECT_FALSE(inj.injected.empty());
+}
+
+TEST(GfwBox, ResyncOntoLaterSegmentMissesEarlierBytes) {
+  // Same rule-1 entry, but this time loss eats only the FIRST of two command
+  // segments. The box resynchronizes onto the second segment's sequence
+  // number; the earlier bytes (holding most of the keyword) are below its
+  // believed stream base forever, so even their retransmission cannot
+  // complete a match — loss-induced desync fails open.
+  GfwBox box(deterministic_ftp(), {}, Rng(1));
+  FakeInjector inj;
+  (void)box.on_packet(client_pkt(tcpflag::kSyn, 1000, 0),
+                      Direction::kClientToServer, inj);
+  (void)box.on_packet(server_pkt(tcpflag::kSyn | tcpflag::kAck, 5000, 1001),
+                      Direction::kServerToClient, inj);
+  (void)box.on_packet(
+      server_pkt(tcpflag::kPsh | tcpflag::kAck, 5001, 1001,
+                 to_bytes("220 service ready\r\n")),
+      Direction::kServerToClient, inj);
+  // "RETR ultra" (seq 1001, 10 bytes): lost before the censor.
+  // "surf\r\n" (seq 1011): seen — and adopted as the resync point.
+  (void)box.on_packet(client_pkt(tcpflag::kPsh | tcpflag::kAck, 1011, 5020,
+                                 to_bytes("surf\r\n")),
+                      Direction::kClientToServer, inj);
+  EXPECT_EQ(box.censored_count(), 0u);
+  // The client retransmits the lost first segment; it is below the box's
+  // stream base and never joins the reassembled stream.
+  (void)box.on_packet(client_pkt(tcpflag::kPsh | tcpflag::kAck, 1001, 5020,
+                                 to_bytes("RETR ultra")),
+                      Direction::kClientToServer, inj);
+  EXPECT_EQ(box.censored_count(), 0u);
+  EXPECT_TRUE(inj.injected.empty());
+}
+
+TEST(ChinaCensor, FaultScheduleReachesEveryBox) {
+  ChinaCensor china({}, Rng(1));
+  FaultSchedule schedule;
+  schedule.add({duration::ms(10), FaultKind::kFlush, 0});
+  china.set_fault_schedule(schedule);
+  for (Middlebox* box : china.middleboxes()) {
+    ASSERT_NE(box->fault_schedule(), nullptr);
+    // Each box owns an independent cursor over its copy of the schedule.
+    EXPECT_EQ(box->fault_schedule()->take_due(duration::ms(20)).size(), 1u);
+    EXPECT_TRUE(box->fault_schedule()->take_due(duration::ms(20)).empty());
+  }
+}
+
 }  // namespace
 }  // namespace caya

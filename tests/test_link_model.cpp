@@ -1,0 +1,237 @@
+#include "netsim/link_model.h"
+
+#include <gtest/gtest.h>
+
+#include "netsim/fault.h"
+#include "util/bytes.h"
+
+namespace caya {
+namespace {
+
+const Ipv4Address kClientAddr = Ipv4Address::parse("10.0.0.1");
+const Ipv4Address kServerAddr = Ipv4Address::parse("93.184.216.34");
+
+Packet data_packet() {
+  return make_tcp_packet(kClientAddr, 3822, kServerAddr, 80, tcpflag::kAck,
+                         100, 500, to_bytes("GET / HTTP/1.1"));
+}
+
+LinkModel::Config uniform(double loss) {
+  Impairments imp;
+  imp.loss = loss;
+  LinkModel::Config config;
+  config.set_all(imp);
+  return config;
+}
+
+TEST(LinkModel, NoImpairmentsNoEffects) {
+  LinkModel model(LinkModel::Config{}, Rng(1));
+  for (int i = 0; i < 100; ++i) {
+    const LinkDecision d =
+        model.traverse(LinkSegment::kClientCensor, Direction::kClientToServer,
+                       duration::ms(i));
+    EXPECT_FALSE(d.drop);
+    EXPECT_FALSE(d.duplicate);
+    EXPECT_FALSE(d.corrupt);
+    EXPECT_EQ(d.extra_delay, 0u);
+  }
+}
+
+TEST(LinkModel, UniformLossDropsAboutTheConfiguredFraction) {
+  LinkModel model(uniform(0.3), Rng(7));
+  int drops = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (model
+            .traverse(LinkSegment::kClientCensor,
+                      Direction::kClientToServer, 0)
+            .drop) {
+      ++drops;
+    }
+  }
+  EXPECT_GT(drops, 200);
+  EXPECT_LT(drops, 400);
+}
+
+TEST(LinkModel, LanesAreIndependent) {
+  // Loss configured on one lane only: the other three never drop.
+  LinkModel::Config config;
+  config.client_censor_up.loss = 1.0;
+  LinkModel model(config, Rng(3));
+  EXPECT_TRUE(model
+                  .traverse(LinkSegment::kClientCensor,
+                            Direction::kClientToServer, 0)
+                  .drop);
+  EXPECT_FALSE(model
+                   .traverse(LinkSegment::kClientCensor,
+                             Direction::kServerToClient, 0)
+                   .drop);
+  EXPECT_FALSE(model
+                   .traverse(LinkSegment::kCensorServer,
+                             Direction::kClientToServer, 0)
+                   .drop);
+  EXPECT_FALSE(model
+                   .traverse(LinkSegment::kCensorServer,
+                             Direction::kServerToClient, 0)
+                   .drop);
+}
+
+TEST(LinkModel, BurstLossComesInRuns) {
+  // Near-certain entry into a long bad state that always drops: once a drop
+  // happens, the following traversals drop too (a burst, not independent
+  // coin flips).
+  LinkModel::Config config;
+  config.client_censor_up.burst.p_good_to_bad = 0.5;
+  config.client_censor_up.burst.p_bad_to_good = 0.1;
+  config.client_censor_up.burst.loss_bad = 1.0;
+  LinkModel model(config, Rng(11));
+
+  int longest_run = 0;
+  int run = 0;
+  int drops = 0;
+  for (int i = 0; i < 500; ++i) {
+    const bool drop = model
+                          .traverse(LinkSegment::kClientCensor,
+                                    Direction::kClientToServer, 0)
+                          .drop;
+    if (drop) {
+      ++drops;
+      ++run;
+      longest_run = std::max(longest_run, run);
+    } else {
+      run = 0;
+    }
+  }
+  EXPECT_GT(drops, 100);
+  // With loss_bad = 1 and p_bad_to_good = 0.1, bursts average ~10 packets.
+  EXPECT_GE(longest_run, 5);
+}
+
+TEST(LinkModel, FlapDropsEverythingInsideTheWindow) {
+  LinkModel::Config config;
+  config.censor_server_up.flaps.push_back(
+      {duration::ms(100), duration::ms(50)});
+  LinkModel model(config, Rng(1));
+  auto drop_at = [&](Time now) {
+    return model
+        .traverse(LinkSegment::kCensorServer, Direction::kClientToServer,
+                  now)
+        .drop;
+  };
+  EXPECT_FALSE(drop_at(duration::ms(99)));
+  EXPECT_TRUE(drop_at(duration::ms(100)));
+  EXPECT_TRUE(drop_at(duration::ms(149)));
+  EXPECT_FALSE(drop_at(duration::ms(150)));
+}
+
+TEST(LinkModel, ReorderJitterStaysInConfiguredRange) {
+  LinkModel::Config config;
+  config.client_censor_down.reorder = 1.0;
+  config.client_censor_down.jitter_min = duration::ms(2);
+  config.client_censor_down.jitter_max = duration::ms(12);
+  LinkModel model(config, Rng(5));
+  for (int i = 0; i < 200; ++i) {
+    const LinkDecision d = model.traverse(
+        LinkSegment::kClientCensor, Direction::kServerToClient, 0);
+    EXPECT_GE(d.extra_delay, duration::ms(2));
+    EXPECT_LE(d.extra_delay, duration::ms(12));
+  }
+}
+
+TEST(LinkModel, CorruptionPinsTheStaleChecksum) {
+  Packet pkt = data_packet();
+  ASSERT_TRUE(pkt.tcp_checksum_valid());
+  LinkModel::corrupt_packet(pkt);
+  // The payload changed but the checksum still reflects the original bytes:
+  // a checksum-verifying endpoint discards it, a checksum-blind censor
+  // still parses it.
+  EXPECT_TRUE(pkt.tcp_checksum_overridden);
+  EXPECT_FALSE(pkt.tcp_checksum_valid());
+  EXPECT_NE(pkt.payload, data_packet().payload);
+}
+
+TEST(LinkModel, SameSeedSameDecisions) {
+  LinkModel::Config config = uniform(0.25);
+  config.client_censor_up.duplicate = 0.2;
+  config.client_censor_up.reorder = 0.3;
+  config.client_censor_up.jitter_max = duration::ms(4);
+  LinkModel a(config, Rng(99));
+  LinkModel b(config, Rng(99));
+  for (int i = 0; i < 300; ++i) {
+    const LinkDecision da = a.traverse(LinkSegment::kClientCensor,
+                                       Direction::kClientToServer, 0);
+    const LinkDecision db = b.traverse(LinkSegment::kClientCensor,
+                                       Direction::kClientToServer, 0);
+    EXPECT_EQ(da.drop, db.drop);
+    EXPECT_EQ(da.duplicate, db.duplicate);
+    EXPECT_EQ(da.corrupt, db.corrupt);
+    EXPECT_EQ(da.extra_delay, db.extra_delay);
+  }
+}
+
+TEST(LinkModel, TogglingOneImpairmentDoesNotPerturbAnother) {
+  // The core determinism guarantee: the loss pattern with duplication and
+  // corruption enabled is identical to the loss pattern without them,
+  // because every impairment draws from its own forked stream.
+  LinkModel::Config loss_only = uniform(0.3);
+  LinkModel::Config loss_plus = uniform(0.3);
+  loss_plus.set_all([] {
+    Impairments imp;
+    imp.loss = 0.3;
+    imp.duplicate = 0.5;
+    imp.corrupt = 0.5;
+    imp.reorder = 0.5;
+    imp.jitter_max = duration::ms(3);
+    return imp;
+  }());
+
+  LinkModel a(loss_only, Rng(4242));
+  LinkModel b(loss_plus, Rng(4242));
+  for (int i = 0; i < 1000; ++i) {
+    const bool da = a.traverse(LinkSegment::kClientCensor,
+                               Direction::kClientToServer, 0)
+                        .drop;
+    const bool db = b.traverse(LinkSegment::kClientCensor,
+                               Direction::kClientToServer, 0)
+                        .drop;
+    ASSERT_EQ(da, db) << "loss stream perturbed at traversal " << i;
+  }
+}
+
+TEST(FaultSchedule, TakeDueAdvancesCursor) {
+  FaultSchedule schedule;
+  schedule.add({duration::ms(10), FaultKind::kFlush, 0});
+  schedule.add({duration::ms(30), FaultKind::kStall, duration::ms(5)});
+
+  EXPECT_TRUE(schedule.take_due(duration::ms(5)).empty());
+  const auto due = schedule.take_due(duration::ms(20));
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].kind, FaultKind::kFlush);
+  EXPECT_TRUE(schedule.take_due(duration::ms(20)).empty());  // not re-fired
+  EXPECT_EQ(schedule.take_due(duration::ms(40)).size(), 1u);
+}
+
+TEST(FaultSchedule, StalledAtCoversOutageWindows) {
+  FaultSchedule schedule;
+  schedule.add({duration::ms(100), FaultKind::kRestart, duration::ms(20)});
+  schedule.add({duration::ms(500), FaultKind::kFlush, 0});
+
+  EXPECT_FALSE(schedule.stalled_at(duration::ms(99)));
+  EXPECT_TRUE(schedule.stalled_at(duration::ms(100)));
+  EXPECT_TRUE(schedule.stalled_at(duration::ms(119)));
+  EXPECT_FALSE(schedule.stalled_at(duration::ms(120)));
+  EXPECT_FALSE(schedule.stalled_at(duration::ms(500)));  // flush: no outage
+}
+
+TEST(FaultSchedule, EventsAreSortedRegardlessOfInsertionOrder) {
+  FaultSchedule schedule;
+  schedule.add({duration::ms(300), FaultKind::kFlush, 0});
+  schedule.add({duration::ms(100), FaultKind::kStall, duration::ms(1)});
+  schedule.add({duration::ms(200), FaultKind::kRestart, duration::ms(1)});
+  ASSERT_EQ(schedule.events().size(), 3u);
+  EXPECT_EQ(schedule.events()[0].at, duration::ms(100));
+  EXPECT_EQ(schedule.events()[1].at, duration::ms(200));
+  EXPECT_EQ(schedule.events()[2].at, duration::ms(300));
+}
+
+}  // namespace
+}  // namespace caya

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/bytes.h"
+
 namespace caya {
 namespace {
 
@@ -196,6 +198,92 @@ TEST(Network, LossDropsSomePackets) {
   loop.run();
   EXPECT_GT(server.received.size(), 20u);
   EXPECT_LT(server.received.size(), 80u);
+}
+
+TEST(Network, LinkDuplicationDeliversTwoCopies) {
+  EventLoop loop;
+  Network::Config config;
+  config.link.client_censor_up.duplicate = 1.0;
+  Network net(loop, config, Rng(1));
+  RecordingEndpoint server;
+  net.set_server(&server);
+  net.send_from_client(client_packet());
+  loop.run();
+  EXPECT_EQ(server.received.size(), 2u);
+  EXPECT_EQ(net.trace().at(TracePoint::kDuplicated).size(), 1u);
+}
+
+TEST(Network, LinkCorruptionFailsChecksumButCensorStillSees) {
+  EventLoop loop;
+  Network::Config config;
+  config.link.client_censor_up.corrupt = 1.0;
+  Network net(loop, config, Rng(1));
+  RecordingEndpoint server;
+  RecordingMiddlebox box;
+  net.set_server(&server);
+  net.add_middlebox(&box);
+  Packet pkt = make_tcp_packet(kClientAddr, 3822, kServerAddr, 80,
+                               tcpflag::kAck, 100, 500,
+                               to_bytes("forbidden payload"));
+  net.send_from_client(std::move(pkt));
+  loop.run();
+  // The corrupted copy still traverses the path (the censor inspects it;
+  // real middleboxes rarely verify checksums) but arrives with a checksum
+  // that no longer matches its bytes.
+  ASSERT_EQ(box.seen.size(), 1u);
+  EXPECT_FALSE(box.seen[0].first.tcp_checksum_valid());
+  ASSERT_EQ(server.received.size(), 1u);
+  EXPECT_FALSE(server.received[0].tcp_checksum_valid());
+  EXPECT_EQ(net.trace().at(TracePoint::kCorrupted).size(), 1u);
+}
+
+TEST(Network, LinkFlapBlocksTrafficDuringTheWindow) {
+  EventLoop loop;
+  Network::Config config;
+  config.link.client_censor_up.flaps.push_back(
+      {duration::ms(10), duration::ms(100)});
+  Network net(loop, config, Rng(1));
+  RecordingEndpoint server;
+  net.set_server(&server);
+  net.send_from_client(client_packet());  // t=0: before the flap
+  loop.schedule_at(duration::ms(50),
+                   [&] { net.send_from_client(client_packet()); });
+  loop.schedule_at(duration::ms(200),
+                   [&] { net.send_from_client(client_packet()); });
+  loop.run();
+  EXPECT_EQ(server.received.size(), 2u);
+  EXPECT_EQ(net.trace().at(TracePoint::kLost).size(), 1u);
+}
+
+TEST(Network, ReorderJitterDelaysDelivery) {
+  EventLoop loop;
+  Network::Config config;
+  config.link.client_censor_up.reorder = 1.0;
+  config.link.client_censor_up.jitter_min = duration::ms(30);
+  config.link.client_censor_up.jitter_max = duration::ms(30);
+  Network net(loop, config, Rng(1));
+  RecordingEndpoint server;
+  net.set_server(&server);
+  net.send_from_client(client_packet());
+  loop.run();
+  ASSERT_EQ(server.received.size(), 1u);
+  // 20 ms of path delay plus the forced 30 ms jitter.
+  EXPECT_EQ(loop.now(), duration::ms(50));
+  EXPECT_EQ(net.trace().at(TracePoint::kReordered).size(), 1u);
+}
+
+TEST(Network, LegacyLossStillApplies) {
+  // Config::loss is folded into the link model but keeps its meaning: a
+  // per-send drop probability.
+  EventLoop loop;
+  Network::Config config;
+  config.loss = 1.0;
+  Network net(loop, config, Rng(1));
+  RecordingEndpoint server;
+  net.set_server(&server);
+  net.send_from_client(client_packet());
+  loop.run();
+  EXPECT_TRUE(server.received.empty());
 }
 
 TEST(Network, TraceRecordsLifecycle) {

@@ -346,7 +346,7 @@ TEST(TcpEndpoint, RetransmitsLostData) {
   EventLoop loop;
   Network::Config config;
   config.loss = 0.4;
-  Network net(loop, config, Rng(7));
+  Network net(loop, config, Rng(42));
   TcpEndpoint client(loop,
                      {.local_addr = kClientAddr,
                       .local_port = 3822,

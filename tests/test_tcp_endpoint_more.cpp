@@ -254,5 +254,94 @@ TEST(TcpEndpointMore, WindowsProfileStillCompletesBenignTransfer) {
   EXPECT_EQ(to_string(server.received()), "from windows");
 }
 
+struct ImpairedPair {
+  EventLoop loop;
+  Network net;
+  TcpEndpoint client;
+  TcpEndpoint server;
+
+  explicit ImpairedPair(Network::Config config, std::uint64_t seed = 1)
+      : net(loop, config, Rng(seed)),
+        client(loop,
+               {.local_addr = kClientAddr,
+                .local_port = 3822,
+                .remote_addr = kServerAddr,
+                .remote_port = 80,
+                .isn = 1000},
+               [this](Packet p) { net.send_from_client(std::move(p)); }),
+        server(loop,
+               {.local_addr = kServerAddr, .local_port = 80, .isn = 5000},
+               [this](Packet p) { net.send_from_server(std::move(p)); }) {
+    net.set_client(&client);
+    net.set_server(&server);
+    server.listen();
+  }
+};
+
+TEST(TcpEndpointMore, DuplicatedSynHandshakeStillCompletes) {
+  // Every client packet is delivered twice: the duplicate SYN must not
+  // confuse the listener, and the duplicated data must be delivered once.
+  Network::Config config;
+  config.link.client_censor_up.duplicate = 1.0;
+  ImpairedPair p(config);
+  p.client.on_established = [&] { p.client.send_data(to_bytes("once")); };
+  p.client.connect();
+  p.loop.run();
+  EXPECT_EQ(to_string(p.server.received()), "once");
+  EXPECT_GE(p.net.trace().at(TracePoint::kDuplicated).size(), 3u);
+}
+
+TEST(TcpEndpointMore, SynAckDelayedBeyondRtoStillEstablishes) {
+  // Every server->client packet is held 350 ms — past the client's 300 ms
+  // RTO — so the client re-fires its SYN before the first SYN+ACK lands.
+  // The late SYN+ACK (and the duplicate one answering the retransmitted
+  // SYN) must still complete the handshake exactly once.
+  Network::Config config;
+  config.link.client_censor_down.reorder = 1.0;
+  config.link.client_censor_down.jitter_min = duration::ms(350);
+  config.link.client_censor_down.jitter_max = duration::ms(350);
+  ImpairedPair p(config);
+  p.client.on_established = [&] { p.client.send_data(to_bytes("late")); };
+  p.client.connect();
+  p.loop.run();
+  EXPECT_EQ(to_string(p.server.received()), "late");
+  // The client sent the original SYN plus at least one RTO retransmission.
+  int syns = 0;
+  for (const auto& ev : p.net.trace().at(TracePoint::kClientSent)) {
+    if (ev.packet.tcp.flags == tcpflag::kSyn) ++syns;
+  }
+  EXPECT_GE(syns, 2);
+}
+
+TEST(TcpEndpointMore, BackoffDoublesUnderBurstBlackout) {
+  // A burst blackout that never lifts: the client's SYN retransmissions must
+  // space out exponentially (RTO doubling) before the connection resets —
+  // the backoff interacts with bursty loss exactly as with a dead wire.
+  Network::Config config;
+  config.link.client_censor_up.burst.p_good_to_bad = 1.0;
+  config.link.client_censor_up.burst.p_bad_to_good = 0.0;
+  config.link.client_censor_up.burst.loss_bad = 1.0;
+  ImpairedPair p(config);
+  bool reset = false;
+  p.client.on_reset = [&] { reset = true; };
+  p.client.connect();
+  p.loop.run();
+  EXPECT_TRUE(reset);
+
+  std::vector<Time> syn_times;
+  for (const auto& ev : p.net.trace().at(TracePoint::kClientSent)) {
+    if (ev.packet.tcp.flags == tcpflag::kSyn) syn_times.push_back(ev.at);
+  }
+  ASSERT_GE(syn_times.size(), 4u);
+  for (std::size_t i = 2; i < syn_times.size(); ++i) {
+    const Time prev_gap = syn_times[i - 1] - syn_times[i - 2];
+    const Time gap = syn_times[i] - syn_times[i - 1];
+    EXPECT_GE(gap, prev_gap * 2) << "retransmission " << i;
+  }
+  // Nothing ever made it through the blackout.
+  EXPECT_EQ(p.net.trace().at(TracePoint::kServerReceived).size(), 0u);
+  EXPECT_EQ(p.net.trace().at(TracePoint::kLost).size(), syn_times.size());
+}
+
 }  // namespace
 }  // namespace caya

@@ -15,9 +15,18 @@
 //         --os <substring of OS name>             (default Ubuntu 18.04.1)
 //         --waterfall                             (print one packet diagram)
 //         --pcap FILE                             (write censor-view pcap)
+//         --profile clean|lossy|bursty|flaky-censor  (path/censor condition)
+//   caya sweep [options]
+//       Success-rate-vs-impairment curves for a set of strategies.
+//         --country C --protocol P --axis loss|burst|reorder
+//         --published N (repeatable)  --trials N  --seed N
+//   caya evolve [options]
+//       ... --robust averages fitness across all impairment profiles.
 //
 // Examples:
 //   caya run --country china --protocol http --published 1 --trials 500
+//   caya run --country china --published 6 --profile bursty
+//   caya sweep --axis loss --published 1 --published 6 --trials 50
 //   caya run --country kazakhstan --strategy
 //       "[TCP:flags:SA]-duplicate(tamper{TCP:flags:replace:},)-| \\/"
 #include <cstdio>
@@ -25,6 +34,8 @@
 #include <cstring>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "eval/rates.h"
 #include "eval/replay.h"
@@ -42,14 +53,17 @@ namespace {
   std::printf(
       "usage: caya list | caya parse \"<dsl>\" | caya run [options] |\n"
       "       caya library FILE | caya evolve [options] |\n"
-      "       caya replay FILE --country C\n"
+      "       caya sweep [options] | caya replay FILE --country C\n"
       "run options   : --country C --protocol P\n"
       "                [--strategy DSL | --published N | --from FILE --name "
       "N]\n"
       "                [--client-side] [--trials N] [--seed N] [--os NAME]\n"
       "                [--waterfall] [--pcap FILE]\n"
+      "                [--profile clean|lossy|bursty|flaky-censor]\n"
       "evolve options: --country C --protocol P [--population N] [--gens N]"
-      "\n                [--seed N] [--save FILE --name NAME]\n");
+      "\n                [--seed N] [--save FILE --name NAME] [--robust]\n"
+      "sweep options : --country C --protocol P [--axis loss|burst|reorder]\n"
+      "                [--published N]... [--trials N] [--seed N]\n");
   std::exit(code);
 }
 
@@ -69,6 +83,17 @@ AppProtocol parse_protocol(const std::string& name) {
   if (name == "https") return AppProtocol::kHttps;
   if (name == "smtp") return AppProtocol::kSmtp;
   std::fprintf(stderr, "unknown protocol: %s\n", name.c_str());
+  usage(2);
+}
+
+ImpairmentProfile parse_profile_arg(const std::string& name) {
+  if (const auto profile = parse_profile(name)) return *profile;
+  std::fprintf(stderr, "unknown profile: %s (available:", name.c_str());
+  for (const ImpairmentProfile p : all_profiles()) {
+    std::fprintf(stderr, " %.*s", static_cast<int>(to_string(p).size()),
+                 to_string(p).data());
+  }
+  std::fprintf(stderr, ")\n");
   usage(2);
 }
 
@@ -128,6 +153,7 @@ int cmd_evolve(int argc, char** argv) {
   std::uint64_t seed = 1;
   std::string save_path;
   std::string save_name = "evolved";
+  bool robust = false;
 
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -149,6 +175,8 @@ int cmd_evolve(int argc, char** argv) {
       save_path = next();
     } else if (arg == "--name") {
       save_name = next();
+    } else if (arg == "--robust") {
+      robust = true;
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       usage(2);
@@ -161,8 +189,10 @@ int cmd_evolve(int argc, char** argv) {
   Logger logger(LogLevel::kInfo, [](LogLevel, std::string_view msg) {
     std::printf("  %.*s\n", static_cast<int>(msg.size()), msg.data());
   });
-  GeneticAlgorithm ga(GeneConfig{}, config,
-                      make_fitness(country, protocol, 20, seed), Rng(seed),
+  FitnessFn fitness =
+      robust ? make_robust_fitness(country, protocol, 20, seed, {})
+             : make_fitness(country, protocol, 20, seed);
+  GeneticAlgorithm ga(GeneConfig{}, config, std::move(fitness), Rng(seed),
                       logger);
   const Individual best = ga.run();
 
@@ -173,6 +203,18 @@ int cmd_evolve(int argc, char** argv) {
       measure_rate(country, protocol, best.strategy, options).rate();
   std::printf("\nbest      : %s\n", best.strategy.to_string().c_str());
   std::printf("confirmed : %.0f%% over 200 fresh trials\n", confirmed * 100);
+  if (robust) {
+    for (const ImpairmentProfile profile : all_profiles()) {
+      RateOptions per_profile = options;
+      per_profile.trials = 100;
+      per_profile.profile = profile;
+      const double rate =
+          measure_rate(country, protocol, best.strategy, per_profile).rate();
+      std::printf("  %-12.*s: %.0f%%\n",
+                  static_cast<int>(to_string(profile).size()),
+                  to_string(profile).data(), rate * 100);
+    }
+  }
 
   if (!save_path.empty()) {
     StrategyLibrary library;
@@ -226,6 +268,78 @@ int cmd_replay(int argc, char** argv) {
   }
 }
 
+int cmd_sweep(int argc, char** argv) {
+  Country country = Country::kChina;
+  AppProtocol protocol = AppProtocol::kHttp;
+  SweepAxis axis = SweepAxis::kLoss;
+  std::vector<int> published;
+  std::size_t trials = 50;
+  std::uint64_t seed = 1;
+
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(2);
+      return argv[++i];
+    };
+    if (arg == "--country") {
+      country = parse_country(next());
+    } else if (arg == "--protocol") {
+      protocol = parse_protocol(next());
+    } else if (arg == "--axis") {
+      const std::string name = next();
+      if (name == "loss") {
+        axis = SweepAxis::kLoss;
+      } else if (name == "burst") {
+        axis = SweepAxis::kBurst;
+      } else if (name == "reorder") {
+        axis = SweepAxis::kReorder;
+      } else {
+        std::fprintf(stderr, "unknown axis: %s\n", name.c_str());
+        usage(2);
+      }
+    } else if (arg == "--published") {
+      published.push_back(std::atoi(next().c_str()));
+    } else if (arg == "--trials") {
+      trials = static_cast<std::size_t>(std::atoll(next().c_str()));
+    } else if (arg == "--seed") {
+      seed = static_cast<std::uint64_t>(std::atoll(next().c_str()));
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      usage(2);
+    }
+  }
+  if (published.empty()) published = {1, 2, 6};
+
+  std::vector<std::pair<std::string, std::optional<Strategy>>> strategies;
+  strategies.emplace_back("no evasion", std::nullopt);
+  for (const int id : published) {
+    try {
+      strategies.emplace_back("published " + std::to_string(id),
+                              parsed_strategy(id));
+    } catch (const std::out_of_range& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+  }
+
+  const std::vector<double> values =
+      axis == SweepAxis::kReorder
+          ? std::vector<double>{0.0, 0.05, 0.1, 0.25, 0.5}
+          : std::vector<double>{0.0, 0.01, 0.02, 0.05, 0.1, 0.2};
+  RateOptions options;
+  options.trials = trials;
+  options.base_seed = seed;
+  const std::vector<SweepCurve> curves = measure_impairment_sweep(
+      country, protocol, strategies, axis, values, options);
+  std::printf("%s vs %s/%s, %zu trials per point\n\n",
+              std::string(to_string(axis)).c_str(),
+              std::string(to_string(country)).c_str(),
+              std::string(to_string(protocol)).c_str(), trials);
+  std::printf("%s", render_sweep(curves, axis).c_str());
+  return 0;
+}
+
 int cmd_run(int argc, char** argv) {
   Country country = Country::kChina;
   AppProtocol protocol = AppProtocol::kHttp;
@@ -238,6 +352,7 @@ int cmd_run(int argc, char** argv) {
   OsProfile os = OsProfile::linux_default();
   bool waterfall = false;
   std::string pcap_path;
+  ImpairmentProfile profile = ImpairmentProfile::kClean;
 
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -279,6 +394,8 @@ int cmd_run(int argc, char** argv) {
       waterfall = true;
     } else if (arg == "--pcap") {
       pcap_path = next();
+    } else if (arg == "--profile") {
+      profile = parse_profile_arg(next());
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       usage(2);
@@ -302,6 +419,7 @@ int cmd_run(int argc, char** argv) {
   }
 
   RateCounter counter;
+  std::size_t timeouts = 0;
   Trace first_trace;
   bool have_trace = false;
   for (std::size_t i = 0; i < trials; ++i) {
@@ -309,6 +427,7 @@ int cmd_run(int argc, char** argv) {
     config.country = country;
     config.protocol = protocol;
     config.seed = seed + i;
+    apply_profile(profile, config);
     ConnectionOptions options;
     if (client_side) {
       options.client_strategy = strategy;
@@ -324,6 +443,7 @@ int cmd_run(int argc, char** argv) {
       have_trace = true;
     }
     counter.record(result.success);
+    if (result.timed_out) ++timeouts;
   }
 
   const auto interval = counter.wilson();
@@ -333,9 +453,15 @@ int cmd_run(int argc, char** argv) {
               strategy ? strategy->to_string().c_str() : "(no evasion)",
               client_side ? "  [client-side]" : "");
   std::printf("client OS : %s\n", os.name.c_str());
+  std::printf("profile   : %.*s\n", static_cast<int>(to_string(profile).size()),
+              to_string(profile).data());
   std::printf("success   : %zu/%zu = %.1f%%  (95%% CI %.1f%%-%.1f%%)\n",
               counter.successes(), counter.trials(), counter.rate() * 100,
               interval.lo * 100, interval.hi * 100);
+  if (timeouts > 0) {
+    std::printf("timed out : %zu/%zu trials hit the deadline/event cap\n",
+                timeouts, counter.trials());
+  }
 
   if (waterfall && have_trace) {
     std::printf("\nfirst trial, endpoint view:\n%s",
@@ -365,6 +491,7 @@ int main(int argc, char** argv) {
     return caya::cmd_library(argv[2]);
   }
   if (command == "evolve") return caya::cmd_evolve(argc - 2, argv + 2);
+  if (command == "sweep") return caya::cmd_sweep(argc - 2, argv + 2);
   if (command == "replay") {
     if (argc < 3) caya::usage(2);
     return caya::cmd_replay(argc - 2, argv + 2);
