@@ -1,0 +1,178 @@
+// Parallel evaluation engine benchmark (§8 companion): times the GA-discovery
+// workload — fitness over the eleven published strategies — serially and
+// sharded over N worker threads, checks the scores are bit-identical, and
+// reports fitness-cache hit rates, packet-buffer arena reuse, and thread-pool
+// steal counts. Emits BENCH_eval_engine.json next to the human summary.
+//
+// Knobs: CAYA_TRIALS (trials per strategy, default 60) and CAYA_JOBS
+// (worker threads, default hardware concurrency).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "eval/rates.h"
+#include "eval/strategies.h"
+#include "geneva/fitness_cache.h"
+#include "geneva/ga.h"
+#include "packet/packet.h"
+#include "util/arena.h"
+#include "util/thread_pool.h"
+
+namespace caya {
+namespace {
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return static_cast<std::size_t>(std::atoll(value));
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Scores every published strategy against China/HTTP with the given trial
+/// sharding; returns the scores in table order.
+std::vector<double> score_published(std::size_t trials, std::size_t jobs) {
+  const FitnessFn fitness =
+      make_fitness(Country::kChina, AppProtocol::kHttp, trials,
+                   /*base_seed=*/52'000, jobs);
+  std::vector<double> scores;
+  for (const PublishedStrategy& published : published_strategies()) {
+    scores.push_back(fitness(parsed_strategy(published.id)));
+  }
+  return scores;
+}
+
+}  // namespace
+}  // namespace caya
+
+int main() {
+  using namespace caya;
+  const std::size_t trials = env_size("CAYA_TRIALS", 60);
+  const std::size_t jobs = env_size("CAYA_JOBS", ThreadPool::hardware_jobs());
+  const std::size_t total_trials = published_strategies().size() * trials;
+
+  std::printf("Parallel evaluation engine: %zu published strategies x %zu "
+              "trials, %zu jobs\n\n",
+              published_strategies().size(), trials, jobs);
+
+  // Warm-up pass so arena free lists and the shared pool exist before timing.
+  (void)score_published(/*trials=*/2, jobs);
+
+  auto start = std::chrono::steady_clock::now();
+  const std::vector<double> serial = score_published(trials, 1);
+  const double serial_s = seconds_since(start);
+
+  start = std::chrono::steady_clock::now();
+  const std::vector<double> parallel = score_published(trials, jobs);
+  const double parallel_s = seconds_since(start);
+
+  const bool identical = serial == parallel;
+  const double serial_tps =
+      serial_s > 0 ? static_cast<double>(total_trials) / serial_s : 0.0;
+  const double parallel_tps =
+      parallel_s > 0 ? static_cast<double>(total_trials) / parallel_s : 0.0;
+  const double speedup = serial_s > 0 && parallel_s > 0
+                             ? serial_s / parallel_s
+                             : 0.0;
+
+  std::printf("serial   : %6.2f s  (%8.1f trials/s)\n", serial_s, serial_tps);
+  std::printf("%zu jobs  : %6.2f s  (%8.1f trials/s)  speedup %.2fx\n", jobs,
+              parallel_s, parallel_tps, speedup);
+  std::printf("scores   : %s\n\n",
+              identical ? "bit-identical across jobs values"
+                        : "MISMATCH between serial and parallel scores");
+
+  // Fitness memoization: two same-seed GA runs sharing one cache — the second
+  // run re-encounters every strategy the first one scored.
+  auto cache = std::make_shared<FitnessCache>(fitness_cache_digest(
+      Country::kChina, AppProtocol::kHttp, /*trials=*/10, /*base_seed=*/7));
+  GaConfig config;
+  config.population_size = 24;
+  config.generations = 6;
+  config.jobs = jobs;
+  std::size_t cache_hits = 0;
+  std::size_t evaluations = 0;
+  for (int repeat = 0; repeat < 2; ++repeat) {
+    GeneticAlgorithm ga(GeneConfig{}, config,
+                        make_fitness(Country::kChina, AppProtocol::kHttp,
+                                     /*trials=*/10, /*base_seed=*/7),
+                        Rng(7));
+    ga.set_fitness_cache(cache);
+    (void)ga.run();
+    for (const GenerationStats& gen : ga.history()) {
+      cache_hits += gen.cache_hits;
+      evaluations += gen.evaluations;
+    }
+  }
+  const std::size_t fitness_calls = cache_hits + evaluations;
+  const double hit_rate =
+      fitness_calls > 0
+          ? static_cast<double>(cache_hits) / static_cast<double>(fitness_calls)
+          : 0.0;
+  std::printf("cache    : %zu hits / %zu lookups (%.0f%%), %zu entries\n",
+              cache_hits, fitness_calls, hit_rate * 100, cache->size());
+
+  // Packet-buffer arena on the codec hot path: serialize + checksum
+  // validation of a parsed (checksum-pinned) packet recycle every transient
+  // buffer through the per-thread free list after warm-up.
+  Packet pkt = make_tcp_packet(Ipv4Address::parse("10.0.0.1"), 1234,
+                               Ipv4Address::parse("10.0.0.2"), 80,
+                               tcpflag::kPsh | tcpflag::kAck, 100, 200,
+                               Bytes{'G', 'E', 'T', ' ', '/'});
+  pkt = Packet::parse(pkt.serialize());
+  (void)pkt.tcp_checksum_valid();  // warm this thread's free list
+  const BufferArena::Stats arena_before = BufferArena::global_stats();
+  constexpr std::size_t kCodecRounds = 20'000;
+  for (std::size_t i = 0; i < kCodecRounds; ++i) {
+    const Bytes wire = pkt.serialize();
+    if (wire.empty() || !pkt.tcp_checksum_valid()) return 1;
+  }
+  const BufferArena::Stats arena_after = BufferArena::global_stats();
+
+  const std::size_t arena_acquires = arena_after.acquires - arena_before.acquires;
+  const std::size_t arena_reuses = arena_after.reuses - arena_before.reuses;
+  const std::size_t arena_fresh = arena_after.fresh - arena_before.fresh;
+  const double reuse_rate =
+      arena_acquires > 0 ? static_cast<double>(arena_reuses) /
+                               static_cast<double>(arena_acquires)
+                         : 0.0;
+  std::printf("arena    : %zu acquires over %zu codec rounds, %zu reused "
+              "(%.0f%%), %zu fresh allocations\n",
+              arena_acquires, kCodecRounds, arena_reuses, reuse_rate * 100,
+              arena_fresh);
+  std::printf("pool     : %zu threads, %zu steals\n",
+              ThreadPool::shared().size(), ThreadPool::shared().steals());
+
+  std::ofstream json("BENCH_eval_engine.json");
+  json << "{\n"
+       << "  \"workload\": \"published strategies vs China/HTTP\",\n"
+       << "  \"strategies\": " << published_strategies().size() << ",\n"
+       << "  \"trials_per_strategy\": " << trials << ",\n"
+       << "  \"jobs\": " << jobs << ",\n"
+       << "  \"serial_seconds\": " << serial_s << ",\n"
+       << "  \"parallel_seconds\": " << parallel_s << ",\n"
+       << "  \"serial_trials_per_sec\": " << serial_tps << ",\n"
+       << "  \"parallel_trials_per_sec\": " << parallel_tps << ",\n"
+       << "  \"speedup\": " << speedup << ",\n"
+       << "  \"identical_scores\": " << (identical ? "true" : "false") << ",\n"
+       << "  \"cache\": {\"hits\": " << cache_hits
+       << ", \"evaluations\": " << evaluations << ", \"hit_rate\": " << hit_rate
+       << ", \"entries\": " << cache->size() << "},\n"
+       << "  \"arena\": {\"acquires\": " << arena_acquires
+       << ", \"reuses\": " << arena_reuses << ", \"fresh\": " << arena_fresh
+       << ", \"reuse_rate\": " << reuse_rate << "},\n"
+       << "  \"pool\": {\"threads\": " << ThreadPool::shared().size()
+       << ", \"steals\": " << ThreadPool::shared().steals() << "}\n"
+       << "}\n";
+  json.close();
+  std::printf("\nwrote BENCH_eval_engine.json\n");
+
+  return identical ? 0 : 1;
+}

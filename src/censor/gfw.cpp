@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "tcpstack/seq.h"
 
@@ -374,6 +375,10 @@ std::vector<Middlebox*> ChinaCensor::middleboxes() {
 }
 
 GfwBox& ChinaCensor::box(AppProtocol proto) {
+  return const_cast<GfwBox&>(std::as_const(*this).box(proto));
+}
+
+const GfwBox& ChinaCensor::box(AppProtocol proto) const {
   for (const auto& box : boxes_) {
     if (box->protocol() == proto) return *box;
   }

@@ -161,6 +161,7 @@ class ChinaCensor {
 
   [[nodiscard]] std::vector<Middlebox*> middleboxes();
   [[nodiscard]] GfwBox& box(AppProtocol proto);
+  [[nodiscard]] const GfwBox& box(AppProtocol proto) const;
   void reset();
 
   /// Attaches a copy of `schedule` to every box (each keeps its own cursor):

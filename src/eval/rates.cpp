@@ -82,26 +82,40 @@ struct RatePoint {
   std::size_t timeouts = 0;
 };
 
+struct TrialOutcome {
+  bool success = false;
+  bool timed_out = false;
+};
+
 RatePoint run_trials(Country country, AppProtocol protocol,
                      const std::optional<Strategy>& strategy,
                      const RateOptions& options,
                      const LinkModel::Config* link_override) {
+  // Each trial is an independent simulation seeded from base_seed + i, so
+  // the evaluator may run them on any worker; the outcome vector is reduced
+  // in index order, making the counters identical for every jobs value.
+  const ParallelEvaluator evaluator(options.jobs);
+  const std::vector<TrialOutcome> outcomes =
+      evaluator.map(options.trials, [&](std::size_t i) {
+        Environment::Config env_config;
+        env_config.country = country;
+        env_config.protocol = protocol;
+        env_config.seed = options.base_seed + i;
+        apply_profile(options.profile, env_config);
+        if (link_override != nullptr) env_config.net.link = *link_override;
+
+        ConnectionOptions conn;
+        conn.server_strategy = strategy;
+        conn.client_os = options.client_os;
+
+        const TrialResult result = run_trial(env_config, conn);
+        return TrialOutcome{result.success, result.timed_out};
+      });
+
   RatePoint point;
-  for (std::size_t i = 0; i < options.trials; ++i) {
-    Environment::Config env_config;
-    env_config.country = country;
-    env_config.protocol = protocol;
-    env_config.seed = options.base_seed + i;
-    apply_profile(options.profile, env_config);
-    if (link_override != nullptr) env_config.net.link = *link_override;
-
-    ConnectionOptions conn;
-    conn.server_strategy = strategy;
-    conn.client_os = options.client_os;
-
-    const TrialResult result = run_trial(env_config, conn);
-    point.rate.record(result.success);
-    if (result.timed_out) ++point.timeouts;
+  for (const TrialOutcome& outcome : outcomes) {
+    point.rate.record(outcome.success);
+    if (outcome.timed_out) ++point.timeouts;
   }
   return point;
 }
@@ -115,11 +129,13 @@ RateCounter measure_rate(Country country, AppProtocol protocol,
 }
 
 FitnessFn make_fitness(Country country, AppProtocol protocol,
-                       std::size_t trials, std::uint64_t base_seed) {
+                       std::size_t trials, std::uint64_t base_seed,
+                       std::size_t jobs) {
   return [=](const Strategy& strategy) {
     RateOptions options;
     options.trials = trials;
     options.base_seed = base_seed;
+    options.jobs = jobs;
     const RateCounter rate =
         measure_rate(country, protocol, strategy, options);
     return rate.rate() * 100.0;
@@ -128,7 +144,8 @@ FitnessFn make_fitness(Country country, AppProtocol protocol,
 
 FitnessFn make_robust_fitness(Country country, AppProtocol protocol,
                               std::size_t trials, std::uint64_t base_seed,
-                              std::vector<ImpairmentProfile> profiles) {
+                              std::vector<ImpairmentProfile> profiles,
+                              std::size_t jobs) {
   if (profiles.empty()) profiles = all_profiles();
   return [=, profiles = std::move(profiles)](const Strategy& strategy) {
     double sum = 0.0;
@@ -139,10 +156,37 @@ FitnessFn make_robust_fitness(Country country, AppProtocol protocol,
       // independent samples rather than replays of the same randomness.
       options.base_seed = base_seed + p * trials;
       options.profile = profiles[p];
+      options.jobs = jobs;
       sum += measure_rate(country, protocol, strategy, options).rate();
     }
     return sum / static_cast<double>(profiles.size()) * 100.0;
   };
+}
+
+std::string fitness_cache_digest(Country country, AppProtocol protocol,
+                                 std::size_t trials, std::uint64_t base_seed,
+                                 const std::vector<ImpairmentProfile>&
+                                     profiles) {
+  // FNV-1a over every field that changes what a fitness function returns.
+  // jobs is deliberately excluded: sharding never changes scores.
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (byte * 8)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(static_cast<std::uint64_t>(country));
+  mix(static_cast<std::uint64_t>(protocol));
+  mix(trials);
+  mix(base_seed);
+  mix(profiles.size());
+  for (const ImpairmentProfile profile : profiles) {
+    mix(static_cast<std::uint64_t>(profile));
+  }
+  std::ostringstream out;
+  out << std::hex << h;
+  return out.str();
 }
 
 // ---- Impairment sweeps ----------------------------------------------------

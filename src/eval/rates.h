@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "eval/parallel.h"
 #include "eval/trial.h"
 #include "geneva/ga.h"
 #include "util/stats.h"
@@ -39,6 +40,11 @@ struct RateOptions {
   std::uint64_t base_seed = 1000;
   OsProfile client_os = OsProfile::linux_default();
   ImpairmentProfile profile = ImpairmentProfile::kClean;
+  /// Trials are sharded across this many workers of the shared pool (1 =
+  /// serial, 0 = hardware concurrency). Each trial's Environment is seeded
+  /// from base_seed + index and results are reduced in index order, so
+  /// every jobs value yields byte-identical rates.
+  std::size_t jobs = 1;
 };
 
 /// Runs `trials` independent connections (fresh Environment per trial so
@@ -48,17 +54,31 @@ struct RateOptions {
                                        const RateOptions& options = {});
 
 /// Geneva fitness: success-rate (x100) of `strategy` as a server-side
-/// defense, over `trials` connections.
+/// defense, over `trials` connections. `jobs` shards those connections
+/// (keep 1 when the GA itself runs with jobs > 1 — nested parallel fitness
+/// falls back to inline execution on pool workers anyway).
 [[nodiscard]] FitnessFn make_fitness(Country country, AppProtocol protocol,
                                      std::size_t trials,
-                                     std::uint64_t base_seed);
+                                     std::uint64_t base_seed,
+                                     std::size_t jobs = 1);
 
 /// Robust Geneva fitness: the mean success-rate (x100) across `profiles`
 /// (`trials` connections per profile) — evolves strategies that keep working
 /// on degraded paths and across censor failovers, not just on a clean link.
 [[nodiscard]] FitnessFn make_robust_fitness(
     Country country, AppProtocol protocol, std::size_t trials,
-    std::uint64_t base_seed, std::vector<ImpairmentProfile> profiles);
+    std::uint64_t base_seed, std::vector<ImpairmentProfile> profiles,
+    std::size_t jobs = 1);
+
+/// Environment-config digest for FitnessCache keys: two fitness functions
+/// built from the same (country, protocol, trials, base_seed, profiles)
+/// score a given strategy identically, so they may share cache entries;
+/// anything else must not. Pass the same profiles list given to
+/// make_robust_fitness (empty for the plain make_fitness).
+[[nodiscard]] std::string fitness_cache_digest(
+    Country country, AppProtocol protocol, std::size_t trials,
+    std::uint64_t base_seed,
+    const std::vector<ImpairmentProfile>& profiles = {});
 
 // ---- Impairment sweeps ----------------------------------------------------
 

@@ -65,8 +65,9 @@ bool Environment::run_bounded(Time deadline, std::size_t max_events) {
 std::size_t Environment::censored_total() const {
   std::size_t total = 0;
   if (china_) {
+    const ChinaCensor& china = *china_;
     for (const AppProtocol proto : all_protocols()) {
-      total += const_cast<ChinaCensor&>(*china_).box(proto).censored_count();
+      total += china.box(proto).censored_count();
     }
   }
   if (airtel_) total += airtel_->censored_count();

@@ -1,0 +1,37 @@
+#include "geneva/fitness_cache.h"
+
+namespace caya {
+
+std::optional<double> FitnessCache::lookup(
+    const std::string& strategy_key) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(full_key(strategy_key));
+  if (it == map_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void FitnessCache::store(const std::string& strategy_key, double raw_fitness) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  map_.emplace(full_key(strategy_key), raw_fitness);
+}
+
+std::size_t FitnessCache::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+std::size_t FitnessCache::hits() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::size_t FitnessCache::misses() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+}  // namespace caya

@@ -1,0 +1,59 @@
+// Fitness memoization for the genetic algorithm.
+//
+// A Geneva fitness evaluation is a pure function of (strategy, environment
+// config): every trial batch is seeded from a fixed base seed, so re-running
+// a strategy always reproduces the same score. GA elites, crossover children
+// identical to a parent, and re-discovered genomes therefore never need to
+// re-run their trial batches — the cache returns the recorded raw fitness
+// (pre complexity penalty) keyed by the canonicalized strategy string plus a
+// digest of the environment config (country, protocol, trials, base seed,
+// impairment profiles; see fitness_cache_digest() in eval/rates.h).
+//
+// Thread-safe: the GA resolves lookups serially in canonical order, but a
+// cache may also be shared across parallel evaluators, so the map is
+// mutex-guarded.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace caya {
+
+class FitnessCache {
+ public:
+  FitnessCache() = default;
+  /// `env_digest` namespaces the keys so one cache can serve multiple
+  /// environment configs without collisions.
+  explicit FitnessCache(std::string env_digest)
+      : digest_(std::move(env_digest)) {}
+
+  /// Recorded raw fitness for a canonical strategy string, if any.
+  [[nodiscard]] std::optional<double> lookup(const std::string& strategy_key)
+      const;
+
+  void store(const std::string& strategy_key, double raw_fitness);
+
+  [[nodiscard]] const std::string& env_digest() const noexcept {
+    return digest_;
+  }
+  [[nodiscard]] std::size_t size() const;
+  /// Lookup outcomes since construction (for the bench's hit-rate report).
+  [[nodiscard]] std::size_t hits() const;
+  [[nodiscard]] std::size_t misses() const;
+
+ private:
+  [[nodiscard]] std::string full_key(const std::string& strategy_key) const {
+    return digest_ + '\x1f' + strategy_key;
+  }
+
+  std::string digest_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, double> map_;
+  mutable std::size_t hits_ = 0;
+  mutable std::size_t misses_ = 0;
+};
+
+}  // namespace caya

@@ -1,6 +1,10 @@
 #include "geneva/ga.h"
 
 #include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "util/thread_pool.h"
 
 namespace caya {
 
@@ -26,18 +30,81 @@ void GeneticAlgorithm::ensure_population() {
   }
 }
 
-void GeneticAlgorithm::evaluate_all() {
-  for (auto& ind : population_) {
-    if (ind.evaluated) continue;
-    const double raw = fitness_(ind.strategy);
+GeneticAlgorithm::EvalSummary GeneticAlgorithm::evaluate_all() {
+  EvalSummary summary;
+  const auto apply = [this](Individual& ind, double raw) {
     ind.fitness = raw - config_.complexity_weight *
                             static_cast<double>(ind.strategy.size());
     ind.evaluated = true;
+  };
+
+  // Pass 1 (serial, population order): resolve cache hits and intra-batch
+  // duplicate genomes before dispatching anything. Doing this up front keeps
+  // hit counts — and therefore GaHistory — identical for every jobs value:
+  // a parallel batch can never race two copies of the same genome into two
+  // fresh evaluations.
+  struct PendingEval {
+    std::size_t index;
+    std::string key;
+  };
+  std::vector<PendingEval> pending;
+  std::vector<std::pair<std::size_t, std::size_t>> duplicates;  // ind, slot
+  std::unordered_map<std::string, std::size_t> first_slot;
+  for (std::size_t i = 0; i < population_.size(); ++i) {
+    Individual& ind = population_[i];
+    if (ind.evaluated) continue;
+    if (cache_ == nullptr) {
+      // No cache: evaluate every unevaluated individual, exactly the
+      // pre-memoization behaviour (fitness functions with side effects see
+      // one call per individual).
+      pending.push_back({i, std::string()});
+      continue;
+    }
+    std::string key = ind.strategy.to_string();
+    if (const std::optional<double> hit = cache_->lookup(key)) {
+      apply(ind, *hit);
+      ++summary.cache_hits;
+      continue;
+    }
+    if (const auto it = first_slot.find(key); it != first_slot.end()) {
+      duplicates.emplace_back(i, it->second);
+      ++summary.cache_hits;
+      continue;
+    }
+    first_slot.emplace(key, pending.size());
+    pending.push_back({i, std::move(key)});
   }
+
+  // Pass 2: run the outstanding trial batches, sharded across the pool.
+  // Each fitness call is a pure function of the strategy (trial seeds are
+  // fixed), so completion order is irrelevant; results land by slot.
+  std::vector<double> raw(pending.size(), 0.0);
+  parallel_for_indexed(config_.jobs, pending.size(), [&](std::size_t k) {
+    raw[k] = fitness_(population_[pending[k].index].strategy);
+  });
+  summary.evaluations = pending.size();
+
+  // Pass 3 (serial, canonical order): record results, fill duplicates.
+  for (std::size_t k = 0; k < pending.size(); ++k) {
+    apply(population_[pending[k].index], raw[k]);
+    if (cache_ != nullptr) cache_->store(pending[k].key, raw[k]);
+  }
+  for (const auto& [index, slot] : duplicates) {
+    apply(population_[index], raw[slot]);
+  }
+
   std::stable_sort(population_.begin(), population_.end(),
                    [](const Individual& a, const Individual& b) {
                      return a.fitness > b.fitness;
                    });
+
+  double sum = 0.0;
+  for (const Individual& ind : population_) sum += ind.fitness;
+  if (!population_.empty()) {
+    summary.best_fitness = population_.front().fitness;
+    summary.mean_fitness = sum / static_cast<double>(population_.size());
+  }
+  return summary;
 }
 
 const Individual& GeneticAlgorithm::tournament_pick() {
@@ -79,18 +146,16 @@ void GeneticAlgorithm::step() {
 
 Individual GeneticAlgorithm::run() {
   ensure_population();
-  evaluate_all();
+  EvalSummary eval = evaluate_all();
 
   double best_so_far = population_.front().fitness;
   std::size_t stale = 0;
 
   for (std::size_t gen = 0; gen < config_.generations; ++gen) {
-    double sum = 0.0;
-    for (const auto& ind : population_) sum += ind.fitness;
-    history_.push_back(
-        {gen, population_.front().fitness,
-         sum / static_cast<double>(population_.size()),
-         population_.front().strategy.to_string()});
+    // Snapshot straight from the evaluation summary — no population rescan.
+    history_.push_back({gen, eval.best_fitness, eval.mean_fitness,
+                        population_.front().strategy.to_string(),
+                        eval.cache_hits, eval.evaluations});
     logger_.logf(LogLevel::kInfo, "gen ", gen, " best=",
                  population_.front().fitness,
                  " strategy=", population_.front().strategy.to_string());
@@ -104,7 +169,7 @@ Individual GeneticAlgorithm::run() {
     }
 
     step();
-    evaluate_all();
+    eval = evaluate_all();
   }
   return population_.front();
 }

@@ -5,9 +5,11 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "geneva/fitness_cache.h"
 #include "geneva/mutation.h"
 #include "geneva/strategy.h"
 #include "util/log.h"
@@ -31,6 +33,10 @@ struct GaConfig {
   double complexity_weight = 0.5;
   /// Stop when the best fitness has not improved for this many generations.
   std::size_t convergence_patience = 8;
+  /// Fitness evaluations run concurrently across this many workers of the
+  /// shared pool (1 = serial; 0 = hardware concurrency). Results are reduced
+  /// in population order, so any jobs value produces identical evolution.
+  std::size_t jobs = 1;
 };
 
 struct Individual {
@@ -44,6 +50,12 @@ struct GenerationStats {
   double best_fitness = 0.0;
   double mean_fitness = 0.0;
   std::string best_strategy;
+  /// Individuals of this generation whose fitness came from the memoization
+  /// cache (or from a duplicate genome in the same batch) instead of a
+  /// fresh trial batch.
+  std::size_t cache_hits = 0;
+  /// Individuals whose trial batches actually ran this generation.
+  std::size_t evaluations = 0;
 };
 
 class GeneticAlgorithm {
@@ -58,13 +70,29 @@ class GeneticAlgorithm {
   /// random individuals) — used to test local refinement.
   void seed(Strategy strategy);
 
+  /// Attaches a fitness memoization cache: genomes whose canonical strategy
+  /// string was scored before (in this run or by anyone else sharing the
+  /// cache) skip their trial batches and reuse the recorded raw fitness.
+  void set_fitness_cache(std::shared_ptr<FitnessCache> cache) {
+    cache_ = std::move(cache);
+  }
+
   [[nodiscard]] const std::vector<GenerationStats>& history() const noexcept {
     return history_;
   }
 
  private:
+  /// Per-evaluate_all bookkeeping, folded into the evaluation pass so
+  /// history snapshots never rescan the population.
+  struct EvalSummary {
+    double best_fitness = 0.0;
+    double mean_fitness = 0.0;
+    std::size_t cache_hits = 0;
+    std::size_t evaluations = 0;
+  };
+
   void ensure_population();
-  void evaluate_all();
+  EvalSummary evaluate_all();
   [[nodiscard]] const Individual& tournament_pick();
   void step();
 
@@ -73,6 +101,7 @@ class GeneticAlgorithm {
   FitnessFn fitness_;
   Rng rng_;
   Logger logger_;
+  std::shared_ptr<FitnessCache> cache_;
   std::vector<Individual> population_;
   std::vector<GenerationStats> history_;
 };

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "util/arena.h"
+
 namespace caya {
 
 Impairments& LinkModel::Config::at(LinkSegment segment, Direction dir) {
@@ -92,12 +94,12 @@ LinkDecision LinkModel::traverse(LinkSegment segment, Direction dir,
 
 void LinkModel::corrupt_packet(Packet& pkt) {
   // Pin the pre-corruption checksum so re-serialization exposes the damage.
-  const Bytes segment =
-      pkt.tcp.serialize(pkt.ip.src, pkt.ip.dst, pkt.payload,
-                        /*compute_checksum=*/!pkt.tcp_checksum_overridden,
-                        !pkt.tcp_offset_overridden);
+  BufferArena::Scoped segment;
+  pkt.tcp.serialize_into(*segment, pkt.ip.src, pkt.ip.dst, pkt.payload,
+                         /*compute_checksum=*/!pkt.tcp_checksum_overridden,
+                         !pkt.tcp_offset_overridden);
   pkt.tcp.checksum =
-      static_cast<std::uint16_t>(segment[16] << 8 | segment[17]);
+      static_cast<std::uint16_t>((*segment)[16] << 8 | (*segment)[17]);
   pkt.tcp_checksum_overridden = true;
   if (!pkt.payload.empty()) {
     pkt.payload[pkt.payload.size() / 2] ^= 0x20;

@@ -2,6 +2,7 @@
 
 #include <charconv>
 #include <stdexcept>
+#include <utility>
 
 #include "util/checksum.h"
 
@@ -45,9 +46,10 @@ std::string Ipv4Address::to_string() const {
   return out;
 }
 
-Bytes Ipv4Header::serialize(std::uint16_t payload_length, bool compute_checksum,
-                            bool compute_length) const {
-  ByteWriter w;
+void Ipv4Header::serialize_into(Bytes& out, std::uint16_t payload_length,
+                                bool compute_checksum,
+                                bool compute_length) const {
+  ByteWriter w(std::move(out));
   w.u8(static_cast<std::uint8_t>(version << 4 | (ihl & 0xf)));
   w.u8(tos);
   const std::uint16_t length =
@@ -63,11 +65,17 @@ Bytes Ipv4Header::serialize(std::uint16_t payload_length, bool compute_checksum,
   w.u32(src.value());
   w.u32(dst.value());
 
-  Bytes out = w.take();
+  out = w.take();
   const std::uint16_t csum =
       compute_checksum ? internet_checksum(out) : checksum;
   out[10] = static_cast<std::uint8_t>(csum >> 8);
   out[11] = static_cast<std::uint8_t>(csum & 0xff);
+}
+
+Bytes Ipv4Header::serialize(std::uint16_t payload_length, bool compute_checksum,
+                            bool compute_length) const {
+  Bytes out;
+  serialize_into(out, payload_length, compute_checksum, compute_length);
   return out;
 }
 

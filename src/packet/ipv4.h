@@ -60,6 +60,11 @@ struct Ipv4Header {
   [[nodiscard]] Bytes serialize(std::uint16_t payload_length,
                                 bool compute_checksum = true,
                                 bool compute_length = true) const;
+  /// Same, written into `out` (cleared first; capacity retained) so hot
+  /// paths can reuse an arena buffer.
+  void serialize_into(Bytes& out, std::uint16_t payload_length,
+                      bool compute_checksum = true,
+                      bool compute_length = true) const;
 
   /// Parses a header from `data`; throws ShortReadError / invalid_argument on
   /// truncated or non-v4 input. On success `consumed` is set to ihl*4.

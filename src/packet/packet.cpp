@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "util/arena.h"
 #include "util/checksum.h"
 
 namespace caya {
@@ -14,12 +15,15 @@ std::uint32_t Packet::sequence_length() const noexcept {
 }
 
 Bytes Packet::serialize() const {
-  const Bytes segment =
-      tcp.serialize(ip.src, ip.dst, payload, !tcp_checksum_overridden,
-                    !tcp_offset_overridden);
-  Bytes wire = ip.serialize(static_cast<std::uint16_t>(segment.size()),
+  // The TCP segment is a transient: leased from this thread's arena and
+  // returned at scope end, so steady-state serialization only allocates the
+  // wire buffer handed to the caller.
+  BufferArena::Scoped segment;
+  tcp.serialize_into(*segment, ip.src, ip.dst, payload,
+                     !tcp_checksum_overridden, !tcp_offset_overridden);
+  Bytes wire = ip.serialize(static_cast<std::uint16_t>(segment->size()),
                             !ip_checksum_overridden, !ip_length_overridden);
-  wire.insert(wire.end(), segment.begin(), segment.end());
+  wire.insert(wire.end(), segment->begin(), segment->end());
   return wire;
 }
 
@@ -39,23 +43,28 @@ Packet Packet::parse(std::span<const std::uint8_t> wire) {
 }
 
 bool Packet::tcp_checksum_valid() const {
-  const Bytes segment =
-      tcp.serialize(ip.src, ip.dst, payload, /*compute_checksum=*/true,
-                    !tcp_offset_overridden);
-  const auto computed = static_cast<std::uint16_t>(segment[16] << 8 |
-                                                   segment[17]);
-  return !tcp_checksum_overridden || computed == tcp.checksum;
+  if (!tcp_checksum_overridden) return true;
+  // Endpoints verify every delivered packet; the scratch segment comes from
+  // the per-thread arena so validation allocates nothing in steady state.
+  BufferArena::Scoped segment;
+  tcp.serialize_into(*segment, ip.src, ip.dst, payload,
+                     /*compute_checksum=*/true, !tcp_offset_overridden);
+  const auto computed =
+      static_cast<std::uint16_t>((*segment)[16] << 8 | (*segment)[17]);
+  return computed == tcp.checksum;
 }
 
 bool Packet::ip_checksum_valid() const {
-  const Bytes segment =
-      tcp.serialize(ip.src, ip.dst, payload, !tcp_checksum_overridden,
-                    !tcp_offset_overridden);
-  const Bytes hdr = ip.serialize(static_cast<std::uint16_t>(segment.size()),
-                                 /*compute_checksum=*/true,
-                                 !ip_length_overridden);
-  const auto computed = static_cast<std::uint16_t>(hdr[10] << 8 | hdr[11]);
-  return !ip_checksum_overridden || computed == ip.checksum;
+  if (!ip_checksum_overridden) return true;
+  BufferArena::Scoped segment;
+  tcp.serialize_into(*segment, ip.src, ip.dst, payload,
+                     !tcp_checksum_overridden, !tcp_offset_overridden);
+  BufferArena::Scoped hdr;
+  ip.serialize_into(*hdr, static_cast<std::uint16_t>(segment->size()),
+                    /*compute_checksum=*/true, !ip_length_overridden);
+  const auto computed =
+      static_cast<std::uint16_t>((*hdr)[10] << 8 | (*hdr)[11]);
+  return computed == ip.checksum;
 }
 
 std::string Packet::summary() const {

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
+#include "util/arena.h"
 #include "util/checksum.h"
 
 namespace caya {
@@ -42,8 +44,8 @@ std::optional<std::uint16_t> TcpHeader::mss() const noexcept {
   return static_cast<std::uint16_t>(opt->data[0] << 8 | opt->data[1]);
 }
 
-Bytes TcpHeader::serialize_options() const {
-  ByteWriter w;
+void TcpHeader::serialize_options_into(Bytes& out) const {
+  ByteWriter w(std::move(out));
   for (const auto& opt : options) {
     if (opt.kind == TcpOption::kEndOfOptions || opt.kind == TcpOption::kNop) {
       w.u8(opt.kind);
@@ -53,24 +55,33 @@ Bytes TcpHeader::serialize_options() const {
     w.u8(static_cast<std::uint8_t>(2 + opt.data.size()));
     w.raw(opt.data);
   }
-  Bytes out = w.take();
+  out = w.take();
   while (out.size() % 4 != 0) out.push_back(TcpOption::kNop);
+}
+
+Bytes TcpHeader::serialize_options() const {
+  Bytes out;
+  serialize_options_into(out);
   return out;
 }
 
 std::size_t TcpHeader::computed_header_length() const {
-  return 20 + serialize_options().size();
+  BufferArena::Scoped opts;
+  serialize_options_into(*opts);
+  return 20 + opts->size();
 }
 
-Bytes TcpHeader::serialize(Ipv4Address src, Ipv4Address dst,
-                           std::span<const std::uint8_t> payload,
-                           bool compute_checksum, bool compute_offset) const {
-  const Bytes opts = serialize_options();
+void TcpHeader::serialize_into(Bytes& out, Ipv4Address src, Ipv4Address dst,
+                               std::span<const std::uint8_t> payload,
+                               bool compute_checksum,
+                               bool compute_offset) const {
+  BufferArena::Scoped opts;
+  serialize_options_into(*opts);
   const std::uint8_t offset_words =
-      compute_offset ? static_cast<std::uint8_t>((20 + opts.size()) / 4)
+      compute_offset ? static_cast<std::uint8_t>((20 + opts->size()) / 4)
                      : data_offset;
 
-  ByteWriter w;
+  ByteWriter w(std::move(out));
   w.u16(sport);
   w.u16(dport);
   w.u32(seq);
@@ -80,14 +91,21 @@ Bytes TcpHeader::serialize(Ipv4Address src, Ipv4Address dst,
   w.u16(window);
   w.u16(0);  // checksum placeholder
   w.u16(urgent_pointer);
-  w.raw(opts);
+  w.raw(*opts);
   w.raw(payload);
 
-  Bytes out = w.take();
+  out = w.take();
   const std::uint16_t csum =
       compute_checksum ? tcp_checksum(src, dst, out) : checksum;
   out[16] = static_cast<std::uint8_t>(csum >> 8);
   out[17] = static_cast<std::uint8_t>(csum & 0xff);
+}
+
+Bytes TcpHeader::serialize(Ipv4Address src, Ipv4Address dst,
+                           std::span<const std::uint8_t> payload,
+                           bool compute_checksum, bool compute_offset) const {
+  Bytes out;
+  serialize_into(out, src, dst, payload, compute_checksum, compute_offset);
   return out;
 }
 

@@ -53,6 +53,9 @@ struct TcpHeader {
 
   /// Serialized option bytes, padded with NOPs to a 4-byte boundary.
   [[nodiscard]] Bytes serialize_options() const;
+  /// Same, written into `out` (cleared first; capacity retained) so hot
+  /// paths can reuse an arena buffer.
+  void serialize_options_into(Bytes& out) const;
 
   /// Header length in bytes implied by the current options (>= 20).
   [[nodiscard]] std::size_t computed_header_length() const;
@@ -65,6 +68,13 @@ struct TcpHeader {
                                 std::span<const std::uint8_t> payload,
                                 bool compute_checksum = true,
                                 bool compute_offset = true) const;
+  /// Same, written into `out` (cleared first; capacity retained). The
+  /// checksum-validation paths call this once per delivered packet, so they
+  /// lease `out` from the per-thread BufferArena instead of allocating.
+  void serialize_into(Bytes& out, Ipv4Address src, Ipv4Address dst,
+                      std::span<const std::uint8_t> payload,
+                      bool compute_checksum = true,
+                      bool compute_offset = true) const;
 
   /// Parses a TCP header (with options) from `data`. `consumed` is set to the
   /// header length; payload follows. Throws on truncation/malformed options.

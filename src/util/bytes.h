@@ -20,6 +20,13 @@ using Bytes = std::vector<std::uint8_t>;
 /// Serializes integers/blobs into a growing byte vector (network byte order).
 class ByteWriter {
  public:
+  ByteWriter() = default;
+  /// Adopts `buf` as the output vector (cleared, capacity retained) — lets
+  /// hot paths write into an arena-recycled buffer instead of allocating.
+  explicit ByteWriter(Bytes buf) noexcept : buf_(std::move(buf)) {
+    buf_.clear();
+  }
+
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u16(std::uint16_t v) {
     buf_.push_back(static_cast<std::uint8_t>(v >> 8));

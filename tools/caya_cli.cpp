@@ -16,12 +16,20 @@
 //         --waterfall                             (print one packet diagram)
 //         --pcap FILE                             (write censor-view pcap)
 //         --profile clean|lossy|bursty|flaky-censor  (path/censor condition)
+//         --jobs N                                (parallel trials; default:
+//                                                  hardware concurrency)
+//   caya rates [options]
+//       Success rate of one strategy across every protocol (a Table 2 row).
+//         --country C  [--strategy DSL | --published N]  --trials N
+//         --seed N  --profile P  --jobs N
 //   caya sweep [options]
 //       Success-rate-vs-impairment curves for a set of strategies.
 //         --country C --protocol P --axis loss|burst|reorder
-//         --published N (repeatable)  --trials N  --seed N
+//         --published N (repeatable)  --trials N  --seed N  --jobs N
 //   caya evolve [options]
-//       ... --robust averages fitness across all impairment profiles.
+//       ... --robust averages fitness across all impairment profiles;
+//       --jobs N evaluates the population in parallel (deterministic: any
+//       jobs value reproduces the --jobs 1 output byte-identically).
 //
 // Examples:
 //   caya run --country china --protocol http --published 1 --trials 500
@@ -37,14 +45,17 @@
 #include <utility>
 #include <vector>
 
+#include "eval/parallel.h"
 #include "eval/rates.h"
 #include "eval/replay.h"
 #include "eval/strategies.h"
 #include "eval/waterfall.h"
+#include "geneva/fitness_cache.h"
 #include "geneva/ga.h"
 #include "geneva/library.h"
 #include "geneva/parser.h"
 #include "netsim/pcap.h"
+#include "util/thread_pool.h"
 
 namespace caya {
 namespace {
@@ -53,17 +64,24 @@ namespace {
   std::printf(
       "usage: caya list | caya parse \"<dsl>\" | caya run [options] |\n"
       "       caya library FILE | caya evolve [options] |\n"
-      "       caya sweep [options] | caya replay FILE --country C\n"
+      "       caya rates [options] | caya sweep [options] |\n"
+      "       caya replay FILE --country C\n"
       "run options   : --country C --protocol P\n"
       "                [--strategy DSL | --published N | --from FILE --name "
       "N]\n"
       "                [--client-side] [--trials N] [--seed N] [--os NAME]\n"
-      "                [--waterfall] [--pcap FILE]\n"
+      "                [--waterfall] [--pcap FILE] [--jobs N]\n"
       "                [--profile clean|lossy|bursty|flaky-censor]\n"
       "evolve options: --country C --protocol P [--population N] [--gens N]"
       "\n                [--seed N] [--save FILE --name NAME] [--robust]\n"
+      "                [--jobs N]\n"
+      "rates options : --country C [--strategy DSL | --published N]\n"
+      "                [--trials N] [--seed N] [--profile P] [--jobs N]\n"
       "sweep options : --country C --protocol P [--axis loss|burst|reorder]\n"
-      "                [--published N]... [--trials N] [--seed N]\n");
+      "                [--published N]... [--trials N] [--seed N] [--jobs N]\n"
+      "--jobs N shards independent trials over N worker threads (default:\n"
+      "hardware concurrency; 1 = serial). Output is byte-identical for any\n"
+      "jobs value under the same seed.\n");
   std::exit(code);
 }
 
@@ -154,6 +172,7 @@ int cmd_evolve(int argc, char** argv) {
   std::string save_path;
   std::string save_name = "evolved";
   bool robust = false;
+  std::size_t jobs = ThreadPool::hardware_jobs();
 
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -177,6 +196,8 @@ int cmd_evolve(int argc, char** argv) {
       save_name = next();
     } else if (arg == "--robust") {
       robust = true;
+    } else if (arg == "--jobs") {
+      jobs = static_cast<std::size_t>(std::atoll(next().c_str()));
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       usage(2);
@@ -186,23 +207,37 @@ int cmd_evolve(int argc, char** argv) {
   GaConfig config;
   config.population_size = population;
   config.generations = generations;
+  config.jobs = jobs;
   Logger logger(LogLevel::kInfo, [](LogLevel, std::string_view msg) {
     std::printf("  %.*s\n", static_cast<int>(msg.size()), msg.data());
   });
+  const std::vector<ImpairmentProfile> fitness_profiles =
+      robust ? all_profiles() : std::vector<ImpairmentProfile>{};
   FitnessFn fitness =
       robust ? make_robust_fitness(country, protocol, 20, seed, {})
              : make_fitness(country, protocol, 20, seed);
   GeneticAlgorithm ga(GeneConfig{}, config, std::move(fitness), Rng(seed),
                       logger);
+  // Elites and re-discovered genomes skip their trial batches entirely.
+  auto cache = std::make_shared<FitnessCache>(
+      fitness_cache_digest(country, protocol, 20, seed, fitness_profiles));
+  ga.set_fitness_cache(cache);
   const Individual best = ga.run();
 
   RateOptions options;
   options.trials = 200;
   options.base_seed = seed + 777'777;
+  options.jobs = jobs;
   const double confirmed =
       measure_rate(country, protocol, best.strategy, options).rate();
   std::printf("\nbest      : %s\n", best.strategy.to_string().c_str());
   std::printf("confirmed : %.0f%% over 200 fresh trials\n", confirmed * 100);
+  std::size_t total_hits = 0;
+  for (const GenerationStats& gen : ga.history()) {
+    total_hits += gen.cache_hits;
+  }
+  std::printf("cache     : %zu trial batches skipped, %zu strategies scored\n",
+              total_hits, cache->size());
   if (robust) {
     for (const ImpairmentProfile profile : all_profiles()) {
       RateOptions per_profile = options;
@@ -275,6 +310,7 @@ int cmd_sweep(int argc, char** argv) {
   std::vector<int> published;
   std::size_t trials = 50;
   std::uint64_t seed = 1;
+  std::size_t jobs = ThreadPool::hardware_jobs();
 
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -304,6 +340,8 @@ int cmd_sweep(int argc, char** argv) {
       trials = static_cast<std::size_t>(std::atoll(next().c_str()));
     } else if (arg == "--seed") {
       seed = static_cast<std::uint64_t>(std::atoll(next().c_str()));
+    } else if (arg == "--jobs") {
+      jobs = static_cast<std::size_t>(std::atoll(next().c_str()));
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       usage(2);
@@ -330,6 +368,7 @@ int cmd_sweep(int argc, char** argv) {
   RateOptions options;
   options.trials = trials;
   options.base_seed = seed;
+  options.jobs = jobs;
   const std::vector<SweepCurve> curves = measure_impairment_sweep(
       country, protocol, strategies, axis, values, options);
   std::printf("%s vs %s/%s, %zu trials per point\n\n",
@@ -337,6 +376,76 @@ int cmd_sweep(int argc, char** argv) {
               std::string(to_string(country)).c_str(),
               std::string(to_string(protocol)).c_str(), trials);
   std::printf("%s", render_sweep(curves, axis).c_str());
+  return 0;
+}
+
+int cmd_rates(int argc, char** argv) {
+  Country country = Country::kChina;
+  std::optional<Strategy> strategy;
+  std::size_t trials = 100;
+  std::uint64_t seed = 1;
+  ImpairmentProfile profile = ImpairmentProfile::kClean;
+  std::size_t jobs = ThreadPool::hardware_jobs();
+
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(2);
+      return argv[++i];
+    };
+    if (arg == "--country") {
+      country = parse_country(next());
+    } else if (arg == "--strategy") {
+      try {
+        strategy = parse_strategy(next());
+      } catch (const ParseError& e) {
+        std::fprintf(stderr, "parse error: %s\n", e.what());
+        return 1;
+      }
+    } else if (arg == "--published") {
+      try {
+        strategy = parsed_strategy(std::atoi(next().c_str()));
+      } catch (const std::out_of_range& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+      }
+    } else if (arg == "--trials") {
+      trials = static_cast<std::size_t>(std::atoll(next().c_str()));
+    } else if (arg == "--seed") {
+      seed = static_cast<std::uint64_t>(std::atoll(next().c_str()));
+    } else if (arg == "--profile") {
+      profile = parse_profile_arg(next());
+    } else if (arg == "--jobs") {
+      jobs = static_cast<std::size_t>(std::atoll(next().c_str()));
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      usage(2);
+    }
+  }
+
+  std::printf("strategy  : %s\n",
+              strategy ? strategy->to_string().c_str() : "(no evasion)");
+  std::printf("country   : %s, %zu trials per protocol\n",
+              std::string(to_string(country)).c_str(), trials);
+  std::printf("%-8s %10s %8s %17s\n", "protocol", "success", "rate",
+              "95% CI");
+  std::uint64_t protocol_seed = seed;
+  for (const AppProtocol protocol : all_protocols()) {
+    RateOptions options;
+    options.trials = trials;
+    options.base_seed = protocol_seed;
+    options.profile = profile;
+    options.jobs = jobs;
+    const RateCounter rate = measure_rate(country, protocol, strategy,
+                                          options);
+    const auto interval = rate.wilson();
+    std::printf("%-8s %6zu/%-3zu %7.1f%% %7.1f%% - %5.1f%%\n",
+                std::string(to_string(protocol)).c_str(), rate.successes(),
+                rate.trials(), rate.rate() * 100, interval.lo * 100,
+                interval.hi * 100);
+    // Disjoint seed blocks per protocol, matching bench_table2's layout.
+    protocol_seed += 1000;
+  }
   return 0;
 }
 
@@ -353,6 +462,7 @@ int cmd_run(int argc, char** argv) {
   bool waterfall = false;
   std::string pcap_path;
   ImpairmentProfile profile = ImpairmentProfile::kClean;
+  std::size_t jobs = ThreadPool::hardware_jobs();
 
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -396,6 +506,8 @@ int cmd_run(int argc, char** argv) {
       pcap_path = next();
     } else if (arg == "--profile") {
       profile = parse_profile_arg(next());
+    } else if (arg == "--jobs") {
+      jobs = static_cast<std::size_t>(std::atoll(next().c_str()));
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       usage(2);
@@ -418,32 +530,45 @@ int cmd_run(int argc, char** argv) {
     }
   }
 
+  // Trials are independent simulations seeded from seed + i; shard them
+  // across the pool and reduce outcomes in index order, so any --jobs value
+  // prints exactly the --jobs 1 report. Only trial 0 records a trace (the
+  // one the waterfall/pcap outputs show), so the capture is deterministic
+  // too.
+  struct RunOutcome {
+    bool success = false;
+    bool timed_out = false;
+  };
+  const bool want_trace = waterfall || !pcap_path.empty();
+  Trace first_trace;
+  const ParallelEvaluator evaluator(jobs);
+  const std::vector<RunOutcome> outcomes =
+      evaluator.map(trials, [&](std::size_t i) {
+        Environment::Config config;
+        config.country = country;
+        config.protocol = protocol;
+        config.seed = seed + i;
+        apply_profile(profile, config);
+        ConnectionOptions options;
+        if (client_side) {
+          options.client_strategy = strategy;
+        } else {
+          options.server_strategy = strategy;
+        }
+        options.client_os = os;
+        options.record_trace = want_trace && i == 0;
+        Environment env(config);
+        const TrialResult result = env.run_connection(options);
+        if (options.record_trace) first_trace = result.trace;
+        return RunOutcome{result.success, result.timed_out};
+      });
+
   RateCounter counter;
   std::size_t timeouts = 0;
-  Trace first_trace;
-  bool have_trace = false;
-  for (std::size_t i = 0; i < trials; ++i) {
-    Environment::Config config;
-    config.country = country;
-    config.protocol = protocol;
-    config.seed = seed + i;
-    apply_profile(profile, config);
-    ConnectionOptions options;
-    if (client_side) {
-      options.client_strategy = strategy;
-    } else {
-      options.server_strategy = strategy;
-    }
-    options.client_os = os;
-    options.record_trace = (waterfall || !pcap_path.empty()) && !have_trace;
-    Environment env(config);
-    const TrialResult result = env.run_connection(options);
-    if (options.record_trace) {
-      first_trace = result.trace;
-      have_trace = true;
-    }
-    counter.record(result.success);
-    if (result.timed_out) ++timeouts;
+  const bool have_trace = want_trace && trials > 0;
+  for (const RunOutcome& outcome : outcomes) {
+    counter.record(outcome.success);
+    if (outcome.timed_out) ++timeouts;
   }
 
   const auto interval = counter.wilson();
@@ -491,6 +616,7 @@ int main(int argc, char** argv) {
     return caya::cmd_library(argv[2]);
   }
   if (command == "evolve") return caya::cmd_evolve(argc - 2, argv + 2);
+  if (command == "rates") return caya::cmd_rates(argc - 2, argv + 2);
   if (command == "sweep") return caya::cmd_sweep(argc - 2, argv + 2);
   if (command == "replay") {
     if (argc < 3) caya::usage(2);
