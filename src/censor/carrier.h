@@ -33,6 +33,9 @@ class CarrierMiddlebox : public Middlebox {
                     Injector& inject) override;
   [[nodiscard]] bool in_path() const noexcept override { return true; }
   void reset() override { server_spoke_.clear(); }
+  [[nodiscard]] std::size_t tcb_count() const noexcept override {
+    return server_spoke_.size();
+  }
 
   [[nodiscard]] CarrierNetwork network() const noexcept { return network_; }
   [[nodiscard]] std::size_t dropped_count() const noexcept {

@@ -91,6 +91,9 @@ class GfwBox : public Middlebox {
   [[nodiscard]] bool in_path() const noexcept override { return false; }
   void reset() override;
 
+  [[nodiscard]] std::size_t tcb_count() const noexcept override {
+    return flows_.size();
+  }
   [[nodiscard]] AppProtocol protocol() const noexcept {
     return params_.protocol;
   }

@@ -27,6 +27,9 @@ class IranCensor : public Middlebox {
                     Injector& inject) override;
   [[nodiscard]] bool in_path() const noexcept override { return true; }
   void reset() override { blackholed_.clear(); }
+  [[nodiscard]] std::size_t tcb_count() const noexcept override {
+    return blackholed_.size();
+  }
 
   [[nodiscard]] std::size_t censored_count() const noexcept {
     return censored_count_;

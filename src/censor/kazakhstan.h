@@ -39,6 +39,9 @@ class KazakhstanCensor : public Middlebox {
                     Injector& inject) override;
   [[nodiscard]] bool in_path() const noexcept override { return true; }
   void reset() override { flows_.clear(); }
+  [[nodiscard]] std::size_t tcb_count() const noexcept override {
+    return flows_.size();
+  }
 
   [[nodiscard]] std::size_t censored_count() const noexcept {
     return censored_count_;

@@ -7,6 +7,13 @@
 // shared work-stealing pool and reduces results *in canonical index order*,
 // which makes the output bit-for-bit independent of completion order:
 // jobs=8 produces byte-identical tables, histories, and pcaps to jobs=1.
+//
+// Exception safety: map() rethrows the first worker exception on the
+// caller, which would tear down a whole batch. Campaign code therefore
+// wraps each trial in run_supervised_trial (eval/trial.h), which converts
+// failures into classified TrialError outcomes — so no exception crosses
+// the pool boundary during a supervised batch, and one poisoned trial
+// cannot abort an evolution or sweep.
 #pragma once
 
 #include <cstddef>

@@ -77,23 +77,23 @@ void apply_profile(ImpairmentProfile profile, Environment::Config& config) {
 
 namespace {
 
-struct RatePoint {
-  RateCounter rate;
-  std::size_t timeouts = 0;
-};
-
 struct TrialOutcome {
   bool success = false;
   bool timed_out = false;
+  TrialErrorKind error = TrialErrorKind::kNone;
+  std::size_t attempts = 1;
 };
 
-RatePoint run_trials(Country country, AppProtocol protocol,
-                     const std::optional<Strategy>& strategy,
-                     const RateOptions& options,
-                     const LinkModel::Config* link_override) {
+RateReport run_trials(Country country, AppProtocol protocol,
+                      const std::optional<Strategy>& strategy,
+                      const RateOptions& options,
+                      const LinkModel::Config* link_override) {
   // Each trial is an independent simulation seeded from base_seed + i, so
   // the evaluator may run them on any worker; the outcome vector is reduced
   // in index order, making the counters identical for every jobs value.
+  // Supervision happens inside each trial (retries keyed to the trial
+  // index), so outcomes — and therefore the whole report — are also
+  // identical across jobs values and across checkpoint resumes.
   const ParallelEvaluator evaluator(options.jobs);
   const std::vector<TrialOutcome> outcomes =
       evaluator.map(options.trials, [&](std::size_t i) {
@@ -108,16 +108,45 @@ RatePoint run_trials(Country country, AppProtocol protocol,
         conn.server_strategy = strategy;
         conn.client_os = options.client_os;
 
-        const TrialResult result = run_trial(env_config, conn);
-        return TrialOutcome{result.success, result.timed_out};
+        const SupervisedOutcome outcome =
+            run_supervised_trial(env_config, conn, options.supervision, i);
+        TrialOutcome summary;
+        summary.success = outcome.result.success;
+        summary.timed_out = outcome.result.timed_out;
+        summary.error = outcome.error;
+        summary.attempts = outcome.attempts;
+        return summary;
       });
 
-  RatePoint point;
+  // Reduce in index order. Completed trials (including timeouts — a starved
+  // client IS a censorship result) feed the rate; errored trials are
+  // excluded from it and accounted separately. Quarantine triggers on a run
+  // of consecutive errored trials, scanned in index order so the verdict
+  // does not depend on scheduling.
+  RateReport report;
+  std::size_t consecutive_errors = 0;
+  const std::size_t quarantine_after = options.supervision.quarantine_after;
   for (const TrialOutcome& outcome : outcomes) {
-    point.rate.record(outcome.success);
-    if (outcome.timed_out) ++point.timeouts;
+    report.retries += outcome.attempts - 1;
+    const bool errored = outcome.error != TrialErrorKind::kNone &&
+                         outcome.error != TrialErrorKind::kTimeout;
+    if (errored) {
+      ++report.errors;
+      ++report.error_counts[static_cast<std::size_t>(outcome.error)];
+      if (quarantine_after != 0 && ++consecutive_errors >= quarantine_after) {
+        report.quarantined = true;
+      }
+      continue;
+    }
+    consecutive_errors = 0;
+    report.rate.record(outcome.success);
+    if (outcome.timed_out) {
+      ++report.timeouts;
+      ++report.error_counts[static_cast<std::size_t>(
+          TrialErrorKind::kTimeout)];
+    }
   }
-  return point;
+  return report;
 }
 
 }  // namespace
@@ -126,6 +155,12 @@ RateCounter measure_rate(Country country, AppProtocol protocol,
                          const std::optional<Strategy>& strategy,
                          const RateOptions& options) {
   return run_trials(country, protocol, strategy, options, nullptr).rate;
+}
+
+RateReport measure_rate_supervised(Country country, AppProtocol protocol,
+                                   const std::optional<Strategy>& strategy,
+                                   const RateOptions& options) {
+  return run_trials(country, protocol, strategy, options, nullptr);
 }
 
 FitnessFn make_fitness(Country country, AppProtocol protocol,
@@ -139,6 +174,59 @@ FitnessFn make_fitness(Country country, AppProtocol protocol,
     const RateCounter rate =
         measure_rate(country, protocol, strategy, options);
     return rate.rate() * 100.0;
+  };
+}
+
+bool Quarantine::contains(const std::string& strategy_key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return keys_.count(strategy_key) != 0;
+}
+
+void Quarantine::add(const std::string& strategy_key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  keys_.insert(strategy_key);
+}
+
+std::size_t Quarantine::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return keys_.size();
+}
+
+std::vector<std::string> Quarantine::entries() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<std::string>(keys_.begin(), keys_.end());
+}
+
+FitnessFn make_supervised_fitness(Country country, AppProtocol protocol,
+                                  std::size_t trials, std::uint64_t base_seed,
+                                  std::shared_ptr<Quarantine> quarantine,
+                                  SupervisionPolicy policy,
+                                  std::vector<ImpairmentProfile> profiles,
+                                  std::size_t jobs) {
+  if (profiles.empty()) profiles = {ImpairmentProfile::kClean};
+  return [=, quarantine = std::move(quarantine),
+          profiles = std::move(profiles)](const Strategy& strategy) {
+    const std::string key = strategy.to_string();
+    if (quarantine && quarantine->contains(key)) return kQuarantinedFitness;
+    double sum = 0.0;
+    for (std::size_t p = 0; p < profiles.size(); ++p) {
+      RateOptions options;
+      options.trials = trials;
+      // Same disjoint seed blocks as make_robust_fitness, so supervised
+      // and unsupervised campaigns score identically on a healthy path.
+      options.base_seed = base_seed + p * trials;
+      options.profile = profiles[p];
+      options.jobs = jobs;
+      options.supervision = policy;
+      const RateReport report =
+          measure_rate_supervised(country, protocol, strategy, options);
+      if (report.quarantined) {
+        if (quarantine) quarantine->add(key);
+        return kQuarantinedFitness;
+      }
+      sum += report.rate.rate();
+    }
+    return sum / static_cast<double>(profiles.size()) * 100.0;
   };
 }
 
@@ -222,6 +310,22 @@ LinkModel::Config sweep_link_config(SweepAxis axis, double value) {
   return link;
 }
 
+SweepPoint measure_sweep_cell(Country country, AppProtocol protocol,
+                              const std::optional<Strategy>& strategy,
+                              SweepAxis axis, double value,
+                              const RateOptions& options) {
+  const LinkModel::Config link = sweep_link_config(axis, value);
+  const RateReport report =
+      run_trials(country, protocol, strategy, options, &link);
+  SweepPoint point;
+  point.value = value;
+  point.rate = report.rate;
+  point.timeouts = report.timeouts;
+  point.errors = report.errors;
+  point.retries = report.retries;
+  return point;
+}
+
 std::vector<SweepCurve> measure_impairment_sweep(
     Country country, AppProtocol protocol,
     const std::vector<std::pair<std::string, std::optional<Strategy>>>&
@@ -235,10 +339,8 @@ std::vector<SweepCurve> measure_impairment_sweep(
     curve.strategy_name = name;
     curve.points.reserve(values.size());
     for (const double value : values) {
-      const LinkModel::Config link = sweep_link_config(axis, value);
-      const RatePoint point =
-          run_trials(country, protocol, strategy, options, &link);
-      curve.points.push_back({value, point.rate, point.timeouts});
+      curve.points.push_back(measure_sweep_cell(country, protocol, strategy,
+                                                axis, value, options));
     }
     curves.push_back(std::move(curve));
   }
@@ -262,6 +364,28 @@ std::string render_sweep(const std::vector<SweepCurve>& curves,
       out << std::right << std::setw(8) << percent(point.rate.rate());
     }
     out << '\n';
+  }
+  // Coverage footer, only when some cell lost trials to errors: the main
+  // table stays byte-identical for clean runs, but a sweep that survived
+  // injected or real faults says exactly which cells are undersampled.
+  bool any_errors = false;
+  for (const SweepCurve& curve : curves) {
+    for (const SweepPoint& point : curve.points) {
+      if (point.errors != 0) any_errors = true;
+    }
+  }
+  if (any_errors) {
+    out << "# errors (trials lost after retries; completed/attempted)\n";
+    for (const SweepCurve& curve : curves) {
+      out << std::left << std::setw(38) << curve.strategy_name;
+      for (const SweepPoint& point : curve.points) {
+        std::ostringstream cell;
+        cell << point.rate.trials() << '/'
+             << (point.rate.trials() + point.errors);
+        out << std::right << std::setw(8) << cell.str();
+      }
+      out << '\n';
+    }
   }
   return out.str();
 }

@@ -3,10 +3,14 @@
 // harness: named impairment profiles and success-rate-vs-impairment sweeps.
 #pragma once
 
+#include <array>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -45,13 +49,70 @@ struct RateOptions {
   /// from base_seed + index and results are reduced in index order, so
   /// every jobs value yields byte-identical rates.
   std::size_t jobs = 1;
+  /// Retry / fault-injection / quarantine policy for the supervised runners.
+  /// The defaults are inert on a healthy substrate: a batch that raises no
+  /// errors behaves byte-identically to the unsupervised path.
+  SupervisionPolicy supervision;
 };
+
+/// Everything a supervised batch learned, beyond the bare success rate:
+/// errored trials are *excluded* from `rate` (an infrastructure failure is
+/// not a censorship result) and accounted for here instead, so sweeps and
+/// campaigns can report per-cell coverage honestly.
+struct RateReport {
+  RateCounter rate;            // over trials that completed (incl. timeouts)
+  std::size_t timeouts = 0;    // completed trials cut off by deadline/cap
+  std::size_t errors = 0;      // trials that exhausted their retry budget
+  std::size_t retries = 0;     // extra attempts spent recovering trials
+  std::array<std::size_t, kTrialErrorKinds> error_counts{};  // by kind
+  bool quarantined = false;    // hit `quarantine_after` consecutive errors
+
+  /// Trials the batch was asked to run (completed + errored).
+  [[nodiscard]] std::size_t attempted() const noexcept {
+    return rate.trials() + errors;
+  }
+  /// Fraction of requested trials that produced a usable result.
+  [[nodiscard]] double coverage() const noexcept {
+    const std::size_t n = attempted();
+    return n == 0 ? 0.0 : static_cast<double>(rate.trials()) /
+                              static_cast<double>(n);
+  }
+};
+
+/// Shared registry of strategies poisoned by consecutive trial errors.
+/// Thread-safe: the GA's parallel fitness evaluations consult and update it
+/// concurrently. Keys are canonical strategy strings.
+class Quarantine {
+ public:
+  [[nodiscard]] bool contains(const std::string& strategy_key) const;
+  void add(const std::string& strategy_key);
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::vector<std::string> entries() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_set<std::string> keys_;
+};
+
+/// Sentinel fitness assigned to quarantined strategies: far below any real
+/// score (real fitness is a 0..100 success percentage minus a small
+/// complexity penalty), so selection weeds the strategy out without the
+/// campaign aborting.
+inline constexpr double kQuarantinedFitness = -100.0;
 
 /// Runs `trials` independent connections (fresh Environment per trial so
 /// censor state never leaks) and reports the observed success rate.
 [[nodiscard]] RateCounter measure_rate(Country country, AppProtocol protocol,
                                        const std::optional<Strategy>& strategy,
                                        const RateOptions& options = {});
+
+/// Supervised variant: every trial runs through run_supervised_trial, so a
+/// crashing or injected-fault trial is retried / counted instead of
+/// propagating; the report carries error and coverage accounting. On a
+/// healthy substrate the rate is byte-identical to measure_rate's.
+[[nodiscard]] RateReport measure_rate_supervised(
+    Country country, AppProtocol protocol,
+    const std::optional<Strategy>& strategy, const RateOptions& options = {});
 
 /// Geneva fitness: success-rate (x100) of `strategy` as a server-side
 /// defense, over `trials` connections. `jobs` shards those connections
@@ -69,6 +130,19 @@ struct RateOptions {
     Country country, AppProtocol protocol, std::size_t trials,
     std::uint64_t base_seed, std::vector<ImpairmentProfile> profiles,
     std::size_t jobs = 1);
+
+/// Supervised Geneva fitness for long campaigns: trials run under `policy`
+/// (retry + error accounting); a strategy whose batch trips quarantine is
+/// registered in `quarantine` and scored kQuarantinedFitness — this
+/// evaluation and every later one — instead of aborting the GA. Pass an
+/// empty `profiles` for clean-link fitness, or a list for the robust mean.
+/// Scores on the clean path match make_fitness / make_robust_fitness
+/// exactly.
+[[nodiscard]] FitnessFn make_supervised_fitness(
+    Country country, AppProtocol protocol, std::size_t trials,
+    std::uint64_t base_seed, std::shared_ptr<Quarantine> quarantine,
+    SupervisionPolicy policy = {},
+    std::vector<ImpairmentProfile> profiles = {}, std::size_t jobs = 1);
 
 /// Environment-config digest for FitnessCache keys: two fitness functions
 /// built from the same (country, protocol, trials, base_seed, profiles)
@@ -97,8 +171,10 @@ enum class SweepAxis {
 
 struct SweepPoint {
   double value = 0.0;          // the axis setting
-  RateCounter rate;            // app-level success over the trials
+  RateCounter rate;            // app-level success over completed trials
   std::size_t timeouts = 0;    // trials cut off by the deadline/event cap
+  std::size_t errors = 0;      // trials lost to errors after retries
+  std::size_t retries = 0;     // extra attempts spent recovering trials
 };
 
 struct SweepCurve {
@@ -106,8 +182,18 @@ struct SweepCurve {
   std::vector<SweepPoint> points;
 };
 
+/// Measures one sweep cell (one strategy at one axis value) under
+/// supervision. Sweeps — including resumed ones — are built cell by cell
+/// from this, so a partial sweep table checkpoints cleanly.
+[[nodiscard]] SweepPoint measure_sweep_cell(
+    Country country, AppProtocol protocol,
+    const std::optional<Strategy>& strategy, SweepAxis axis, double value,
+    const RateOptions& options = {});
+
 /// Success-rate-vs-impairment curves: for each named strategy, measures the
 /// success rate at every axis value. Deterministic for a fixed base_seed.
+/// Errored trials never abort the sweep: the table completes with per-cell
+/// error/coverage counts in the SweepPoints.
 [[nodiscard]] std::vector<SweepCurve> measure_impairment_sweep(
     Country country, AppProtocol protocol,
     const std::vector<std::pair<std::string, std::optional<Strategy>>>&

@@ -1,6 +1,27 @@
 #include "eval/trial.h"
 
+#include <exception>
+#include <sstream>
+
+#include "util/selfcheck.h"
+
 namespace caya {
+
+std::string_view to_string(TrialErrorKind kind) noexcept {
+  switch (kind) {
+    case TrialErrorKind::kNone: return "none";
+    case TrialErrorKind::kTimeout: return "timeout";
+    case TrialErrorKind::kInvariantViolation: return "invariant-violation";
+    case TrialErrorKind::kCodecError: return "codec-error";
+    case TrialErrorKind::kInjectedFault: return "injected-fault";
+  }
+  return "unknown";
+}
+
+bool is_retryable(TrialErrorKind kind) noexcept {
+  return kind == TrialErrorKind::kCodecError ||
+         kind == TrialErrorKind::kInjectedFault;
+}
 
 Ipv4Address eval_client_addr() { return Ipv4Address::parse("101.6.8.2"); }
 Ipv4Address eval_server_addr() {
@@ -81,6 +102,7 @@ TrialResult Environment::run_connection(const ConnectionOptions& options) {
   const std::size_t censored_before = censored_total();
 
   net_->trace().clear();
+  if (selfcheck_enabled()) net_->selfcheck_begin_connection();
 
   // Engines (the Geneva shims) for this connection.
   std::unique_ptr<Engine> server_engine;
@@ -121,6 +143,9 @@ TrialResult Environment::run_connection(const ConnectionOptions& options) {
       result.server_amplification = server_engine->amplification();
     }
     if (options.record_trace) result.trace = net_->trace();
+    if (selfcheck_enabled()) {
+      net_->selfcheck_end_connection(result.timed_out);
+    }
     loop_.clear();  // no stale callbacks may outlive this connection's apps
     net_->set_server_processor(nullptr);
     net_->set_client_processor(nullptr);
@@ -204,6 +229,86 @@ TrialResult run_trial(Environment::Config env_config,
                       const ConnectionOptions& options) {
   Environment env(env_config);
   return env.run_connection(options);
+}
+
+bool SupervisionPolicy::injects_fault(std::size_t trial_index,
+                                      std::size_t attempt) const noexcept {
+  const std::size_t ordinal = trial_index + 1;  // 1-based, so N means "Nth"
+  if (inject_hard_fault_every != 0 &&
+      ordinal % inject_hard_fault_every == 0) {
+    return true;  // fails every attempt: exhausts the retry budget
+  }
+  if (inject_soft_fault_every != 0 &&
+      ordinal % inject_soft_fault_every == 0) {
+    return attempt == 0;  // fails only the first attempt: a retry recovers
+  }
+  return false;
+}
+
+namespace {
+
+std::string trial_context(const Environment::Config& env_config,
+                          const ConnectionOptions& options,
+                          std::uint64_t seed) {
+  std::ostringstream out;
+  out << "country=" << to_string(env_config.country)
+      << " protocol=" << to_string(env_config.protocol) << " seed=" << seed;
+  if (options.server_strategy) {
+    out << " strategy=\"" << options.server_strategy->to_string() << '"';
+  }
+  if (options.client_strategy) {
+    out << " client-strategy=\"" << options.client_strategy->to_string()
+        << '"';
+  }
+  return out.str();
+}
+
+}  // namespace
+
+SupervisedOutcome run_supervised_trial(const Environment::Config& env_config,
+                                       const ConnectionOptions& options,
+                                       const SupervisionPolicy& policy,
+                                       std::size_t trial_index) {
+  SupervisedOutcome outcome;
+  const std::size_t max_attempts = policy.max_retries + 1;
+  for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    outcome.attempts = attempt + 1;
+    Environment::Config attempt_config = env_config;
+    attempt_config.seed =
+        env_config.seed + attempt * policy.retry_seed_stride;
+
+    if (policy.injects_fault(trial_index, attempt)) {
+      outcome.error = TrialErrorKind::kInjectedFault;
+      outcome.detail =
+          "injected fault (trial " + std::to_string(trial_index) +
+          ", attempt " + std::to_string(attempt) + "): " +
+          trial_context(attempt_config, options, attempt_config.seed);
+      if (attempt + 1 < max_attempts) continue;
+      return outcome;
+    }
+
+    try {
+      outcome.result = run_trial(attempt_config, options);
+      outcome.error = outcome.result.timed_out ? TrialErrorKind::kTimeout
+                                               : TrialErrorKind::kNone;
+      outcome.detail.clear();
+      return outcome;  // completed — timeouts are results, never retried
+    } catch (const SelfCheckError& err) {
+      outcome.error = TrialErrorKind::kInvariantViolation;
+      outcome.detail = std::string(err.what()) + " | " +
+                       trial_context(attempt_config, options,
+                                     attempt_config.seed);
+      return outcome;  // deterministic in (seed, strategy): never retried
+    } catch (const std::exception& err) {
+      outcome.error = TrialErrorKind::kCodecError;
+      outcome.detail = std::string(err.what()) + " | " +
+                       trial_context(attempt_config, options,
+                                     attempt_config.seed);
+      if (attempt + 1 < max_attempts) continue;
+      return outcome;
+    }
+  }
+  return outcome;
 }
 
 }  // namespace caya

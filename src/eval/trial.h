@@ -8,8 +8,11 @@
 // ports.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
+#include <string_view>
 
 #include "apps/dns_app.h"
 #include "apps/ftp.h"
@@ -45,6 +48,26 @@ struct ConnectionOptions {
   Time deadline = duration::sec(60);
   std::size_t max_events = 500000;
 };
+
+/// Structured classification of why a trial did not complete normally.
+/// This is the supervision taxonomy long campaigns key retry/quarantine
+/// decisions on; see run_supervised_trial().
+enum class TrialErrorKind {
+  kNone = 0,                // trial completed (success or ordinary failure)
+  kTimeout,                 // cut off by the deadline or the event cap
+  kInvariantViolation,      // a CAYA_SELFCHECK invariant fired (SelfCheckError)
+  kCodecError,              // packet codec / unexpected exception in the sim
+  kInjectedFault,           // deterministic fault injected by the harness
+};
+inline constexpr std::size_t kTrialErrorKinds = 5;
+
+[[nodiscard]] std::string_view to_string(TrialErrorKind kind) noexcept;
+
+/// Retryable classes model transient infrastructure failure: re-running the
+/// trial (under a perturbed seed) can plausibly succeed. Timeouts and
+/// invariant violations are deterministic outcomes of (seed, strategy) and
+/// are never retried.
+[[nodiscard]] bool is_retryable(TrialErrorKind kind) noexcept;
 
 struct TrialResult {
   bool success = false;       // paper criterion: correct data, no teardown
@@ -113,6 +136,57 @@ class Environment {
 /// One-shot convenience: build an Environment, run a single connection.
 [[nodiscard]] TrialResult run_trial(Environment::Config env_config,
                                     const ConnectionOptions& options);
+
+// ---- Supervised execution --------------------------------------------------
+
+/// How a batch runner reacts to failing trials. All decisions are
+/// deterministic functions of (trial index, attempt), so a supervised batch
+/// is byte-identical across --jobs values and across resumes.
+struct SupervisionPolicy {
+  /// Extra attempts granted to retryable error classes before the trial is
+  /// recorded as errored.
+  std::size_t max_retries = 2;
+  /// Deterministic "backoff": attempt k re-runs the simulation under seed
+  /// (base seed + k * stride). In a simulator there is no wall clock to
+  /// back off against; perturbing the seed is the deterministic equivalent
+  /// of retrying later against different transient conditions.
+  std::uint64_t retry_seed_stride = 0x9E3779B97F4A7C15ull;
+  /// A strategy whose batch shows this many *consecutive* errored trials
+  /// (timeouts excluded — those are legitimate results) is quarantined:
+  /// the batch is reported poisoned and the GA assigns sentinel fitness
+  /// instead of aborting the campaign. 0 disables quarantine.
+  std::size_t quarantine_after = 8;
+  /// Deterministic fault injection for tests/benches: every Nth trial
+  /// (1-based index divisible by N) fails. "soft" faults fail only the
+  /// first attempt, so a retry recovers them; "hard" faults fail every
+  /// attempt and exhaust the retry budget. 0 disables.
+  std::size_t inject_soft_fault_every = 0;
+  std::size_t inject_hard_fault_every = 0;
+
+  /// True when the policy injects a fault for this (trial, attempt).
+  [[nodiscard]] bool injects_fault(std::size_t trial_index,
+                                   std::size_t attempt) const noexcept;
+};
+
+struct SupervisedOutcome {
+  /// Last attempt's result (default-constructed when every attempt errored
+  /// before producing one).
+  TrialResult result;
+  /// Final classification: kNone (completed), kTimeout (completed, cut
+  /// off), or the error class that survived the retry budget.
+  TrialErrorKind error = TrialErrorKind::kNone;
+  std::string detail;         // human-readable; includes seed + strategy
+  std::size_t attempts = 1;   // 1 = no retry was needed
+};
+
+/// Runs one trial under supervision: exceptions are caught and classified
+/// (SelfCheckError -> invariant-violation with the trial's seed + strategy
+/// in the detail, anything else -> codec-error), retryable errors get
+/// deterministic seed-perturbed retries, and nothing ever propagates out —
+/// a failed trial can no longer abort a sweep or an evolution run.
+[[nodiscard]] SupervisedOutcome run_supervised_trial(
+    const Environment::Config& env_config, const ConnectionOptions& options,
+    const SupervisionPolicy& policy, std::size_t trial_index);
 
 /// Canonical addresses used throughout the evaluation.
 [[nodiscard]] Ipv4Address eval_client_addr();

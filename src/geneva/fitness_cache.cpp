@@ -1,5 +1,7 @@
 #include "geneva/fitness_cache.h"
 
+#include <algorithm>
+
 namespace caya {
 
 std::optional<double> FitnessCache::lookup(
@@ -32,6 +34,22 @@ std::size_t FitnessCache::hits() const {
 std::size_t FitnessCache::misses() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return misses_;
+}
+
+std::vector<std::pair<std::string, double>> FitnessCache::export_entries()
+    const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, double>> entries(map_.begin(),
+                                                      map_.end());
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return entries;
+}
+
+void FitnessCache::import_entries(
+    const std::vector<std::pair<std::string, double>>& entries) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, fitness] : entries) map_.emplace(key, fitness);
 }
 
 }  // namespace caya

@@ -19,6 +19,8 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace caya {
 
@@ -43,6 +45,17 @@ class FitnessCache {
   /// Lookup outcomes since construction (for the bench's hit-rate report).
   [[nodiscard]] std::size_t hits() const;
   [[nodiscard]] std::size_t misses() const;
+
+  /// Checkpoint support: every (full key, raw fitness) entry, sorted by key
+  /// so the export — and any snapshot built from it — is deterministic.
+  /// Keys are exported in full (digest + '\x1f' + strategy) so a restore
+  /// into a cache with a different digest cannot silently rehome entries.
+  [[nodiscard]] std::vector<std::pair<std::string, double>> export_entries()
+      const;
+  /// Restores exported entries verbatim (full keys). Existing entries are
+  /// kept; an imported duplicate must not overwrite a live score.
+  void import_entries(
+      const std::vector<std::pair<std::string, double>>& entries);
 
  private:
   [[nodiscard]] std::string full_key(const std::string& strategy_key) const {

@@ -1,9 +1,11 @@
 #include "geneva/ga.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <unordered_map>
 #include <utility>
 
+#include "geneva/parser.h"
 #include "util/thread_pool.h"
 
 namespace caya {
@@ -145,33 +147,155 @@ void GeneticAlgorithm::step() {
 }
 
 Individual GeneticAlgorithm::run() {
-  ensure_population();
-  EvalSummary eval = evaluate_all();
+  if (!resumed_) {
+    ensure_population();
+    eval_ = evaluate_all();
+    best_so_far_ = population_.front().fitness;
+    stale_ = 0;
+    gen_next_ = 0;
+  }
 
-  double best_so_far = population_.front().fitness;
-  std::size_t stale = 0;
-
-  for (std::size_t gen = 0; gen < config_.generations; ++gen) {
+  for (std::size_t gen = gen_next_; gen < config_.generations; ++gen) {
     // Snapshot straight from the evaluation summary — no population rescan.
-    history_.push_back({gen, eval.best_fitness, eval.mean_fitness,
+    history_.push_back({gen, eval_.best_fitness, eval_.mean_fitness,
                         population_.front().strategy.to_string(),
-                        eval.cache_hits, eval.evaluations});
+                        eval_.cache_hits, eval_.evaluations});
     logger_.logf(LogLevel::kInfo, "gen ", gen, " best=",
                  population_.front().fitness,
                  " strategy=", population_.front().strategy.to_string());
 
-    if (population_.front().fitness > best_so_far) {
-      best_so_far = population_.front().fitness;
-      stale = 0;
-    } else if (++stale >= config_.convergence_patience) {
+    if (population_.front().fitness > best_so_far_) {
+      best_so_far_ = population_.front().fitness;
+      stale_ = 0;
+    } else if (++stale_ >= config_.convergence_patience) {
       logger_.logf(LogLevel::kInfo, "converged at generation ", gen);
+      // Mark the campaign complete so a checkpoint taken after this run
+      // resumes as a no-op instead of re-recording this generation.
+      gen_next_ = config_.generations;
       break;
     }
 
     step();
-    eval = evaluate_all();
+    eval_ = evaluate_all();
+    gen_next_ = gen + 1;
+    // The resumable point: history through `gen` is recorded, generation
+    // gen+1 is bred and evaluated, and no RNG draw happens before the next
+    // iteration's bookkeeping. Anything the hook saves here resumes
+    // byte-identically.
+    if (checkpoint_hook_) checkpoint_hook_(*this, gen);
   }
   return population_.front();
+}
+
+// ---- Checkpointing ---------------------------------------------------------
+
+std::string GeneticAlgorithm::config_digest() const {
+  SnapshotWriter w;
+  w.put_u64("population_size", config_.population_size);
+  w.put_u64("generations", config_.generations);
+  w.put_double("elite_fraction", config_.elite_fraction);
+  w.put_double("crossover_rate", config_.crossover_rate);
+  w.put_double("mutation_rate", config_.mutation_rate);
+  w.put_u64("tournament_size", config_.tournament_size);
+  w.put_double("complexity_weight", config_.complexity_weight);
+  w.put_u64("convergence_patience", config_.convergence_patience);
+  // jobs deliberately omitted: sharding never changes evolution results.
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fnv1a64(w.encode("ga-config"))));
+  return std::string(buf);
+}
+
+void GeneticAlgorithm::save_checkpoint(SnapshotWriter& writer) const {
+  writer.put("config", config_digest());
+  writer.put_u64("gen_next", gen_next_);
+  writer.put_double("best_so_far", best_so_far_);
+  writer.put_u64("stale", stale_);
+  writer.put_double("eval_best", eval_.best_fitness);
+  writer.put_double("eval_mean", eval_.mean_fitness);
+  writer.put_u64("eval_cache_hits", eval_.cache_hits);
+  writer.put_u64("eval_evaluations", eval_.evaluations);
+  writer.put("rng", rng_.save_state());
+  for (const Individual& ind : population_) {
+    const std::string fitness = SnapshotWriter::format_double(ind.fitness);
+    writer.record("ind", {fitness, ind.evaluated ? "1" : "0",
+                          ind.strategy.to_string()});
+  }
+  for (const GenerationStats& stats : history_) {
+    writer.record(
+        "hist",
+        {std::to_string(stats.generation),
+         SnapshotWriter::format_double(stats.best_fitness),
+         SnapshotWriter::format_double(stats.mean_fitness),
+         stats.best_strategy, std::to_string(stats.cache_hits),
+         std::to_string(stats.evaluations)});
+  }
+  if (cache_ != nullptr) {
+    for (const auto& [key, raw] : cache_->export_entries()) {
+      writer.record("cache", {key, SnapshotWriter::format_double(raw)});
+    }
+  }
+}
+
+void GeneticAlgorithm::restore_checkpoint(const SnapshotReader& reader) {
+  if (reader.get("config") != config_digest()) {
+    throw SnapshotError(
+        "checkpoint was taken under a different GA configuration (digest " +
+        reader.get("config") + ", expected " + config_digest() +
+        "); resuming would silently diverge");
+  }
+  gen_next_ = reader.get_u64("gen_next");
+  best_so_far_ = reader.get_double("best_so_far");
+  stale_ = reader.get_u64("stale");
+  eval_.best_fitness = reader.get_double("eval_best");
+  eval_.mean_fitness = reader.get_double("eval_mean");
+  eval_.cache_hits = reader.get_u64("eval_cache_hits");
+  eval_.evaluations = reader.get_u64("eval_evaluations");
+  rng_.restore_state(reader.get("rng"));
+
+  population_.clear();
+  for (const SnapshotReader::Record* rec : reader.all("ind")) {
+    if (rec->fields.size() != 3) {
+      throw SnapshotError("malformed individual record");
+    }
+    Individual ind;
+    ind.fitness = SnapshotReader::parse_double(rec->fields[0]);
+    ind.evaluated = rec->fields[1] == "1";
+    ind.strategy = parse_strategy(rec->fields[2]);
+    population_.push_back(std::move(ind));
+  }
+  if (population_.empty()) {
+    throw SnapshotError("checkpoint holds no population");
+  }
+
+  history_.clear();
+  for (const SnapshotReader::Record* rec : reader.all("hist")) {
+    if (rec->fields.size() != 6) {
+      throw SnapshotError("malformed history record");
+    }
+    GenerationStats stats;
+    stats.generation = SnapshotReader::parse_u64(rec->fields[0]);
+    stats.best_fitness = SnapshotReader::parse_double(rec->fields[1]);
+    stats.mean_fitness = SnapshotReader::parse_double(rec->fields[2]);
+    stats.best_strategy = rec->fields[3];
+    stats.cache_hits = SnapshotReader::parse_u64(rec->fields[4]);
+    stats.evaluations = SnapshotReader::parse_u64(rec->fields[5]);
+    history_.push_back(std::move(stats));
+  }
+
+  if (cache_ != nullptr) {
+    std::vector<std::pair<std::string, double>> entries;
+    for (const SnapshotReader::Record* rec : reader.all("cache")) {
+      if (rec->fields.size() != 2) {
+        throw SnapshotError("malformed cache record");
+      }
+      entries.emplace_back(rec->fields[0],
+                           SnapshotReader::parse_double(rec->fields[1]));
+    }
+    cache_->import_entries(entries);
+  }
+
+  resumed_ = true;
 }
 
 }  // namespace caya

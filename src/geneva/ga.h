@@ -14,6 +14,7 @@
 #include "geneva/strategy.h"
 #include "util/log.h"
 #include "util/rng.h"
+#include "util/snapshot.h"
 
 namespace caya {
 
@@ -81,6 +82,42 @@ class GeneticAlgorithm {
     return history_;
   }
 
+  // ---- Crash-safe checkpointing -------------------------------------------
+  //
+  // run() reaches a resumable point at the end of every loop iteration:
+  // history through generation g is recorded, the *next* generation's
+  // population is already bred and evaluated, and no RNG draw separates the
+  // checkpoint from the next iteration. save_checkpoint() at that point +
+  // restore_checkpoint() into a freshly constructed GA (same GeneConfig,
+  // GaConfig, fitness, seed Rng) + run() reproduces the uninterrupted run's
+  // GaHistory byte-identically, for any jobs values on either side.
+
+  /// Called at each resumable point with the generation just recorded.
+  /// Fired AFTER the next population is evaluated, so saving inside the
+  /// hook captures a state run() can continue from without re-evaluation.
+  using CheckpointHook =
+      std::function<void(const GeneticAlgorithm&, std::size_t)>;
+  void set_checkpoint_hook(CheckpointHook hook) {
+    checkpoint_hook_ = std::move(hook);
+  }
+
+  /// Serializes the full resumable state: loop counters, per-run RNG state,
+  /// population (canonical strategies + exact fitness), history, and the
+  /// attached FitnessCache's entries.
+  void save_checkpoint(SnapshotWriter& writer) const;
+
+  /// Restores state saved by save_checkpoint(). Throws SnapshotError when
+  /// the snapshot's GA configuration digest does not match this instance's
+  /// (resuming under a different config would silently diverge; jobs is
+  /// excluded — sharding never changes results). A subsequent run()
+  /// continues the interrupted campaign.
+  void restore_checkpoint(const SnapshotReader& reader);
+
+  /// Snapshot `kind` tag written/required by the GA checkpoint payload.
+  [[nodiscard]] static std::string_view snapshot_kind() noexcept {
+    return "ga-checkpoint";
+  }
+
  private:
   /// Per-evaluate_all bookkeeping, folded into the evaluation pass so
   /// history snapshots never rescan the population.
@@ -95,6 +132,9 @@ class GeneticAlgorithm {
   EvalSummary evaluate_all();
   [[nodiscard]] const Individual& tournament_pick();
   void step();
+  /// Digest of every GaConfig field that changes evolution results (jobs is
+  /// excluded) — stored in checkpoints, verified on restore.
+  [[nodiscard]] std::string config_digest() const;
 
   GeneConfig genes_;
   GaConfig config_;
@@ -104,6 +144,15 @@ class GeneticAlgorithm {
   std::shared_ptr<FitnessCache> cache_;
   std::vector<Individual> population_;
   std::vector<GenerationStats> history_;
+
+  // Loop state lives on the object (not in run()'s frame) so a checkpoint
+  // between iterations captures a resumable point.
+  std::size_t gen_next_ = 0;
+  double best_so_far_ = 0.0;
+  std::size_t stale_ = 0;
+  EvalSummary eval_;
+  bool resumed_ = false;
+  CheckpointHook checkpoint_hook_;
 };
 
 }  // namespace caya

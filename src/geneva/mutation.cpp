@@ -103,7 +103,10 @@ ActionPtr random_action(const GeneConfig& config, Rng& rng,
         std::move(second));
   }
   if (roll < 88) return std::make_unique<DropAction>();
-  return std::make_unique<SendAction>();
+  // Plain send is the null slot, never an explicit SendAction: one canonical
+  // tree per DSL string keeps checkpointed strategies bit-identical through
+  // a to_string()/parse round trip.
+  return nullptr;
 }
 
 Strategy random_strategy(const GeneConfig& config, Rng& rng) {

@@ -85,7 +85,12 @@ class Parser {
 
     if (name == "send") {
       require_no_children(name);
-      return std::make_unique<SendAction>();
+      // Normalize to the null (implicit-send) slot. "send" and an empty
+      // slot print and behave identically, so keeping both representations
+      // alive would make to_string() lossy — and a strategy serialized into
+      // a checkpoint must re-parse to a structurally identical tree, or the
+      // genetic operators diverge after resume.
+      return nullptr;
     }
     if (name == "drop") {
       require_no_children(name);

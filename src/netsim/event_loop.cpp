@@ -1,6 +1,9 @@
 #include "netsim/event_loop.h"
 
 #include <algorithm>
+#include <string>
+
+#include "util/selfcheck.h"
 
 namespace caya {
 
@@ -14,6 +17,12 @@ bool EventLoop::run_one() {
   // wrapper (callbacks are cheap std::functions here).
   Event ev = queue_.top();
   queue_.pop();
+  if (selfcheck_enabled() && ev.at < now_) {
+    throw SelfCheckError(
+        "monotonic-time",
+        "event scheduled at t=" + std::to_string(ev.at) +
+            " fired with the clock already at t=" + std::to_string(now_));
+  }
   now_ = ev.at;
   ev.cb();
   return true;

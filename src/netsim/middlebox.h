@@ -55,6 +55,12 @@ class Middlebox {
   /// Resets all per-flow state (between trials).
   virtual void reset() {}
 
+  /// Number of per-flow state entries (TCBs and equivalents) the box holds.
+  /// The CAYA_SELFCHECK harness bounds this per connection: a table that
+  /// grows per *packet* instead of per *flow* is a state leak that would
+  /// OOM a multi-week campaign.
+  [[nodiscard]] virtual std::size_t tcb_count() const noexcept { return 0; }
+
   /// Attaches a schedule of faults (state flushes, stalls, restarts). The
   /// Network consults it before each packet crosses this box; see fault.h.
   void set_fault_schedule(FaultSchedule schedule) {

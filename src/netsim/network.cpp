@@ -1,7 +1,10 @@
 #include "netsim/network.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
+
+#include "util/selfcheck.h"
 
 namespace caya {
 namespace {
@@ -61,7 +64,43 @@ void Network::send_from_server(Packet pkt) {
   }
 }
 
+void Network::selfcheck_begin_connection() {
+  accounting_ = PacketAccounting{};
+  tcb_baseline_.clear();
+  for (const Middlebox* box : middleboxes_) {
+    tcb_baseline_.push_back(box->tcb_count());
+  }
+}
+
+void Network::selfcheck_end_connection(bool timed_out) const {
+  // When the trial was cut off, packets are legitimately still in flight, so
+  // only the TCB bound applies.
+  if (!timed_out &&
+      accounting_.created != accounting_.delivered + accounting_.dropped) {
+    throw SelfCheckError(
+        "packet-conservation",
+        "created=" + std::to_string(accounting_.created) +
+            " != delivered=" + std::to_string(accounting_.delivered) +
+            " + dropped=" + std::to_string(accounting_.dropped));
+  }
+  // One connection touches one flow per box (plus injected reverse-keyed
+  // residue); growth far beyond that means per-packet TCB creation.
+  constexpr std::size_t kMaxTcbGrowthPerConnection = 8;
+  for (std::size_t i = 0;
+       i < middleboxes_.size() && i < tcb_baseline_.size(); ++i) {
+    const std::size_t count = middleboxes_[i]->tcb_count();
+    if (count > tcb_baseline_[i] + kMaxTcbGrowthPerConnection) {
+      throw SelfCheckError(
+          "tcb-leak", "middlebox " + std::to_string(i) + " grew from " +
+                          std::to_string(tcb_baseline_[i]) + " to " +
+                          std::to_string(count) +
+                          " TCB entries over one connection");
+    }
+  }
+}
+
 void Network::inject(Packet pkt, Direction toward) {
+  ++accounting_.created;
   trace_.record(
       {loop_.now(), TracePoint::kCensorInjected, toward, pkt, "injected"});
   // Injected packets ride the segment from the censor hop to their target
@@ -72,6 +111,7 @@ void Network::inject(Packet pkt, Direction toward) {
   Time extra_delay = 0;
   bool duplicate = false;
   if (!impair(pkt, segment, toward, extra_delay, duplicate)) return;
+  if (duplicate) ++accounting_.created;
   const int hops = toward == Direction::kClientToServer
                        ? config_.censor_to_server_hops
                        : config_.client_to_censor_hops;
@@ -125,12 +165,16 @@ std::vector<Packet> Network::run_middleboxes(Packet pkt, Direction dir) {
     for (auto& p : in_flight) {
       if (box->in_path()) {
         if (auto rewritten = box->rewrite(p, dir)) {
+          // Ledger: the original is consumed, each rewrite output is new.
+          ++accounting_.dropped;
+          accounting_.created += rewritten->size();
           for (auto& rp : *rewritten) next.push_back(std::move(rp));
           continue;
         }
       }
       const Verdict verdict = box->on_packet(p, dir, *this);
       if (verdict == Verdict::kDrop && box->in_path()) {
+        ++accounting_.dropped;
         trace_.record({loop_.now(), TracePoint::kCensorDropped, dir, p, ""});
         continue;
       }
@@ -145,6 +189,7 @@ bool Network::impair(Packet& pkt, LinkSegment segment, Direction dir,
                      Time& extra_delay, bool& duplicate) {
   const LinkDecision decision = link_.traverse(segment, dir, loop_.now());
   if (decision.drop) {
+    ++accounting_.dropped;
     trace_.record({loop_.now(), TracePoint::kLost, dir, pkt,
                    std::string(decision.drop_reason)});
     return false;
@@ -164,6 +209,7 @@ bool Network::impair(Packet& pkt, LinkSegment segment, Direction dir,
 }
 
 void Network::transmit(Packet pkt, Direction dir, bool from_censor) {
+  ++accounting_.created;
   // First segment: sender to the censor hop.
   const LinkSegment first_segment = dir == Direction::kClientToServer
                                         ? LinkSegment::kClientCensor
@@ -171,6 +217,7 @@ void Network::transmit(Packet pkt, Direction dir, bool from_censor) {
   Time extra_delay = 0;
   bool duplicate = false;
   if (!impair(pkt, first_segment, dir, extra_delay, duplicate)) return;
+  if (duplicate) ++accounting_.created;
 
   const int hops_to_censor = dir == Direction::kClientToServer
                                  ? config_.client_to_censor_hops
@@ -179,6 +226,7 @@ void Network::transmit(Packet pkt, Direction dir, bool from_censor) {
 
   if (!from_censor && pkt.ip.ttl < hops_to_censor) {
     // TTL expires before the censor's hop: nobody sees it.
+    accounting_.dropped += duplicate ? 2 : 1;
     trace_.record({loop_.now(), TracePoint::kLost, dir, pkt, "ttl expired"});
     return;
   }
@@ -200,6 +248,7 @@ void Network::transmit(Packet pkt, Direction dir, bool from_censor) {
         static_cast<Time>(hops_total - hops_to_censor) * config_.per_hop_delay;
     for (auto& p : survivors) {
       if (p.ip.ttl < hops_total) {
+        ++accounting_.dropped;
         trace_.record({loop_.now(), TracePoint::kLost, dir, p, "ttl expired"});
         continue;
       }
@@ -207,6 +256,7 @@ void Network::transmit(Packet pkt, Direction dir, bool from_censor) {
       Time leg_delay = 0;
       bool leg_duplicate = false;
       if (!impair(p, second_segment, dir, leg_delay, leg_duplicate)) continue;
+      if (leg_duplicate) ++accounting_.created;
       loop_.schedule_in(remaining + leg_delay,
                         [this, p, dir]() mutable {
                           deliver_to_endpoint(std::move(p), dir);
@@ -237,6 +287,7 @@ void Network::transmit(Packet pkt, Direction dir, bool from_censor) {
 }
 
 void Network::deliver_to_endpoint(Packet pkt, Direction dir) {
+  ++accounting_.delivered;
   Endpoint* target =
       dir == Direction::kClientToServer ? server_ : client_;
   PacketProcessor* proc =

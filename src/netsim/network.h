@@ -72,6 +72,30 @@ class Network : public Injector {
   [[nodiscard]] Trace& trace() noexcept { return trace_; }
   [[nodiscard]] EventLoop& loop() noexcept { return loop_; }
 
+  /// Conservation ledger for the CAYA_SELFCHECK harness: every packet that
+  /// enters the path (endpoint send, censor injection, link duplication,
+  /// middlebox rewrite output) is `created`; every packet leaves it either
+  /// `delivered` (reached an endpoint's hop) or `dropped` (loss, corruption
+  /// pinning, TTL expiry, censor drop, rewrite absorption). At quiescence
+  /// created == delivered + dropped, or a packet leaked.
+  struct PacketAccounting {
+    std::size_t created = 0;
+    std::size_t delivered = 0;
+    std::size_t dropped = 0;
+  };
+  [[nodiscard]] const PacketAccounting& packet_accounting() const noexcept {
+    return accounting_;
+  }
+
+  /// Marks a connection boundary for self-checks: zeroes the conservation
+  /// ledger and records each middlebox's current TCB count as the growth
+  /// baseline.
+  void selfcheck_begin_connection();
+  /// Verifies the invariants at end of connection (skipping packet
+  /// conservation when the trial was cut off with packets still in flight).
+  /// Throws SelfCheckError on violation.
+  void selfcheck_end_connection(bool timed_out) const;
+
  private:
   void transmit(Packet pkt, Direction dir, bool from_censor);
   void deliver_to_endpoint(Packet pkt, Direction dir);
@@ -100,6 +124,8 @@ class Network : public Injector {
   PacketProcessor* client_proc_ = nullptr;
   PacketProcessor* server_proc_ = nullptr;
   std::vector<Middlebox*> middleboxes_;
+  PacketAccounting accounting_;
+  std::vector<std::size_t> tcb_baseline_;
 };
 
 }  // namespace caya

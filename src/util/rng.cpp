@@ -1,3 +1,26 @@
 #include "util/rng.h"
 
-// Rng is header-only today; this TU anchors the library target.
+#include <sstream>
+#include <stdexcept>
+
+namespace caya {
+
+std::string Rng::save_state() const {
+  // operator<< emits the 312-word state table plus the cursor offset as
+  // space-separated decimals — exact, portable, and diffable in snapshots.
+  std::ostringstream out;
+  out << engine_;
+  return out.str();
+}
+
+void Rng::restore_state(const std::string& state) {
+  std::istringstream in(state);
+  std::mt19937_64 restored;
+  in >> restored;
+  if (in.fail()) {
+    throw std::invalid_argument("malformed Rng state string");
+  }
+  engine_ = restored;
+}
+
+}  // namespace caya

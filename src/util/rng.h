@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <random>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "util/bytes.h"
@@ -62,6 +63,15 @@ class Rng {
 
   /// Derives an independent child generator (for parallel-safe subsystems).
   [[nodiscard]] Rng fork() { return Rng(engine_()); }
+
+  /// Full stream state (the mt19937_64 word table and cursor offset) as a
+  /// printable string. restore_state() on any Rng resumes the stream at
+  /// exactly this point: save -> advance -> restore -> advance replays the
+  /// same draws bit-for-bit. This is what checkpoint/resume serializes.
+  [[nodiscard]] std::string save_state() const;
+  /// Restores a state captured by save_state(); throws std::invalid_argument
+  /// on malformed input.
+  void restore_state(const std::string& state);
 
   [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
 

@@ -1,0 +1,31 @@
+#include "util/selfcheck.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+
+namespace caya {
+namespace {
+
+// -1 = not yet resolved from the environment, 0 = off, 1 = on.
+std::atomic<int> g_selfcheck{-1};
+
+}  // namespace
+
+bool selfcheck_enabled() noexcept {
+  int state = g_selfcheck.load(std::memory_order_relaxed);
+  if (state < 0) {
+    const char* env = std::getenv("CAYA_SELFCHECK");
+    state = (env != nullptr && *env != '\0' && std::string_view(env) != "0")
+                ? 1
+                : 0;
+    g_selfcheck.store(state, std::memory_order_relaxed);
+  }
+  return state == 1;
+}
+
+void set_selfcheck_enabled(bool enabled) noexcept {
+  g_selfcheck.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+}  // namespace caya

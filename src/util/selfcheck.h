@@ -1,0 +1,44 @@
+// Opt-in fail-fast self-checks for long campaigns.
+//
+// Multi-day evolution/sweep runs cannot afford a silent simulator bug: a
+// packet that vanishes without accounting or a TCB table that grows per
+// packet corrupts weeks of results invisibly. With CAYA_SELFCHECK=1 (or
+// set_selfcheck_enabled(true)), the netsim asserts its core invariants —
+// monotonic event-loop time, conserved in-flight packet counts, bounded
+// censor TCB growth — and a violation raises SelfCheckError instead of
+// letting the campaign continue on garbage. The trial supervisor
+// (eval/trial.h) catches the error, classifies it as an invariant-violation,
+// and reports the trial's seed and strategy so the failure is replayable.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace caya {
+
+class SelfCheckError : public std::runtime_error {
+ public:
+  SelfCheckError(std::string invariant, const std::string& detail)
+      : std::runtime_error("selfcheck [" + invariant + "]: " + detail),
+        invariant_(std::move(invariant)) {}
+
+  /// Short invariant name ("monotonic-time", "packet-conservation",
+  /// "tcb-leak") for error taxonomies and reports.
+  [[nodiscard]] const std::string& invariant() const noexcept {
+    return invariant_;
+  }
+
+ private:
+  std::string invariant_;
+};
+
+/// True when self-checks are on: CAYA_SELFCHECK is set to a non-empty value
+/// other than "0" (read once, cached), or set_selfcheck_enabled(true) was
+/// called. Cheap enough to consult on hot paths.
+[[nodiscard]] bool selfcheck_enabled() noexcept;
+
+/// Programmatic override (tests, benches); wins over the environment.
+void set_selfcheck_enabled(bool enabled) noexcept;
+
+}  // namespace caya

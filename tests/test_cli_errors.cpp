@@ -1,0 +1,97 @@
+// CLI error paths: a long campaign driven by scripts must get a nonzero
+// exit code and ONE structured "caya: error: ..." line on stderr — never a
+// bare exception/terminate — for unknown profiles, malformed strategy DSL,
+// and unwritable output paths. The tests exec the real `caya` binary
+// (CAYA_CLI_PATH, injected by CMake) and capture its stderr + exit status.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace caya {
+namespace {
+
+struct CliResult {
+  int exit_code = -1;
+  std::string stderr_text;
+};
+
+CliResult run_cli(const std::string& args) {
+  // Redirect stderr into the pipe; stdout is discarded.
+  const std::string command =
+      std::string(CAYA_CLI_PATH) + " " + args + " 2>&1 1>/dev/null";
+  FILE* pipe = ::popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  CliResult result;
+  std::array<char, 512> buffer;
+  while (std::fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
+    result.stderr_text += buffer.data();
+  }
+  const int status = ::pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+void expect_structured_error(const CliResult& result,
+                             const std::string& needle) {
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_EQ(result.stderr_text.rfind("caya: error: ", 0), 0u)
+      << "stderr was: " << result.stderr_text;
+  EXPECT_NE(result.stderr_text.find(needle), std::string::npos)
+      << "stderr was: " << result.stderr_text;
+  // One line only: exactly one trailing newline.
+  EXPECT_EQ(result.stderr_text.find('\n'),
+            result.stderr_text.size() - 1)
+      << "stderr was: " << result.stderr_text;
+}
+
+TEST(CliErrors, UnknownProfileIsStructured) {
+  expect_structured_error(
+      run_cli("run --trials 1 --profile marshmallow"),
+      "unknown profile \"marshmallow\"");
+}
+
+TEST(CliErrors, UnknownCountryIsStructured) {
+  expect_structured_error(run_cli("run --trials 1 --country atlantis"),
+                          "unknown country \"atlantis\"");
+}
+
+TEST(CliErrors, UnknownProtocolIsStructured) {
+  expect_structured_error(run_cli("run --trials 1 --protocol gopher"),
+                          "unknown protocol");
+}
+
+TEST(CliErrors, BadStrategyDslIsStructured) {
+  expect_structured_error(
+      run_cli("run --trials 1 --strategy \"[TCP:flags:\""),
+      "bad strategy");
+}
+
+TEST(CliErrors, UnwritableHistoryOutIsStructured) {
+  // The parent directory does not exist, so the ofstream open fails.
+  expect_structured_error(
+      run_cli("evolve --population 4 --gens 1 --jobs 1 "
+              "--history-out /nonexistent-dir-xyzzy/h.tsv"),
+      "cannot write history file");
+}
+
+TEST(CliErrors, UnwritableCheckpointDirIsStructured) {
+  expect_structured_error(
+      run_cli("sweep --trials 1 --checkpoint-dir /proc/zero/nope"),
+      "cannot create checkpoint dir");
+}
+
+TEST(CliErrors, ResumeWithoutCheckpointDirIsStructured) {
+  expect_structured_error(run_cli("evolve --resume"),
+                          "--resume requires --checkpoint-dir");
+}
+
+TEST(CliErrors, SuccessPathStillExitsZero) {
+  const CliResult result = run_cli("list");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_TRUE(result.stderr_text.empty()) << result.stderr_text;
+}
+
+}  // namespace
+}  // namespace caya

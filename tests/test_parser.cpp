@@ -101,6 +101,21 @@ TEST(Parser, RejectsChildrenOnLeaves) {
                ParseError);
 }
 
+TEST(Parser, SendLeavesNormalizeToNullSlots) {
+  // "send" and an empty slot are the same behaviour; the parser folds the
+  // explicit spelling into the null slot so every DSL string maps to ONE
+  // tree shape. Without that, a strategy round-tripped through a checkpoint
+  // (to_string -> parse) would be structurally different from the original
+  // and the genetic operators would diverge after a resume.
+  EXPECT_EQ(parse_strategy("[TCP:flags:SA]-duplicate(send,drop)-| \\/")
+                .to_string(),
+            "[TCP:flags:SA]-duplicate(,drop)-| \\/ ");
+  const Strategy bare = parse_strategy("[TCP:flags:SA]-send-| \\/");
+  ASSERT_EQ(bare.outbound.size(), 1u);
+  EXPECT_EQ(bare.outbound.front().root, nullptr);
+  EXPECT_EQ(bare.to_string(), "[TCP:flags:SA]-send-| \\/ ");
+}
+
 TEST(Parser, RejectsTamperWithTwoChildren) {
   EXPECT_THROW(parse_strategy(
                    "[TCP:flags:SA]-tamper{TCP:flags:replace:R}(send,drop)-| "

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <stdexcept>
 
 namespace caya {
 namespace {
@@ -65,6 +66,47 @@ TEST(Rng, PickCoversAllElements) {
   std::set<int> seen;
   for (int i = 0; i < 200; ++i) seen.insert(rng.pick(xs));
   EXPECT_EQ(seen.size(), xs.size());
+}
+
+TEST(Rng, SaveAdvanceRestoreReplaysExactly) {
+  Rng rng(2024);
+  // Burn some draws so the engine cursor sits mid-table, not at a fresh
+  // seed boundary.
+  for (int i = 0; i < 37; ++i) (void)rng.uniform(0, 1'000'000);
+
+  const std::string state = rng.save_state();
+  std::vector<std::uint64_t> first;
+  std::vector<double> first_units;
+  for (int i = 0; i < 50; ++i) {
+    first.push_back(rng.uniform(0, 1'000'000));
+    first_units.push_back(rng.unit());
+  }
+
+  rng.restore_state(state);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(rng.uniform(0, 1'000'000), first[i]);
+    EXPECT_EQ(rng.unit(), first_units[i]);
+  }
+}
+
+TEST(Rng, RestoreIntoDifferentInstance) {
+  Rng source(7);
+  for (int i = 0; i < 11; ++i) (void)source.unit();
+  const std::string state = source.save_state();
+
+  Rng other(999);  // unrelated seed; state restore must fully overwrite it
+  other.restore_state(state);
+  EXPECT_EQ(other.uniform(0, 1'000'000), source.uniform(0, 1'000'000));
+  EXPECT_EQ(other.save_state(), source.save_state());
+}
+
+TEST(Rng, RestoreRejectsGarbage) {
+  Rng rng(1);
+  EXPECT_THROW(rng.restore_state("not an mt19937_64 state"),
+               std::invalid_argument);
+  // A failed restore must leave the stream untouched.
+  Rng witness(1);
+  EXPECT_EQ(rng.uniform(0, 1'000'000), witness.uniform(0, 1'000'000));
 }
 
 TEST(Rng, ForkIsIndependentOfParentDraws) {

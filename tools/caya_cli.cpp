@@ -40,7 +40,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -55,10 +58,21 @@
 #include "geneva/library.h"
 #include "geneva/parser.h"
 #include "netsim/pcap.h"
+#include "util/snapshot.h"
 #include "util/thread_pool.h"
 
 namespace caya {
 namespace {
+
+/// A user-facing CLI failure: main() renders it as one structured line
+/// ("caya: error: ...") on stderr and exits 2 — never a bare throw or a
+/// std::terminate.
+class CliError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+[[noreturn]] void fail(const std::string& message) { throw CliError(message); }
 
 [[noreturn]] void usage(int code) {
   std::printf(
@@ -74,11 +88,19 @@ namespace {
       "                [--profile clean|lossy|bursty|flaky-censor]\n"
       "evolve options: --country C --protocol P [--population N] [--gens N]"
       "\n                [--seed N] [--save FILE --name NAME] [--robust]\n"
-      "                [--jobs N]\n"
+      "                [--jobs N] [--checkpoint-dir D] [--checkpoint-every N]\n"
+      "                [--resume] [--history-out FILE]\n"
       "rates options : --country C [--strategy DSL | --published N]\n"
       "                [--trials N] [--seed N] [--profile P] [--jobs N]\n"
       "sweep options : --country C --protocol P [--axis loss|burst|reorder]\n"
       "                [--published N]... [--trials N] [--seed N] [--jobs N]\n"
+      "                [--checkpoint-dir D] [--checkpoint-every N] [--resume]\n"
+      "                [--table-out FILE] [--inject-soft-fault-every N]\n"
+      "                [--inject-hard-fault-every N]\n"
+      "--checkpoint-dir D writes a crash-safe snapshot every\n"
+      "--checkpoint-every N units of progress (evolve: generations; sweep:\n"
+      "cells); --resume continues from the newest valid snapshot and\n"
+      "reproduces the uninterrupted run's output byte-identically.\n"
       "--jobs N shards independent trials over N worker threads (default:\n"
       "hardware concurrency; 1 = serial). Output is byte-identical for any\n"
       "jobs value under the same seed.\n");
@@ -90,8 +112,8 @@ Country parse_country(const std::string& name) {
   if (name == "india") return Country::kIndia;
   if (name == "iran") return Country::kIran;
   if (name == "kazakhstan") return Country::kKazakhstan;
-  std::fprintf(stderr, "unknown country: %s\n", name.c_str());
-  usage(2);
+  fail("unknown country \"" + name +
+       "\" (available: china india iran kazakhstan)");
 }
 
 AppProtocol parse_protocol(const std::string& name) {
@@ -100,31 +122,57 @@ AppProtocol parse_protocol(const std::string& name) {
   if (name == "http") return AppProtocol::kHttp;
   if (name == "https") return AppProtocol::kHttps;
   if (name == "smtp") return AppProtocol::kSmtp;
-  std::fprintf(stderr, "unknown protocol: %s\n", name.c_str());
-  usage(2);
+  fail("unknown protocol \"" + name +
+       "\" (available: dns ftp http https smtp)");
 }
 
 ImpairmentProfile parse_profile_arg(const std::string& name) {
   if (const auto profile = parse_profile(name)) return *profile;
-  std::fprintf(stderr, "unknown profile: %s (available:", name.c_str());
+  std::string available;
   for (const ImpairmentProfile p : all_profiles()) {
-    std::fprintf(stderr, " %.*s", static_cast<int>(to_string(p).size()),
-                 to_string(p).data());
+    available += ' ';
+    available += to_string(p);
   }
-  std::fprintf(stderr, ")\n");
-  usage(2);
+  fail("unknown profile \"" + name + "\" (available:" + available + ")");
 }
 
 OsProfile parse_os(const std::string& needle) {
   for (const auto& os : all_os_profiles()) {
     if (os.name.find(needle) != std::string::npos) return os;
   }
-  std::fprintf(stderr, "no OS profile matches \"%s\"; available:\n",
-               needle.c_str());
+  std::string available;
   for (const auto& os : all_os_profiles()) {
-    std::fprintf(stderr, "  %s\n", os.name.c_str());
+    available += ' ';
+    available += '"' + os.name + '"';
   }
-  std::exit(2);
+  fail("no OS profile matches \"" + needle + "\" (available:" + available +
+       ")");
+}
+
+Strategy parse_strategy_arg(const std::string& dsl) {
+  try {
+    return parse_strategy(dsl);
+  } catch (const ParseError& e) {
+    fail("bad strategy \"" + dsl + "\": " + e.what());
+  }
+}
+
+Strategy published_strategy_arg(const std::string& id) {
+  try {
+    return parsed_strategy(std::atoi(id.c_str()));
+  } catch (const std::out_of_range& e) {
+    fail(e.what());
+  }
+}
+
+/// Opens `path` for writing or fails with a structured one-liner — output
+/// problems (missing directory, permissions) surface before hours of trials
+/// are spent, not after.
+std::ofstream open_output(const std::string& path,
+                          const std::string& what) {
+  std::ofstream out(path);
+  if (!out) fail("cannot write " + what + " file \"" + path + "\"");
+  return out;
 }
 
 int cmd_list() {
@@ -173,6 +221,10 @@ int cmd_evolve(int argc, char** argv) {
   std::string save_name = "evolved";
   bool robust = false;
   std::size_t jobs = ThreadPool::hardware_jobs();
+  std::string checkpoint_dir;
+  std::size_t checkpoint_every = 1;
+  bool resume = false;
+  std::string history_out;
 
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -198,10 +250,22 @@ int cmd_evolve(int argc, char** argv) {
       robust = true;
     } else if (arg == "--jobs") {
       jobs = static_cast<std::size_t>(std::atoll(next().c_str()));
+    } else if (arg == "--checkpoint-dir") {
+      checkpoint_dir = next();
+    } else if (arg == "--checkpoint-every") {
+      checkpoint_every = static_cast<std::size_t>(std::atoll(next().c_str()));
+    } else if (arg == "--resume") {
+      resume = true;
+    } else if (arg == "--history-out") {
+      history_out = next();
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       usage(2);
     }
+  }
+  if (checkpoint_every == 0) checkpoint_every = 1;
+  if (resume && checkpoint_dir.empty()) {
+    fail("--resume requires --checkpoint-dir");
   }
 
   GaConfig config;
@@ -213,16 +277,85 @@ int cmd_evolve(int argc, char** argv) {
   });
   const std::vector<ImpairmentProfile> fitness_profiles =
       robust ? all_profiles() : std::vector<ImpairmentProfile>{};
-  FitnessFn fitness =
-      robust ? make_robust_fitness(country, protocol, 20, seed, {})
-             : make_fitness(country, protocol, 20, seed);
+  // Supervised fitness: errored trials are retried/counted inside the
+  // batch, and a strategy that poisons its batches is quarantined at
+  // sentinel fitness instead of aborting the campaign. Scores on a healthy
+  // substrate match the unsupervised fitness exactly, so the cache digest
+  // is shared.
+  auto quarantine = std::make_shared<Quarantine>();
+  FitnessFn fitness = make_supervised_fitness(
+      country, protocol, 20, seed, quarantine, SupervisionPolicy{},
+      fitness_profiles);
   GeneticAlgorithm ga(GeneConfig{}, config, std::move(fitness), Rng(seed),
                       logger);
   // Elites and re-discovered genomes skip their trial batches entirely.
   auto cache = std::make_shared<FitnessCache>(
       fitness_cache_digest(country, protocol, 20, seed, fitness_profiles));
   ga.set_fitness_cache(cache);
+
+  // Validate output paths before any trials run: an unwritable file should
+  // cost seconds, not a finished campaign.
+  std::optional<std::ofstream> history_stream;
+  if (!history_out.empty()) {
+    history_stream = open_output(history_out, "history");
+  }
+  std::string checkpoint_path;
+  if (!checkpoint_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(checkpoint_dir, ec);
+    if (ec) {
+      fail("cannot create checkpoint dir \"" + checkpoint_dir +
+           "\": " + ec.message());
+    }
+    checkpoint_path = checkpoint_dir + "/evolve.ckpt";
+    if (resume) {
+      if (const auto loaded = load_checkpoint(checkpoint_path)) {
+        const SnapshotReader reader = SnapshotReader::parse(loaded->bytes);
+        if (reader.kind() != GeneticAlgorithm::snapshot_kind()) {
+          fail("\"" + loaded->path + "\" is a " + reader.kind() +
+               " snapshot, not a GA checkpoint");
+        }
+        ga.restore_checkpoint(reader);
+        std::printf("resumed   : %s%s (history through generation %zu)\n",
+                    loaded->path.c_str(),
+                    loaded->fell_back ? " [fell back to last-good]" : "",
+                    ga.history().empty() ? 0
+                                         : ga.history().back().generation);
+      }
+      // No checkpoint yet: fall through and start fresh (the first crash
+      // of a campaign has nothing to resume from).
+    }
+    ga.set_checkpoint_hook([&](const GeneticAlgorithm& g, std::size_t gen) {
+      if ((gen + 1) % checkpoint_every != 0) return;
+      SnapshotWriter writer;
+      g.save_checkpoint(writer);
+      write_checkpoint(checkpoint_path,
+                       writer.encode(GeneticAlgorithm::snapshot_kind()));
+    });
+  }
+
   const Individual best = ga.run();
+
+  // Final checkpoint so a later --resume replays the finished campaign
+  // without re-running anything.
+  if (!checkpoint_path.empty()) {
+    SnapshotWriter writer;
+    ga.save_checkpoint(writer);
+    write_checkpoint(checkpoint_path,
+                     writer.encode(GeneticAlgorithm::snapshot_kind()));
+  }
+  if (history_stream) {
+    // Hexfloat fitness values: byte-exact, so a resumed run's history file
+    // can be diffed against the uninterrupted run's.
+    for (const GenerationStats& gen : ga.history()) {
+      *history_stream << gen.generation << '\t'
+                      << SnapshotWriter::format_double(gen.best_fitness)
+                      << '\t'
+                      << SnapshotWriter::format_double(gen.mean_fitness)
+                      << '\t' << gen.best_strategy << '\t' << gen.cache_hits
+                      << '\t' << gen.evaluations << '\n';
+    }
+  }
 
   RateOptions options;
   options.trials = 200;
@@ -238,6 +371,11 @@ int cmd_evolve(int argc, char** argv) {
   }
   std::printf("cache     : %zu trial batches skipped, %zu strategies scored\n",
               total_hits, cache->size());
+  if (quarantine->size() > 0) {
+    std::printf("quarantine: %zu strategies scored %g after repeated trial "
+                "errors\n",
+                quarantine->size(), kQuarantinedFitness);
+  }
   if (robust) {
     for (const ImpairmentProfile profile : all_profiles()) {
       RateOptions per_profile = options;
@@ -311,6 +449,11 @@ int cmd_sweep(int argc, char** argv) {
   std::size_t trials = 50;
   std::uint64_t seed = 1;
   std::size_t jobs = ThreadPool::hardware_jobs();
+  std::string checkpoint_dir;
+  std::size_t checkpoint_every = 1;
+  bool resume = false;
+  std::string table_out;
+  SupervisionPolicy supervision;
 
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -331,8 +474,7 @@ int cmd_sweep(int argc, char** argv) {
       } else if (name == "reorder") {
         axis = SweepAxis::kReorder;
       } else {
-        std::fprintf(stderr, "unknown axis: %s\n", name.c_str());
-        usage(2);
+        fail("unknown axis \"" + name + "\" (available: loss burst reorder)");
       }
     } else if (arg == "--published") {
       published.push_back(std::atoi(next().c_str()));
@@ -342,23 +484,36 @@ int cmd_sweep(int argc, char** argv) {
       seed = static_cast<std::uint64_t>(std::atoll(next().c_str()));
     } else if (arg == "--jobs") {
       jobs = static_cast<std::size_t>(std::atoll(next().c_str()));
+    } else if (arg == "--checkpoint-dir") {
+      checkpoint_dir = next();
+    } else if (arg == "--checkpoint-every") {
+      checkpoint_every = static_cast<std::size_t>(std::atoll(next().c_str()));
+    } else if (arg == "--resume") {
+      resume = true;
+    } else if (arg == "--table-out") {
+      table_out = next();
+    } else if (arg == "--inject-soft-fault-every") {
+      supervision.inject_soft_fault_every =
+          static_cast<std::size_t>(std::atoll(next().c_str()));
+    } else if (arg == "--inject-hard-fault-every") {
+      supervision.inject_hard_fault_every =
+          static_cast<std::size_t>(std::atoll(next().c_str()));
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       usage(2);
     }
   }
   if (published.empty()) published = {1, 2, 6};
+  if (checkpoint_every == 0) checkpoint_every = 1;
+  if (resume && checkpoint_dir.empty()) {
+    fail("--resume requires --checkpoint-dir");
+  }
 
   std::vector<std::pair<std::string, std::optional<Strategy>>> strategies;
   strategies.emplace_back("no evasion", std::nullopt);
   for (const int id : published) {
-    try {
-      strategies.emplace_back("published " + std::to_string(id),
-                              parsed_strategy(id));
-    } catch (const std::out_of_range& e) {
-      std::fprintf(stderr, "%s\n", e.what());
-      return 1;
-    }
+    strategies.emplace_back("published " + std::to_string(id),
+                            published_strategy_arg(std::to_string(id)));
   }
 
   const std::vector<double> values =
@@ -369,13 +524,129 @@ int cmd_sweep(int argc, char** argv) {
   options.trials = trials;
   options.base_seed = seed;
   options.jobs = jobs;
-  const std::vector<SweepCurve> curves = measure_impairment_sweep(
-      country, protocol, strategies, axis, values, options);
+  options.supervision = supervision;
+
+  // The sweep runs cell by cell in row-major order (strategy-major), so a
+  // checkpoint after any cell captures a resumable partial table. The
+  // config digest ties a snapshot to this exact sweep: resuming under a
+  // different axis/seed/strategy set is refused, not silently diverged.
+  const auto sweep_digest = [&]() {
+    SnapshotWriter w;
+    w.put("country", to_string(country));
+    w.put("protocol", to_string(protocol));
+    w.put("axis", to_string(axis));
+    w.put_u64("trials", trials);
+    w.put_u64("seed", seed);
+    w.put_u64("soft", supervision.inject_soft_fault_every);
+    w.put_u64("hard", supervision.inject_hard_fault_every);
+    for (const auto& [name, strategy] : strategies) w.put("strategy", name);
+    for (const double value : values) w.put_double("value", value);
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(
+                      fnv1a64(w.encode("sweep-config"))));
+    return std::string(buf);
+  }();
+
+  std::vector<SweepCurve> curves(strategies.size());
+  for (std::size_t s = 0; s < strategies.size(); ++s) {
+    curves[s].strategy_name = strategies[s].first;
+  }
+  const std::size_t total = strategies.size() * values.size();
+  std::size_t done = 0;
+
+  std::optional<std::ofstream> table_stream;
+  if (!table_out.empty()) {
+    table_stream = open_output(table_out, "table");
+  }
+  std::string checkpoint_path;
+  if (!checkpoint_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(checkpoint_dir, ec);
+    if (ec) {
+      fail("cannot create checkpoint dir \"" + checkpoint_dir +
+           "\": " + ec.message());
+    }
+    checkpoint_path = checkpoint_dir + "/sweep.ckpt";
+  }
+  if (resume && !checkpoint_path.empty()) {
+    if (const auto loaded = load_checkpoint(checkpoint_path)) {
+      const SnapshotReader reader = SnapshotReader::parse(loaded->bytes);
+      if (reader.kind() != "sweep-checkpoint") {
+        fail("\"" + loaded->path + "\" is a " + reader.kind() +
+             " snapshot, not a sweep checkpoint");
+      }
+      if (reader.get("config") != sweep_digest) {
+        fail("checkpoint \"" + loaded->path +
+             "\" was taken under a different sweep configuration; resuming "
+             "would silently diverge");
+      }
+      for (const SnapshotReader::Record* rec : reader.all("cell")) {
+        if (rec->fields.size() != 7) fail("malformed sweep checkpoint cell");
+        const std::size_t index = SnapshotReader::parse_u64(rec->fields[0]);
+        if (index != done || done >= total) {
+          fail("sweep checkpoint cells are out of order");
+        }
+        SweepPoint point;
+        point.value = SnapshotReader::parse_double(rec->fields[1]);
+        const std::size_t successes =
+            SnapshotReader::parse_u64(rec->fields[2]);
+        const std::size_t cell_trials =
+            SnapshotReader::parse_u64(rec->fields[3]);
+        for (std::size_t t = 0; t < cell_trials; ++t) {
+          point.rate.record(t < successes);
+        }
+        point.timeouts = SnapshotReader::parse_u64(rec->fields[4]);
+        point.errors = SnapshotReader::parse_u64(rec->fields[5]);
+        point.retries = SnapshotReader::parse_u64(rec->fields[6]);
+        curves[done / values.size()].points.push_back(point);
+        ++done;
+      }
+      std::printf("resumed   : %s%s (%zu/%zu cells)\n", loaded->path.c_str(),
+                  loaded->fell_back ? " [fell back to last-good]" : "", done,
+                  total);
+    }
+  }
+
+  const auto save_cells = [&]() {
+    SnapshotWriter writer;
+    writer.put("config", sweep_digest);
+    std::size_t index = 0;
+    for (const SweepCurve& curve : curves) {
+      for (const SweepPoint& point : curve.points) {
+        writer.record(
+            "cell",
+            {std::to_string(index),
+             SnapshotWriter::format_double(point.value),
+             std::to_string(point.rate.successes()),
+             std::to_string(point.rate.trials()),
+             std::to_string(point.timeouts), std::to_string(point.errors),
+             std::to_string(point.retries)});
+        ++index;
+      }
+    }
+    write_checkpoint(checkpoint_path, writer.encode("sweep-checkpoint"));
+  };
+
+  for (std::size_t c = done; c < total; ++c) {
+    const std::size_t s = c / values.size();
+    const std::size_t v = c % values.size();
+    curves[s].points.push_back(measure_sweep_cell(
+        country, protocol, strategies[s].second, axis, values[v], options));
+    ++done;
+    if (!checkpoint_path.empty() &&
+        (done % checkpoint_every == 0 || done == total)) {
+      save_cells();
+    }
+  }
+
   std::printf("%s vs %s/%s, %zu trials per point\n\n",
               std::string(to_string(axis)).c_str(),
               std::string(to_string(country)).c_str(),
               std::string(to_string(protocol)).c_str(), trials);
-  std::printf("%s", render_sweep(curves, axis).c_str());
+  const std::string table = render_sweep(curves, axis);
+  std::printf("%s", table.c_str());
+  if (table_stream) *table_stream << table;
   return 0;
 }
 
@@ -396,19 +667,9 @@ int cmd_rates(int argc, char** argv) {
     if (arg == "--country") {
       country = parse_country(next());
     } else if (arg == "--strategy") {
-      try {
-        strategy = parse_strategy(next());
-      } catch (const ParseError& e) {
-        std::fprintf(stderr, "parse error: %s\n", e.what());
-        return 1;
-      }
+      strategy = parse_strategy_arg(next());
     } else if (arg == "--published") {
-      try {
-        strategy = parsed_strategy(std::atoi(next().c_str()));
-      } catch (const std::out_of_range& e) {
-        std::fprintf(stderr, "%s\n", e.what());
-        return 1;
-      }
+      strategy = published_strategy_arg(next());
     } else if (arg == "--trials") {
       trials = static_cast<std::size_t>(std::atoll(next().c_str()));
     } else if (arg == "--seed") {
@@ -475,19 +736,9 @@ int cmd_run(int argc, char** argv) {
     } else if (arg == "--protocol") {
       protocol = parse_protocol(next());
     } else if (arg == "--strategy") {
-      try {
-        strategy = parse_strategy(next());
-      } catch (const ParseError& e) {
-        std::fprintf(stderr, "parse error: %s\n", e.what());
-        return 1;
-      }
+      strategy = parse_strategy_arg(next());
     } else if (arg == "--published") {
-      try {
-        strategy = parsed_strategy(std::atoi(next().c_str()));
-      } catch (const std::out_of_range& e) {
-        std::fprintf(stderr, "%s\n", e.what());
-        return 1;
-      }
+      strategy = published_strategy_arg(next());
     } else if (arg == "--from") {
       from_path = next();
     } else if (arg == "--name") {
@@ -603,24 +854,31 @@ int cmd_run(int argc, char** argv) {
 }  // namespace caya
 
 int main(int argc, char** argv) {
-  if (argc < 2) caya::usage(1);
-  const std::string command = argv[1];
-  if (command == "list") return caya::cmd_list();
-  if (command == "parse") {
-    if (argc < 3) caya::usage(2);
-    return caya::cmd_parse(argv[2]);
+  try {
+    if (argc < 2) caya::usage(1);
+    const std::string command = argv[1];
+    if (command == "list") return caya::cmd_list();
+    if (command == "parse") {
+      if (argc < 3) caya::usage(2);
+      return caya::cmd_parse(argv[2]);
+    }
+    if (command == "run") return caya::cmd_run(argc - 2, argv + 2);
+    if (command == "library") {
+      if (argc < 3) caya::usage(2);
+      return caya::cmd_library(argv[2]);
+    }
+    if (command == "evolve") return caya::cmd_evolve(argc - 2, argv + 2);
+    if (command == "rates") return caya::cmd_rates(argc - 2, argv + 2);
+    if (command == "sweep") return caya::cmd_sweep(argc - 2, argv + 2);
+    if (command == "replay") {
+      if (argc < 3) caya::usage(2);
+      return caya::cmd_replay(argc - 2, argv + 2);
+    }
+    caya::usage(1);
+  } catch (const std::exception& e) {
+    // One structured line, exit 2 — scripts driving long campaigns get a
+    // parseable failure instead of a bare terminate.
+    std::fprintf(stderr, "caya: error: %s\n", e.what());
+    return 2;
   }
-  if (command == "run") return caya::cmd_run(argc - 2, argv + 2);
-  if (command == "library") {
-    if (argc < 3) caya::usage(2);
-    return caya::cmd_library(argv[2]);
-  }
-  if (command == "evolve") return caya::cmd_evolve(argc - 2, argv + 2);
-  if (command == "rates") return caya::cmd_rates(argc - 2, argv + 2);
-  if (command == "sweep") return caya::cmd_sweep(argc - 2, argv + 2);
-  if (command == "replay") {
-    if (argc < 3) caya::usage(2);
-    return caya::cmd_replay(argc - 2, argv + 2);
-  }
-  caya::usage(1);
 }
