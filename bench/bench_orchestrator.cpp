@@ -1,0 +1,209 @@
+// Serve-time orchestration benchmark: what does adaptive failover cost, and
+// how fast does it react when the censor drifts?
+//   * detection latency — flows between the regime flip and the active
+//     breaker's trip, across seeds,
+//   * failover cost — flows between the trip and the first flow the next
+//     tier serves (plus the success-rate dip across the transition),
+//   * steady-state overhead — orchestrated flows/sec vs a raw
+//     measure_rate batch of the same strategy (health accounting,
+//     routing, and speculation bookkeeping),
+//   * speculation efficiency — wasted trials per misprediction as the
+//     chunk size grows.
+// Emits BENCH_orchestrator.json next to the human summary.
+//
+// Knobs: CAYA_FLOWS (flows per campaign, default 512) and CAYA_JOBS
+// (worker threads, default hardware concurrency).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <vector>
+
+#include "eval/rates.h"
+#include "eval/strategies.h"
+#include "serve/orchestrator.h"
+#include "util/thread_pool.h"
+
+namespace caya {
+namespace {
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return static_cast<std::size_t>(std::atoll(value));
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+std::vector<ServeTier> default_chain() {
+  return {{"published 7", parsed_strategy(7)},
+          {"published 6", parsed_strategy(6)},
+          {"published 2", parsed_strategy(2)}};
+}
+
+struct DriftCosts {
+  std::uint64_t seed = 0;
+  std::size_t detection_flows = 0;  // flip -> first trip of the active tier
+  std::size_t failover_flows = 0;   // trip -> next tier serving
+  double pre_flip_rate = 0.0;
+  double post_failover_rate = 0.0;
+};
+
+/// Runs one regime-flip campaign and pulls the reaction timeline out of the
+/// health-event log.
+DriftCosts measure_drift(std::uint64_t seed, std::size_t flows,
+                         std::size_t jobs) {
+  ServeConfig config;
+  config.flows = flows;
+  config.base_seed = seed;
+  config.breaker_seed = seed;
+  config.jobs = jobs;
+  config.regime_flip_at = flows / 2;
+  Orchestrator orch(config, default_chain());
+  const ServeReport& report = orch.run();
+
+  DriftCosts costs;
+  costs.seed = seed;
+  std::size_t flip = 0, trip = 0, failover = 0;
+  for (const HealthEvent& event : report.events) {
+    if (event.kind == HealthEventKind::kRegimeFlip) flip = event.flow;
+    if (trip == 0 && flip != 0 &&
+        event.kind == HealthEventKind::kBreakerTrip) {
+      trip = event.flow;
+    }
+    if (failover == 0 && trip != 0 &&
+        event.kind == HealthEventKind::kFailover) {
+      failover = event.flow;
+    }
+  }
+  if (flip != 0 && trip != 0) costs.detection_flows = trip - flip;
+  if (trip != 0 && failover != 0) costs.failover_flows = failover - trip;
+
+  // Success rates either side of the drift: tier 0 carries the pre-flip
+  // half, tier 1 the post-failover remainder.
+  costs.pre_flip_rate = report.tiers[0].rate();
+  costs.post_failover_rate = report.tiers[1].rate();
+  return costs;
+}
+
+/// Orchestrated flows/sec for a drift-free campaign (pure overhead measure).
+double orchestrated_flows_per_sec(std::size_t flows, std::size_t jobs) {
+  ServeConfig config;
+  config.flows = flows;
+  config.base_seed = 17;
+  config.jobs = jobs;
+  Orchestrator orch(config, default_chain());
+  const auto start = std::chrono::steady_clock::now();
+  (void)orch.run();
+  const double elapsed = seconds_since(start);
+  return elapsed > 0 ? static_cast<double>(flows) / elapsed : 0.0;
+}
+
+/// Raw trials/sec for the same strategy and trial count, no orchestration.
+double raw_flows_per_sec(std::size_t flows, std::size_t jobs) {
+  RateOptions options;
+  options.trials = flows;
+  options.base_seed = 17;
+  options.jobs = jobs;
+  const auto start = std::chrono::steady_clock::now();
+  (void)measure_rate(Country::kChina, AppProtocol::kHttp, parsed_strategy(7),
+                     options);
+  const double elapsed = seconds_since(start);
+  return elapsed > 0 ? static_cast<double>(flows) / elapsed : 0.0;
+}
+
+struct SpeculationCosts {
+  std::size_t chunk = 0;
+  std::size_t mispredictions = 0;
+  std::size_t wasted_trials = 0;
+};
+
+SpeculationCosts measure_speculation(std::size_t chunk, std::size_t flows,
+                                     std::size_t jobs) {
+  ServeConfig config;
+  config.flows = flows;
+  config.base_seed = 3;
+  config.breaker_seed = 3;
+  config.jobs = jobs;
+  config.chunk = chunk;
+  config.regime_flip_at = flows / 2;
+  Orchestrator orch(config, default_chain());
+  const ServeReport& report = orch.run();
+  return {chunk, report.mispredictions, report.speculated_waste};
+}
+
+}  // namespace
+}  // namespace caya
+
+int main() {
+  using namespace caya;
+  const std::size_t flows = env_size("CAYA_FLOWS", 512);
+  const std::size_t jobs = env_size("CAYA_JOBS", ThreadPool::hardware_jobs());
+
+  std::printf("Orchestrator reaction + overhead (%zu flows, %zu jobs)\n\n",
+              flows, jobs);
+
+  // 1. Detection + failover latency across seeds.
+  std::printf("%-6s %12s %12s %10s %10s\n", "seed", "detect (fl)",
+              "failover", "pre-rate", "post-rate");
+  std::vector<DriftCosts> drift;
+  for (const std::uint64_t seed : {5u, 17u, 42u, 99u}) {
+    drift.push_back(measure_drift(seed, flows, jobs));
+    const DriftCosts& c = drift.back();
+    std::printf("%-6llu %12zu %12zu %10.2f %10.2f\n",
+                static_cast<unsigned long long>(c.seed), c.detection_flows,
+                c.failover_flows, c.pre_flip_rate, c.post_failover_rate);
+  }
+
+  // 2. Steady-state overhead vs a raw rate batch.
+  const double raw_fps = raw_flows_per_sec(flows, jobs);
+  const double orch_fps = orchestrated_flows_per_sec(flows, jobs);
+  const double overhead = raw_fps > 0 ? (raw_fps - orch_fps) / raw_fps : 0.0;
+  std::printf("\nflows/s          : %8.1f raw, %8.1f orchestrated "
+              "(%.1f%% overhead)\n",
+              raw_fps, orch_fps, overhead * 100);
+
+  // 3. Speculation waste vs chunk size (through a drift, the worst case).
+  std::printf("\n%-8s %14s %14s\n", "chunk", "mispredicts", "wasted trials");
+  std::vector<SpeculationCosts> speculation;
+  for (const std::size_t chunk : {16u, 64u, 256u}) {
+    speculation.push_back(measure_speculation(chunk, flows, jobs));
+    const SpeculationCosts& c = speculation.back();
+    std::printf("%-8zu %14zu %14zu\n", c.chunk, c.mispredictions,
+                c.wasted_trials);
+  }
+
+  std::ofstream json("BENCH_orchestrator.json");
+  json << "{\n  \"drift\": [\n";
+  for (std::size_t i = 0; i < drift.size(); ++i) {
+    const DriftCosts& c = drift[i];
+    json << "    {\"seed\": " << c.seed
+         << ", \"detection_flows\": " << c.detection_flows
+         << ", \"failover_flows\": " << c.failover_flows
+         << ", \"pre_flip_rate\": " << c.pre_flip_rate
+         << ", \"post_failover_rate\": " << c.post_failover_rate << "}"
+         << (i + 1 < drift.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"speculation\": [\n";
+  for (std::size_t i = 0; i < speculation.size(); ++i) {
+    const SpeculationCosts& c = speculation[i];
+    json << "    {\"chunk\": " << c.chunk
+         << ", \"mispredictions\": " << c.mispredictions
+         << ", \"wasted_trials\": " << c.wasted_trials << "}"
+         << (i + 1 < speculation.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"raw_flows_per_sec\": " << raw_fps << ",\n"
+       << "  \"orchestrated_flows_per_sec\": " << orch_fps << ",\n"
+       << "  \"orchestration_overhead\": " << overhead << ",\n"
+       << "  \"flows\": " << flows << ",\n"
+       << "  \"jobs\": " << jobs << "\n"
+       << "}\n";
+  json.close();
+  std::printf("\nwrote BENCH_orchestrator.json\n");
+  return 0;
+}

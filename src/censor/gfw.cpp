@@ -75,6 +75,38 @@ GfwBoxParams gfw_params(AppProtocol proto) {
   return {};
 }
 
+std::string_view to_string(GfwRegime regime) noexcept {
+  switch (regime) {
+    case GfwRegime::kEra2019: return "era-2019";
+    case GfwRegime::kEraHttpsResync: return "era-https-resync";
+  }
+  return "?";
+}
+
+std::optional<GfwRegime> parse_gfw_regime(std::string_view name) noexcept {
+  if (name == to_string(GfwRegime::kEra2019)) return GfwRegime::kEra2019;
+  if (name == to_string(GfwRegime::kEraHttpsResync)) {
+    return GfwRegime::kEraHttpsResync;
+  }
+  return std::nullopt;
+}
+
+GfwBoxParams gfw_params(AppProtocol proto, GfwRegime regime) {
+  GfwBoxParams params = gfw_params(proto);
+  switch (regime) {
+    case GfwRegime::kEra2019:
+      break;
+    case GfwRegime::kEraHttpsResync:
+      // The HTTPS box's posture rolled out fleet-wide: no box re-enters
+      // resync on a server RST any more, and the FTP box's RST-conditioned
+      // corrupt-ack boost goes with it. Payload-triggered resync persists.
+      params.p_resync_on_rst = 0.0;
+      params.p_corrupt_ack_rst_boost = 0.0;
+      break;
+  }
+  return params;
+}
+
 GfwBox::GfwBox(GfwBoxParams params, ForbiddenContent content, Rng rng)
     : params_(params), content_(std::move(content)), rng_(rng) {}
 
@@ -352,14 +384,14 @@ GfwBoxParams single_box_params(AppProtocol proto) {
 }
 
 ChinaCensor::ChinaCensor(ForbiddenContent content, Rng rng,
-                         Architecture architecture) {
+                         Architecture architecture, GfwRegime regime) {
   // Under the single-box counterfactual, every "box" shares one stack's
   // parameters AND one RNG stream, so the per-flow resync draws coincide:
   // a TCP-level bug either fires for all protocols or for none.
   Rng shared = rng.fork();
   for (const AppProtocol proto : all_protocols()) {
     const GfwBoxParams params = architecture == Architecture::kMultiBox
-                                    ? gfw_params(proto)
+                                    ? gfw_params(proto, regime)
                                     : single_box_params(proto);
     boxes_.push_back(std::make_unique<GfwBox>(
         params, content,

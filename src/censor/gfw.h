@@ -82,6 +82,32 @@ struct GfwBoxParams {
 /// Default parameter sets for each of the five boxes, calibrated to Table 2.
 [[nodiscard]] GfwBoxParams gfw_params(AppProtocol proto);
 
+/// Censor drift: the GFW's stochastic entry probabilities are not stable
+/// over time. Measurement work (Wang et al. vs the paper's 2019/2020 probes)
+/// shows whole resync mechanisms appearing and disappearing between eras —
+/// e.g. the HTTPS box had already retired RST-triggered resynchronization by
+/// the paper's measurements (§5, Strategy 7's 4% HTTPS cell). A regime names
+/// one coherent parameter era so a deployment simulation can flip the censor
+/// under a running server and watch its strategies decay.
+enum class GfwRegime {
+  /// The paper's calibrated 2019/2020-era behaviour (gfw_params defaults).
+  kEra2019,
+  /// A projected fleet-wide rollout of the HTTPS box's posture: RST-triggered
+  /// resync retired on every box (p_resync_on_rst = 0, and the FTP box's
+  /// RST-conditioned corrupt-ack boost with it). Payload-triggered resync and
+  /// everything deterministic are unchanged — strategies that depend on
+  /// injected RSTs collapse to the baseline miss rate while injected-load
+  /// strategies keep working.
+  kEraHttpsResync,
+};
+
+[[nodiscard]] std::string_view to_string(GfwRegime regime) noexcept;
+[[nodiscard]] std::optional<GfwRegime> parse_gfw_regime(
+    std::string_view name) noexcept;
+
+/// Parameters for one box under a given regime. kEra2019 is gfw_params().
+[[nodiscard]] GfwBoxParams gfw_params(AppProtocol proto, GfwRegime regime);
+
 class GfwBox : public Middlebox {
  public:
   GfwBox(GfwBoxParams params, ForbiddenContent content, Rng rng);
@@ -160,7 +186,8 @@ class ChinaCensor {
   enum class Architecture { kMultiBox, kSingleBox };
 
   ChinaCensor(ForbiddenContent content, Rng rng,
-              Architecture architecture = Architecture::kMultiBox);
+              Architecture architecture = Architecture::kMultiBox,
+              GfwRegime regime = GfwRegime::kEra2019);
 
   [[nodiscard]] std::vector<Middlebox*> middleboxes();
   [[nodiscard]] GfwBox& box(AppProtocol proto);

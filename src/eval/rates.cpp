@@ -1,5 +1,6 @@
 #include "eval/rates.h"
 
+#include <algorithm>
 #include <iomanip>
 #include <sstream>
 #include <utility>
@@ -177,14 +178,51 @@ FitnessFn make_fitness(Country country, AppProtocol protocol,
   };
 }
 
+TrialErrorKind RateReport::dominant_error() const noexcept {
+  TrialErrorKind dominant = TrialErrorKind::kNone;
+  std::size_t best = 0;
+  for (std::size_t k = 0; k < kTrialErrorKinds; ++k) {
+    const auto kind = static_cast<TrialErrorKind>(k);
+    if (kind == TrialErrorKind::kNone || kind == TrialErrorKind::kTimeout) {
+      continue;  // not errors: completed trials
+    }
+    if (error_counts[k] > best) {
+      best = error_counts[k];
+      dominant = kind;
+    }
+  }
+  return dominant;
+}
+
 bool Quarantine::contains(const std::string& strategy_key) const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return keys_.count(strategy_key) != 0;
 }
 
-void Quarantine::add(const std::string& strategy_key) {
+void Quarantine::add(const std::string& strategy_key, std::string reason) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  keys_.insert(strategy_key);
+  State& state = keys_[strategy_key];
+  state.reason = std::move(reason);
+  state.denied = 0;  // a re-add restarts the probe countdown
+}
+
+bool Quarantine::should_probe(const std::string& strategy_key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = keys_.find(strategy_key);
+  if (it == keys_.end()) return false;
+  if (probe_interval_ == 0) {
+    ++it->second.denied;
+    return false;
+  }
+  ++it->second.denied;
+  if (it->second.denied % probe_interval_ != 0) return false;
+  ++it->second.probes;
+  return true;
+}
+
+void Quarantine::release(const std::string& strategy_key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (keys_.erase(strategy_key) != 0) ++released_;
 }
 
 std::size_t Quarantine::size() const {
@@ -192,9 +230,30 @@ std::size_t Quarantine::size() const {
   return keys_.size();
 }
 
+std::size_t Quarantine::released() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return released_;
+}
+
 std::vector<std::string> Quarantine::entries() const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  return std::vector<std::string>(keys_.begin(), keys_.end());
+  std::vector<std::string> keys;
+  keys.reserve(keys_.size());
+  for (const auto& [key, state] : keys_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+std::vector<Quarantine::Status> Quarantine::statuses() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Status> out;
+  out.reserve(keys_.size());
+  for (const auto& [key, state] : keys_) {
+    out.push_back({key, state.reason, state.denied, state.probes});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Status& a, const Status& b) { return a.key < b.key; });
+  return out;
 }
 
 FitnessFn make_supervised_fitness(Country country, AppProtocol protocol,
@@ -207,7 +266,11 @@ FitnessFn make_supervised_fitness(Country country, AppProtocol protocol,
   return [=, quarantine = std::move(quarantine),
           profiles = std::move(profiles)](const Strategy& strategy) {
     const std::string key = strategy.to_string();
-    if (quarantine && quarantine->contains(key)) return kQuarantinedFitness;
+    bool probing = false;
+    if (quarantine && quarantine->contains(key)) {
+      if (!quarantine->should_probe(key)) return kQuarantinedFitness;
+      probing = true;  // half-open probe: re-evaluate for real
+    }
     double sum = 0.0;
     for (std::size_t p = 0; p < profiles.size(); ++p) {
       RateOptions options;
@@ -221,11 +284,15 @@ FitnessFn make_supervised_fitness(Country country, AppProtocol protocol,
       const RateReport report =
           measure_rate_supervised(country, protocol, strategy, options);
       if (report.quarantined) {
-        if (quarantine) quarantine->add(key);
+        if (quarantine) {
+          quarantine->add(key,
+                          std::string(to_string(report.dominant_error())));
+        }
         return kQuarantinedFitness;
       }
       sum += report.rate.rate();
     }
+    if (probing) quarantine->release(key);  // probe passed: reinstated
     return sum / static_cast<double>(profiles.size()) * 100.0;
   };
 }
@@ -323,6 +390,10 @@ SweepPoint measure_sweep_cell(Country country, AppProtocol protocol,
   point.timeouts = report.timeouts;
   point.errors = report.errors;
   point.retries = report.retries;
+  point.quarantined = report.quarantined;
+  if (report.quarantined) {
+    point.quarantine_reason = std::string(to_string(report.dominant_error()));
+  }
   return point;
 }
 
@@ -383,6 +454,29 @@ std::string render_sweep(const std::vector<SweepCurve>& curves,
         cell << point.rate.trials() << '/'
              << (point.rate.trials() + point.errors);
         out << std::right << std::setw(8) << cell.str();
+      }
+      out << '\n';
+    }
+  }
+  // Quarantine footer: *why* a cell's batch was poisoned, not just that it
+  // was — the dominant error class per quarantined cell. Additive: absent
+  // unless some cell actually tripped quarantine.
+  bool any_quarantined = false;
+  for (const SweepCurve& curve : curves) {
+    for (const SweepPoint& point : curve.points) {
+      if (point.quarantined) any_quarantined = true;
+    }
+  }
+  if (any_quarantined) {
+    out << "# quarantined (dominant error class per poisoned cell)\n";
+    for (const SweepCurve& curve : curves) {
+      out << std::left << std::setw(38) << curve.strategy_name;
+      for (const SweepPoint& point : curve.points) {
+        out << std::right << std::setw(8)
+            << (point.quarantined
+                    ? (point.quarantine_reason.empty() ? "?" :
+                       point.quarantine_reason)
+                    : "-");
       }
       out << '\n';
     }

@@ -10,7 +10,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
-#include <unordered_set>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -67,6 +67,11 @@ struct RateReport {
   std::array<std::size_t, kTrialErrorKinds> error_counts{};  // by kind
   bool quarantined = false;    // hit `quarantine_after` consecutive errors
 
+  /// The error class that dominated the batch's failures — what a
+  /// quarantine entry records as its reason. kNone when the batch raised no
+  /// errors (timeouts are legitimate results, not errors).
+  [[nodiscard]] TrialErrorKind dominant_error() const noexcept;
+
   /// Trials the batch was asked to run (completed + errored).
   [[nodiscard]] std::size_t attempted() const noexcept {
     return rate.trials() + errors;
@@ -82,16 +87,55 @@ struct RateReport {
 /// Shared registry of strategies poisoned by consecutive trial errors.
 /// Thread-safe: the GA's parallel fitness evaluations consult and update it
 /// concurrently. Keys are canonical strategy strings.
+///
+/// Quarantine is releasable, not a banishment list: with a non-zero
+/// probe_interval, every probe_interval-th *denied* lookup of a key is
+/// admitted as a half-open probe — the caller re-evaluates the strategy for
+/// real and reports the verdict back via release() (probe passed; the entry
+/// is removed and `released` counts it) or add() (probe failed;
+/// re-quarantined). probe_interval == 0 keeps the legacy permanent
+/// behaviour. Probe admission is a pure function of the per-key denial
+/// counter, so campaigns stay deterministic across --jobs and resumes.
 class Quarantine {
  public:
+  explicit Quarantine(std::size_t probe_interval = 0) noexcept
+      : probe_interval_(probe_interval) {}
+
   [[nodiscard]] bool contains(const std::string& strategy_key) const;
-  void add(const std::string& strategy_key);
+  /// Adds (or re-adds, resetting the denial counter) with an optional
+  /// reason — typically to_string(report.dominant_error()).
+  void add(const std::string& strategy_key, std::string reason = "");
+  /// Admit-or-deny for a key known to be quarantined: true when this lookup
+  /// should run a half-open probe instead of scoring the sentinel. Counts
+  /// the denial otherwise. Always false with probe_interval == 0.
+  [[nodiscard]] bool should_probe(const std::string& strategy_key);
+  /// Removes a key after a successful probe; counted in released().
+  void release(const std::string& strategy_key);
+
   [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t released() const;
+  /// Quarantined keys, sorted (deterministic render order).
   [[nodiscard]] std::vector<std::string> entries() const;
 
+  /// Per-key detail for footers and scoreboards, sorted by key.
+  struct Status {
+    std::string key;
+    std::string reason;
+    std::size_t denied = 0;  // sentinel-scored lookups since (re-)add
+    std::size_t probes = 0;  // half-open probes granted so far
+  };
+  [[nodiscard]] std::vector<Status> statuses() const;
+
  private:
+  struct State {
+    std::string reason;
+    std::size_t denied = 0;
+    std::size_t probes = 0;
+  };
   mutable std::mutex mutex_;
-  std::unordered_set<std::string> keys_;
+  std::size_t probe_interval_;
+  std::unordered_map<std::string, State> keys_;
+  std::size_t released_ = 0;
 };
 
 /// Sentinel fitness assigned to quarantined strategies: far below any real
@@ -175,6 +219,8 @@ struct SweepPoint {
   std::size_t timeouts = 0;    // trials cut off by the deadline/event cap
   std::size_t errors = 0;      // trials lost to errors after retries
   std::size_t retries = 0;     // extra attempts spent recovering trials
+  bool quarantined = false;    // the cell's batch tripped quarantine
+  std::string quarantine_reason;  // dominant error class when quarantined
 };
 
 struct SweepCurve {

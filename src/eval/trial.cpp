@@ -43,7 +43,8 @@ Environment::Environment(Config config)
   switch (config_.country) {
     case Country::kChina:
       china_ = std::make_unique<ChinaCensor>(content, rng_.fork(),
-                                             config_.china_architecture);
+                                             config_.china_architecture,
+                                             config_.gfw_regime);
       for (Middlebox* box : china_->middleboxes()) net_->add_middlebox(box);
       break;
     case Country::kIndia:

@@ -90,6 +90,9 @@ class Environment {
     /// real multi-box deployment.
     ChinaCensor::Architecture china_architecture =
         ChinaCensor::Architecture::kMultiBox;
+    /// Censor-drift scenarios: which parameter era the Chinese boxes run
+    /// (ignored by the single-box ablation and by other countries).
+    GfwRegime gfw_regime = GfwRegime::kEra2019;
     /// §7 cellular anecdote: interpose a carrier middlebox on the path.
     CarrierNetwork carrier = CarrierNetwork::kWifi;
     /// Scheduled censor faults (state flush / stall / restart), applied to

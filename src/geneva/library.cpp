@@ -1,10 +1,12 @@
 #include "geneva/library.h"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
 #include "geneva/parser.h"
+#include "util/snapshot.h"
 
 namespace caya {
 
@@ -24,6 +26,16 @@ const LibraryEntry* StrategyLibrary::find(std::string_view name) const {
     if (entry.name == name) return &entry;
   }
   return nullptr;
+}
+
+bool StrategyLibrary::update_success(std::string_view name, double success) {
+  for (auto& entry : entries_) {
+    if (entry.name == name) {
+      entry.success = success;
+      return true;
+    }
+  }
+  return false;
 }
 
 std::string StrategyLibrary::serialize() const {
@@ -84,11 +96,18 @@ StrategyLibrary StrategyLibrary::deserialize(std::string_view text) {
   return library;
 }
 
+namespace {
+constexpr std::string_view kChecksumPrefix = "# checksum ";
+}  // namespace
+
 void StrategyLibrary::save(const std::string& path) const {
-  std::ofstream file(path, std::ios::trunc);
-  if (!file) throw std::runtime_error("cannot open " + path);
-  file << serialize();
-  if (!file) throw std::runtime_error("write failed for " + path);
+  const std::string body = serialize();
+  char footer[40];
+  std::snprintf(footer, sizeof(footer), "%.*s%016llx\n",
+                static_cast<int>(kChecksumPrefix.size()),
+                kChecksumPrefix.data(),
+                static_cast<unsigned long long>(fnv1a64(body)));
+  write_snapshot_file(path, body + footer);
 }
 
 StrategyLibrary StrategyLibrary::load(const std::string& path) {
@@ -96,7 +115,34 @@ StrategyLibrary StrategyLibrary::load(const std::string& path) {
   if (!file) throw std::runtime_error("cannot open " + path);
   std::stringstream buffer;
   buffer << file.rdbuf();
-  return deserialize(buffer.str());
+  const std::string text = buffer.str();
+
+  // Verify the checksum footer when one is present (save() always writes
+  // it; hand-edited files without one are accepted as-is).
+  const std::size_t pos = text.rfind(kChecksumPrefix);
+  if (pos != std::string::npos && (pos == 0 || text[pos - 1] == '\n')) {
+    const std::size_t value_at = pos + kChecksumPrefix.size();
+    std::size_t eol = text.find('\n', value_at);
+    if (eol == std::string::npos) eol = text.size();
+    std::uint64_t expected = 0;
+    bool valid_hex = eol - value_at == 16;
+    for (std::size_t i = value_at; valid_hex && i < eol; ++i) {
+      const char c = text[i];
+      int digit;
+      if (c >= '0' && c <= '9') digit = c - '0';
+      else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+      else { valid_hex = false; break; }
+      expected = expected << 4 | static_cast<std::uint64_t>(digit);
+    }
+    if (!valid_hex) {
+      throw std::runtime_error("malformed checksum footer in " + path);
+    }
+    if (fnv1a64(std::string_view(text).substr(0, pos)) != expected) {
+      throw std::runtime_error("checksum mismatch in " + path +
+                               " (torn write or corruption)");
+    }
+  }
+  return deserialize(text);
 }
 
 }  // namespace caya

@@ -30,6 +30,8 @@ std::string_view to_string(TracePoint point) noexcept {
       return "reordered";
     case TracePoint::kCensorFault:
       return "censor-fault";
+    case TracePoint::kOrchestrator:
+      return "orchestrator";
   }
   return "?";
 }

@@ -24,6 +24,7 @@ enum class TracePoint {
   kCorrupted,   // link flipped a bit (checksum left stale)
   kReordered,   // link added jitter delay to this traversal
   kCensorFault, // scheduled middlebox fault fired (flush/stall/restart)
+  kOrchestrator, // serve-runtime health event (no packet; detail in note)
 };
 
 [[nodiscard]] std::string_view to_string(TracePoint point) noexcept;

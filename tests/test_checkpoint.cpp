@@ -473,6 +473,62 @@ TEST(Supervision, QuarantinedFitnessIsSentinelNotAbort) {
   EXPECT_EQ(fitness(strategy), kQuarantinedFitness);
 }
 
+TEST(Supervision, QuarantineProbesOnConfiguredCadence) {
+  Quarantine quarantine(/*probe_interval=*/3);
+  quarantine.add("s", "injected-fault");
+  // Denials 1 and 2 are refused; denial 3 is the probe admission.
+  EXPECT_FALSE(quarantine.should_probe("s"));
+  EXPECT_FALSE(quarantine.should_probe("s"));
+  EXPECT_TRUE(quarantine.should_probe("s"));
+  EXPECT_FALSE(quarantine.should_probe("s"));
+  const auto statuses = quarantine.statuses();
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_EQ(statuses[0].reason, "injected-fault");
+  EXPECT_EQ(statuses[0].probes, 1u);
+}
+
+TEST(Supervision, QuarantineReleaseRestoresStrategy) {
+  Quarantine quarantine(/*probe_interval=*/2);
+  quarantine.add("s", "timeout");
+  EXPECT_EQ(quarantine.size(), 1u);
+  quarantine.release("s");
+  EXPECT_EQ(quarantine.size(), 0u);
+  EXPECT_EQ(quarantine.released(), 1u);
+  EXPECT_FALSE(quarantine.contains("s"));
+}
+
+TEST(Supervision, DefaultQuarantineNeverProbes) {
+  // probe_interval 0 is the legacy permanent-banishment mode the GA's
+  // checkpoint pins rely on.
+  Quarantine quarantine;
+  quarantine.add("s");
+  for (int i = 0; i < 50; ++i) EXPECT_FALSE(quarantine.should_probe("s"));
+}
+
+TEST(Supervision, ProbingFitnessReleasesRecoveredStrategy) {
+  // The fault schedule errors every trial only on the first evaluation
+  // window; a released strategy re-measures clean. We emulate recovery by
+  // flipping the policy between calls via a fresh fitness function sharing
+  // the quarantine registry.
+  auto quarantine = std::make_shared<Quarantine>(/*probe_interval=*/1);
+  SupervisionPolicy faulty;
+  faulty.inject_hard_fault_every = 1;
+  faulty.quarantine_after = 2;
+  FitnessFn sick = make_supervised_fitness(
+      Country::kChina, AppProtocol::kHttp, 6, 100, quarantine, faulty);
+  const Strategy strategy = parsed_strategy(1);
+  EXPECT_EQ(sick(strategy), kQuarantinedFitness);
+  ASSERT_EQ(quarantine->size(), 1u);
+
+  // The substrate healed: the next admission is a probe, the clean batch
+  // passes, and the strategy leaves quarantine.
+  FitnessFn healthy = make_supervised_fitness(
+      Country::kChina, AppProtocol::kHttp, 6, 100, quarantine);
+  EXPECT_NE(healthy(strategy), kQuarantinedFitness);
+  EXPECT_EQ(quarantine->size(), 0u);
+  EXPECT_EQ(quarantine->released(), 1u);
+}
+
 TEST(Supervision, SupervisedFitnessMatchesPlainOnHealthySubstrate) {
   auto quarantine = std::make_shared<Quarantine>();
   FitnessFn supervised = make_supervised_fitness(

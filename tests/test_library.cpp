@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <iterator>
 
 #include "eval/strategies.h"
 #include "geneva/parser.h"
@@ -87,6 +89,48 @@ TEST(Library, SaveAndLoadFile) {
   const StrategyLibrary loaded = StrategyLibrary::load(path);
   EXPECT_NE(loaded.find("window-zero"), nullptr);
   std::remove(path.c_str());
+}
+
+TEST(Library, SaveAppendsVerifiableChecksumFooter) {
+  const std::string path = ::testing::TempDir() + "/caya_lib_footer.txt";
+  StrategyLibrary library;
+  library.add(sample());
+  library.save(path);
+
+  std::ifstream in(path, std::ios::binary);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("# checksum "), std::string::npos);
+
+  // Corrupt one byte of the body: load must refuse the torn file.
+  const std::size_t pos = text.find("window-zero");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos] = 'W';
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << text;
+  }
+  EXPECT_THROW((void)StrategyLibrary::load(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Library, LoadAcceptsHandEditedFileWithoutFooter) {
+  const std::string path = ::testing::TempDir() + "/caya_lib_nofooter.txt";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "x\t0.5\tnote\t[TCP:flags:SA]-drop-| \\/\n";
+  }
+  const StrategyLibrary library = StrategyLibrary::load(path);
+  EXPECT_NE(library.find("x"), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(Library, UpdateSuccessRefreshesEntry) {
+  StrategyLibrary library;
+  library.add(sample());
+  EXPECT_TRUE(library.update_success("window-zero", 0.25));
+  EXPECT_DOUBLE_EQ(library.find("window-zero")->success, 0.25);
+  EXPECT_FALSE(library.update_success("unknown", 0.9));
 }
 
 TEST(Library, PublishedLibraryHasAllEleven) {

@@ -58,6 +58,7 @@
 #include "geneva/library.h"
 #include "geneva/parser.h"
 #include "netsim/pcap.h"
+#include "serve/orchestrator.h"
 #include "util/snapshot.h"
 #include "util/thread_pool.h"
 
@@ -79,7 +80,7 @@ class CliError : public std::runtime_error {
       "usage: caya list | caya parse \"<dsl>\" | caya run [options] |\n"
       "       caya library FILE | caya evolve [options] |\n"
       "       caya rates [options] | caya sweep [options] |\n"
-      "       caya replay FILE --country C\n"
+      "       caya serve [options] | caya replay FILE --country C\n"
       "run options   : --country C --protocol P\n"
       "                [--strategy DSL | --published N | --from FILE --name "
       "N]\n"
@@ -97,6 +98,20 @@ class CliError : public std::runtime_error {
       "                [--checkpoint-dir D] [--checkpoint-every N] [--resume]\n"
       "                [--table-out FILE] [--inject-soft-fault-every N]\n"
       "                [--inject-hard-fault-every N]\n"
+      "serve options : --country C --protocol P\n"
+      "                [--library FILE | --published N]...   (failover chain)\n"
+      "                [--flows N] [--regime-flip-at K]\n"
+      "                [--regime-before era-2019|era-https-resync]\n"
+      "                [--regime-after era-2019|era-https-resync]\n"
+      "                [--seed N] [--breaker-seed N] [--jobs N] [--chunk N]\n"
+      "                [--checkpoint-dir D] [--checkpoint-every N] [--resume]\n"
+      "                [--report-out FILE] [--update-library]\n"
+      "caya serve fronts an ordered failover chain of strategies with\n"
+      "per-strategy health monitors and circuit breakers, streaming N flows\n"
+      "through whichever tier is healthy; --regime-flip-at K changes the\n"
+      "GFW's parameter era mid-run at flow K. The final tier is always\n"
+      "passthrough (graceful degradation). --update-library writes live\n"
+      "success rates back into --library FILE.\n"
       "--checkpoint-dir D writes a crash-safe snapshot every\n"
       "--checkpoint-every N units of progress (evolve: generations; sweep:\n"
       "cells); --resume continues from the newest valid snapshot and\n"
@@ -282,7 +297,11 @@ int cmd_evolve(int argc, char** argv) {
   // sentinel fitness instead of aborting the campaign. Scores on a healthy
   // substrate match the unsupervised fitness exactly, so the cache digest
   // is shared.
-  auto quarantine = std::make_shared<Quarantine>();
+  // Quarantine is half-open: every 3rd sentinel-scored lookup of a poisoned
+  // strategy re-evaluates it for real, so a strategy banished by transient
+  // faults can earn its way back in (deterministic: the probe decision is a
+  // pure function of the per-key denial counter).
+  auto quarantine = std::make_shared<Quarantine>(/*probe_interval=*/3);
   FitnessFn fitness = make_supervised_fitness(
       country, protocol, 20, seed, quarantine, SupervisionPolicy{},
       fitness_profiles);
@@ -371,10 +390,16 @@ int cmd_evolve(int argc, char** argv) {
   }
   std::printf("cache     : %zu trial batches skipped, %zu strategies scored\n",
               total_hits, cache->size());
-  if (quarantine->size() > 0) {
+  if (quarantine->size() > 0 || quarantine->released() > 0) {
     std::printf("quarantine: %zu strategies scored %g after repeated trial "
-                "errors\n",
-                quarantine->size(), kQuarantinedFitness);
+                "errors, %zu released after passing probes\n",
+                quarantine->size(), kQuarantinedFitness,
+                quarantine->released());
+    for (const Quarantine::Status& status : quarantine->statuses()) {
+      std::printf("  %-12s denied %-4zu probes %-3zu %s\n",
+                  status.reason.empty() ? "(unknown)" : status.reason.c_str(),
+                  status.denied, status.probes, status.key.c_str());
+    }
   }
   if (robust) {
     for (const ImpairmentProfile profile : all_profiles()) {
@@ -582,7 +607,10 @@ int cmd_sweep(int argc, char** argv) {
              "would silently diverge");
       }
       for (const SnapshotReader::Record* rec : reader.all("cell")) {
-        if (rec->fields.size() != 7) fail("malformed sweep checkpoint cell");
+        // 7 fields: pre-quarantine-reason checkpoints, still resumable.
+        if (rec->fields.size() != 7 && rec->fields.size() != 9) {
+          fail("malformed sweep checkpoint cell");
+        }
         const std::size_t index = SnapshotReader::parse_u64(rec->fields[0]);
         if (index != done || done >= total) {
           fail("sweep checkpoint cells are out of order");
@@ -599,6 +627,10 @@ int cmd_sweep(int argc, char** argv) {
         point.timeouts = SnapshotReader::parse_u64(rec->fields[4]);
         point.errors = SnapshotReader::parse_u64(rec->fields[5]);
         point.retries = SnapshotReader::parse_u64(rec->fields[6]);
+        if (rec->fields.size() == 9) {
+          point.quarantined = rec->fields[7] == "1";
+          point.quarantine_reason = rec->fields[8];
+        }
         curves[done / values.size()].points.push_back(point);
         ++done;
       }
@@ -621,7 +653,8 @@ int cmd_sweep(int argc, char** argv) {
              std::to_string(point.rate.successes()),
              std::to_string(point.rate.trials()),
              std::to_string(point.timeouts), std::to_string(point.errors),
-             std::to_string(point.retries)});
+             std::to_string(point.retries),
+             point.quarantined ? "1" : "0", point.quarantine_reason});
         ++index;
       }
     }
@@ -647,6 +680,203 @@ int cmd_sweep(int argc, char** argv) {
   const std::string table = render_sweep(curves, axis);
   std::printf("%s", table.c_str());
   if (table_stream) *table_stream << table;
+  return 0;
+}
+
+GfwRegime parse_regime_arg(const std::string& name) {
+  if (const auto regime = parse_gfw_regime(name)) return *regime;
+  fail("unknown GFW regime \"" + name +
+       "\" (available: era-2019 era-https-resync)");
+}
+
+int cmd_serve(int argc, char** argv) {
+  ServeConfig config;
+  config.flows = 512;
+  config.jobs = ThreadPool::hardware_jobs();
+  std::string library_path;
+  std::vector<int> published;
+  bool breaker_seed_set = false;
+  std::string checkpoint_dir;
+  std::size_t checkpoint_every = 1;
+  bool resume = false;
+  std::string report_out;
+  bool update_library = false;
+
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(2);
+      return argv[++i];
+    };
+    if (arg == "--country") {
+      config.country = parse_country(next());
+    } else if (arg == "--protocol") {
+      config.protocol = parse_protocol(next());
+    } else if (arg == "--library") {
+      library_path = next();
+    } else if (arg == "--published") {
+      published.push_back(std::atoi(next().c_str()));
+    } else if (arg == "--flows") {
+      config.flows = static_cast<std::size_t>(std::atoll(next().c_str()));
+    } else if (arg == "--regime-flip-at") {
+      config.regime_flip_at =
+          static_cast<std::size_t>(std::atoll(next().c_str()));
+    } else if (arg == "--regime-before") {
+      config.regime_before = parse_regime_arg(next());
+    } else if (arg == "--regime-after") {
+      config.regime_after = parse_regime_arg(next());
+    } else if (arg == "--seed") {
+      config.base_seed = static_cast<std::uint64_t>(std::atoll(next().c_str()));
+      if (!breaker_seed_set) config.breaker_seed = config.base_seed;
+    } else if (arg == "--breaker-seed") {
+      config.breaker_seed =
+          static_cast<std::uint64_t>(std::atoll(next().c_str()));
+      breaker_seed_set = true;
+    } else if (arg == "--jobs") {
+      config.jobs = static_cast<std::size_t>(std::atoll(next().c_str()));
+    } else if (arg == "--chunk") {
+      config.chunk = static_cast<std::size_t>(std::atoll(next().c_str()));
+    } else if (arg == "--checkpoint-dir") {
+      checkpoint_dir = next();
+    } else if (arg == "--checkpoint-every") {
+      checkpoint_every = static_cast<std::size_t>(std::atoll(next().c_str()));
+    } else if (arg == "--resume") {
+      resume = true;
+    } else if (arg == "--report-out") {
+      report_out = next();
+    } else if (arg == "--update-library") {
+      update_library = true;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      usage(2);
+    }
+  }
+  if (checkpoint_every == 0) checkpoint_every = 1;
+  if (resume && checkpoint_dir.empty()) {
+    fail("--resume requires --checkpoint-dir");
+  }
+  if (!library_path.empty() && !published.empty()) {
+    fail("--library and --published are mutually exclusive");
+  }
+  if (update_library && library_path.empty()) {
+    fail("--update-library requires --library");
+  }
+
+  // The failover chain: a library file in entry order, an explicit
+  // --published list, or the default RST-dependent-first demonstration
+  // chain (published 7 collapses when the GFW stops resyncing on RSTs;
+  // payload-based 6 and 2 survive).
+  StrategyLibrary library;
+  std::vector<ServeTier> tiers;
+  if (!library_path.empty()) {
+    try {
+      library = StrategyLibrary::load(library_path);
+    } catch (const std::exception& e) {
+      fail(e.what());
+    }
+    tiers = tiers_from_library(library);
+    if (tiers.empty()) fail("library \"" + library_path + "\" is empty");
+  } else {
+    if (published.empty()) published = {7, 6, 2};
+    for (const int id : published) {
+      tiers.push_back({"published " + std::to_string(id),
+                       published_strategy_arg(std::to_string(id))});
+    }
+  }
+
+  Orchestrator orch(config, std::move(tiers));
+
+  std::optional<std::ofstream> report_stream;
+  if (!report_out.empty()) {
+    report_stream = open_output(report_out, "report");
+  }
+  std::string checkpoint_path;
+  if (!checkpoint_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(checkpoint_dir, ec);
+    if (ec) {
+      fail("cannot create checkpoint dir \"" + checkpoint_dir +
+           "\": " + ec.message());
+    }
+    checkpoint_path = checkpoint_dir + "/serve.ckpt";
+    if (resume) {
+      if (const auto loaded = load_checkpoint(checkpoint_path)) {
+        const SnapshotReader reader = SnapshotReader::parse(loaded->bytes);
+        if (reader.kind() != Orchestrator::snapshot_kind()) {
+          fail("\"" + loaded->path + "\" is a " + reader.kind() +
+               " snapshot, not a serve checkpoint");
+        }
+        orch.restore_checkpoint(reader);
+        std::printf("resumed   : %s%s (%zu/%zu flows)\n",
+                    loaded->path.c_str(),
+                    loaded->fell_back ? " [fell back to last-good]" : "",
+                    orch.report().flows, config.flows);
+      }
+    }
+    orch.set_checkpoint_hook(
+        [checkpoint_path, checkpoint_every, chunks_done = std::size_t{0}](
+            const Orchestrator& o, std::size_t flows_done) mutable {
+          if (++chunks_done % checkpoint_every != 0 &&
+              flows_done != o.config().flows) {
+            return;
+          }
+          SnapshotWriter writer;
+          o.save_checkpoint(writer);
+          write_checkpoint(checkpoint_path,
+                           writer.encode(Orchestrator::snapshot_kind()));
+        });
+  }
+
+  const ServeReport& report = orch.run();
+
+  std::printf("country   : %s/%s, %zu flows\n",
+              std::string(to_string(config.country)).c_str(),
+              std::string(to_string(config.protocol)).c_str(), config.flows);
+  if (config.regime_flip_at != ServeConfig::kNoRegimeFlip) {
+    std::printf("regime    : %.*s -> %.*s at flow %zu\n",
+                static_cast<int>(to_string(config.regime_before).size()),
+                to_string(config.regime_before).data(),
+                static_cast<int>(to_string(config.regime_after).size()),
+                to_string(config.regime_after).data(), config.regime_flip_at);
+  }
+
+  // The deterministic report body: health events, scoreboard, summary.
+  // Byte-identical across --jobs values and across kill-and-resume, so it
+  // is what --report-out captures for diffing.
+  std::string body;
+  body += "health events:\n";
+  for (const HealthEvent& event : report.events) {
+    body += "  " + to_line(event) + "\n";
+  }
+  body += "\n" + render_scoreboard(orch);
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "\nflows     : %zu total, %zu degraded (passthrough)\n",
+                report.flows, report.degraded_flows);
+  body += line;
+  std::snprintf(line, sizeof(line),
+                "speculation: %zu mispredictions, %zu trials re-evaluated\n",
+                report.mispredictions, report.speculated_waste);
+  body += line;
+  std::printf("%s", body.c_str());
+  if (report_stream) *report_stream << body;
+
+  if (update_library) {
+    bool refreshed = false;
+    for (const TierStats& stats : report.tiers) {
+      if (stats.degraded_tier || stats.served == 0) continue;
+      refreshed |= library.update_success(stats.name, stats.rate());
+    }
+    if (refreshed) {
+      try {
+        library.save(library_path);
+      } catch (const std::exception& e) {
+        fail(e.what());
+      }
+      std::printf("library   : refreshed success rates in %s\n",
+                  library_path.c_str());
+    }
+  }
   return 0;
 }
 
@@ -870,6 +1100,7 @@ int main(int argc, char** argv) {
     if (command == "evolve") return caya::cmd_evolve(argc - 2, argv + 2);
     if (command == "rates") return caya::cmd_rates(argc - 2, argv + 2);
     if (command == "sweep") return caya::cmd_sweep(argc - 2, argv + 2);
+    if (command == "serve") return caya::cmd_serve(argc - 2, argv + 2);
     if (command == "replay") {
       if (argc < 3) caya::usage(2);
       return caya::cmd_replay(argc - 2, argv + 2);
