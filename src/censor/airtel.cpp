@@ -1,5 +1,7 @@
 #include "censor/airtel.h"
 
+#include "censor/core/verdict.h"
+
 namespace caya {
 
 std::string AirtelCensor::block_page() {
@@ -13,32 +15,25 @@ std::string AirtelCensor::block_page() {
 Verdict AirtelCensor::on_packet(const Packet& pkt, Direction dir,
                                 Injector& inject) {
   if (dir != Direction::kClientToServer) return Verdict::kPass;
-  if (pkt.tcp.dport != http_port_) return Verdict::kPass;  // port 80 only
   if (pkt.payload.empty()) return Verdict::kPass;
-  if (!http_host_match(std::span(pkt.payload), content_)) {
+  if (!trigger_.match(pkt.tcp.dport, std::span(pkt.payload))) {
     return Verdict::kPass;
   }
 
+  inject.trace_stage(pkt, dir, "airtel", "trigger", "packet match");
   ++censored_count_;
   const auto payload_end =
       pkt.tcp.seq + static_cast<std::uint32_t>(pkt.payload.size());
 
   // Block page to the client (FIN+PSH+ACK), spoofed from the server. Being
   // stateless, the box derives the server-side sequence number from the
-  // client packet's ack field.
-  Packet page = make_tcp_packet(
-      pkt.ip.dst, pkt.tcp.dport, pkt.ip.src, pkt.tcp.sport,
-      tcpflag::kFin | tcpflag::kPsh | tcpflag::kAck, pkt.tcp.ack, payload_end,
-      to_bytes(block_page()));
-  inject.inject(std::move(page), Direction::kServerToClient);
-
-  // Follow-up RST to the client.
-  Packet rst = make_tcp_packet(
-      pkt.ip.dst, pkt.tcp.dport, pkt.ip.src, pkt.tcp.sport,
-      tcpflag::kRst | tcpflag::kAck,
+  // client packet's ack field; a follow-up RST closes the client out.
+  verdict::block_page(inject, pkt, Direction::kServerToClient, pkt.tcp.ack,
+                      payload_end, block_page());
+  verdict::follow_up_rst(
+      inject, pkt, Direction::kServerToClient,
       pkt.tcp.ack + static_cast<std::uint32_t>(block_page().size()) + 1,
       payload_end);
-  inject.inject(std::move(rst), Direction::kServerToClient);
   return Verdict::kPass;
 }
 

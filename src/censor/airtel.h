@@ -6,10 +6,16 @@
 //   * On a match it injects an HTTP 200 block page on a FIN+PSH+ACK packet
 //     (spoofed from the server, sequenced off the offending packet's ack
 //     number) plus a follow-up RST "for good measure".
+//
+// Pipeline composition: a port-scoped packet-mode TriggerStage + the
+// verdict stage's block-page / follow-up-RST injections. No flow table, no
+// reassembler — statelessness is what makes this box trivially evadable by
+// segmentation.
 #pragma once
 
 #include <string>
 
+#include "censor/core/trigger.h"
 #include "censor/dpi.h"
 #include "netsim/middlebox.h"
 
@@ -19,7 +25,8 @@ class AirtelCensor : public Middlebox {
  public:
   explicit AirtelCensor(ForbiddenContent content,
                         std::uint16_t http_port = 80)
-      : content_(std::move(content)), http_port_(http_port) {}
+      : trigger_(std::move(content),
+                 {{.server_port = http_port, .matcher = &http_host_match}}) {}
 
   Verdict on_packet(const Packet& pkt, Direction dir,
                     Injector& inject) override;
@@ -32,8 +39,7 @@ class AirtelCensor : public Middlebox {
   [[nodiscard]] static std::string block_page();
 
  private:
-  ForbiddenContent content_;
-  std::uint16_t http_port_;
+  TriggerStage trigger_;
   std::size_t censored_count_ = 0;
 };
 

@@ -15,23 +15,28 @@ std::string_view to_string(CarrierNetwork network) noexcept {
 }
 
 Verdict CarrierMiddlebox::on_packet(const Packet& pkt, Direction dir,
-                                    Injector&) {
+                                    Injector& inject) {
   if (network_ == CarrierNetwork::kWifi) return Verdict::kPass;
   if (dir != Direction::kServerToClient) return Verdict::kPass;
 
-  const FlowKey key = reverse_flow_from_packet(pkt);
+  const FlowKey key = server_spoke_.key_for(pkt, dir);
   const bool is_bare_syn = pkt.tcp.flags == tcpflag::kSyn;
-  const bool first_server_packet = !server_spoke_[key];
-  server_spoke_[key] = true;
+  bool& spoke = server_spoke_[key];
+  const bool first_server_packet = !spoke;
+  spoke = true;
 
   if (!is_bare_syn) return Verdict::kPass;
   if (network_ == CarrierNetwork::kAtt) {
     ++dropped_;
+    inject.trace_stage(pkt, dir, "carrier-att", "verdict",
+                       "server bare SYN dropped");
     return Verdict::kDrop;  // servers never send bare SYNs: drop them all
   }
   // T-Mobile: a SYN is tolerated only as the server's opening packet.
   if (first_server_packet) return Verdict::kPass;
   ++dropped_;
+  inject.trace_stage(pkt, dir, "carrier-tmobile", "verdict",
+                     "late server bare SYN dropped");
   return Verdict::kDrop;
 }
 

@@ -12,10 +12,12 @@
 //     the flow (an apparent simultaneous-open race), so Strategy 2 — whose
 //     first packet is the SYN itself — survives while 1 and 3, where the
 //     SYN follows a RST or a corrupt SYN+ACK, die.
+//
+// Per-flow "has the server spoken yet" state rides the shared FlowTable, so
+// the CAYA_SELFCHECK TCB-growth bound covers this box like any censor.
 #pragma once
 
-#include <map>
-
+#include "censor/core/flow_table.h"
 #include "censor/flow.h"
 #include "netsim/middlebox.h"
 
@@ -32,7 +34,7 @@ class CarrierMiddlebox : public Middlebox {
   Verdict on_packet(const Packet& pkt, Direction dir,
                     Injector& inject) override;
   [[nodiscard]] bool in_path() const noexcept override { return true; }
-  void reset() override { server_spoke_.clear(); }
+  void reset() override { server_spoke_.reset(); }
   [[nodiscard]] std::size_t tcb_count() const noexcept override {
     return server_spoke_.size();
   }
@@ -44,7 +46,7 @@ class CarrierMiddlebox : public Middlebox {
 
  private:
   CarrierNetwork network_;
-  std::map<FlowKey, bool> server_spoke_;  // flow -> server sent something
+  FlowTable<bool> server_spoke_;  // flow -> server sent something
   std::size_t dropped_ = 0;
 };
 

@@ -1,0 +1,225 @@
+// Shared per-flow state table for censor models — stage 1 of the censor
+// pipeline (flow table -> reassembler -> trigger -> verdict).
+//
+// Every censor box keeps some state keyed by the directed flow (a TCB, a
+// blackhole expiry, an interception record). The pre-pipeline censors each
+// hand-rolled this with a std::map<FlowKey, ...>; FlowTable replaces those
+// with one open-addressing hash table (FNV-1a over the flow key, linear
+// probing) tuned for the per-packet hot path:
+//
+//   * find() is a hash + short probe instead of a red-black-tree descent —
+//     the lookup every censor performs for every packet of every trial.
+//   * reset() is O(1): bumping the table generation invalidates every slot
+//     at once, so clearing censor state between trials costs nothing even
+//     after a large campaign populated the table.
+//   * Iteration (for_each) runs in *insertion order*, independent of hash
+//     seeding or table size — anything derived from a scan (selfcheck
+//     output, traces) is deterministic across runs and across rehashes.
+//
+// key_for() is the single client-designation rule shared by every censor:
+// the client end of a flow is whichever endpoint sits on the client side of
+// the path — the source of a client->server packet, the destination of a
+// server->client packet. (The censors' real-world asymmetry about *who can
+// tear down a TCB* — §3 — lives in the censor models, not in the key.)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "censor/flow.h"
+#include "netsim/endpoint.h"
+#include "packet/packet.h"
+
+namespace caya {
+
+namespace detail {
+
+/// FNV-1a over the flow key, field by field (never over struct memory:
+/// padding bytes would make the hash nondeterministic).
+[[nodiscard]] inline std::uint64_t flow_key_hash(const FlowKey& key) noexcept {
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  const auto mix = [&h](std::uint64_t value, int bytes) {
+    for (int i = 0; i < bytes; ++i) {
+      h ^= (value >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;  // FNV prime
+    }
+  };
+  mix(key.client_addr, 4);
+  mix(key.client_port, 2);
+  mix(key.server_addr, 4);
+  mix(key.server_port, 2);
+  return h;
+}
+
+}  // namespace detail
+
+template <typename State>
+class FlowTable {
+ public:
+  /// The single client-designation rule (see file comment).
+  [[nodiscard]] static FlowKey key_for(const Packet& pkt,
+                                       Direction dir) noexcept {
+    if (dir == Direction::kClientToServer) {
+      return {pkt.ip.src.value(), pkt.tcp.sport, pkt.ip.dst.value(),
+              pkt.tcp.dport};
+    }
+    return {pkt.ip.dst.value(), pkt.tcp.dport, pkt.ip.src.value(),
+            pkt.tcp.sport};
+  }
+
+  FlowTable() { slots_.resize(kInitialSlots); }
+
+  /// Pointer to the flow's state, or nullptr when absent. Never invalidated
+  /// by other lookups; invalidated by insertions, erases, and reset().
+  [[nodiscard]] State* find(const FlowKey& key) noexcept {
+    const std::size_t slot = find_slot(key);
+    return slot == kNoSlot ? nullptr : &entries_[slots_[slot].entry].state;
+  }
+  [[nodiscard]] const State* find(const FlowKey& key) const noexcept {
+    const std::size_t slot = find_slot(key);
+    return slot == kNoSlot ? nullptr : &entries_[slots_[slot].entry].state;
+  }
+
+  /// Find-or-default-create (std::map operator[] semantics).
+  [[nodiscard]] State& operator[](const FlowKey& key) {
+    return *try_emplace(key).first;
+  }
+
+  /// Inserts a default-constructed state unless the key is already present.
+  /// Returns {state, inserted}.
+  std::pair<State*, bool> try_emplace(const FlowKey& key) {
+    return try_emplace(key, State{});
+  }
+  std::pair<State*, bool> try_emplace(const FlowKey& key, State state) {
+    if (State* existing = find(key)) return {existing, false};
+    maybe_grow();
+    const std::uint32_t index = static_cast<std::uint32_t>(entries_.size());
+    entries_.push_back(Entry{key, std::move(state), true});
+    place(key, index);
+    ++live_;
+    return {&entries_.back().state, true};
+  }
+
+  /// Removes the flow; returns true when it was present.
+  bool erase(const FlowKey& key) noexcept {
+    const std::size_t slot = find_slot(key);
+    if (slot == kNoSlot) return false;
+    entries_[slots_[slot].entry].live = false;
+    entries_[slots_[slot].entry].state = State{};  // drop heavy state now
+    slots_[slot].state = SlotState::kTombstone;
+    --live_;
+    return true;
+  }
+
+  /// Number of live flows (erased entries excluded, censor-"dead" TCBs — a
+  /// per-censor notion — included, matching the std::map-era tcb_count()).
+  [[nodiscard]] std::size_t size() const noexcept { return live_; }
+  [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
+
+  /// Drops every flow. O(1) on the index side: bumping the generation makes
+  /// every slot stale at once (a stale slot reads as empty).
+  void reset() noexcept {
+    entries_.clear();
+    live_ = 0;
+    used_slots_ = 0;
+    ++generation_;
+  }
+
+  /// Visits (key, state) pairs in insertion order — deterministic across
+  /// runs, table sizes, and rehashes.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Entry& entry : entries_) {
+      if (entry.live) fn(entry.key, entry.state);
+    }
+  }
+
+  /// Index capacity, for tests and the bench's occupancy accounting.
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+ private:
+  enum class SlotState : std::uint8_t { kEmpty, kFull, kTombstone };
+
+  struct Slot {
+    std::uint64_t generation = 0;
+    std::uint32_t entry = 0;
+    SlotState state = SlotState::kEmpty;
+  };
+  struct Entry {
+    FlowKey key;
+    State state;
+    bool live = true;
+  };
+
+  static constexpr std::size_t kInitialSlots = 64;  // power of two
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+  [[nodiscard]] std::size_t find_slot(const FlowKey& key) const noexcept {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = detail::flow_key_hash(key) & mask;
+    while (true) {
+      const Slot& slot = slots_[i];
+      if (slot.generation != generation_ ||
+          slot.state == SlotState::kEmpty) {
+        return kNoSlot;  // end of probe chain
+      }
+      if (slot.state == SlotState::kFull &&
+          entries_[slot.entry].key == key) {
+        return i;
+      }
+      i = (i + 1) & mask;  // tombstone or other key: keep probing
+    }
+  }
+
+  void place(const FlowKey& key, std::uint32_t entry_index) noexcept {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = detail::flow_key_hash(key) & mask;
+    while (true) {
+      Slot& slot = slots_[i];
+      const bool stale = slot.generation != generation_;
+      if (stale || slot.state != SlotState::kFull) {
+        if (stale || slot.state == SlotState::kEmpty) ++used_slots_;
+        slot = Slot{generation_, entry_index, SlotState::kFull};
+        return;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  void maybe_grow() {
+    // Rehash when the probe structure degrades (filled + tombstoned slots
+    // past ~70%) or when erased entries dominate the entry log. Rebuilding
+    // re-seats live entries in insertion order, so iteration order — and
+    // everything derived from it — is unchanged.
+    const bool crowded = (used_slots_ + 1) * 10 > slots_.size() * 7;
+    const bool bloated =
+        entries_.size() > 64 && live_ * 2 < entries_.size();
+    if (!crowded && !bloated) return;
+
+    std::vector<Entry> live_entries;
+    live_entries.reserve(live_);
+    for (Entry& entry : entries_) {
+      if (entry.live) live_entries.push_back(std::move(entry));
+    }
+    entries_ = std::move(live_entries);
+
+    std::size_t new_size = slots_.size();
+    while (live_ * 10 >= new_size * 5) new_size *= 2;  // target <= 50% load
+    slots_.assign(new_size, Slot{});
+    ++generation_;  // old slot contents are void regardless of size
+    used_slots_ = 0;
+    for (std::uint32_t i = 0; i < entries_.size(); ++i) {
+      place(entries_[i].key, i);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<Entry> entries_;  // insertion-order log, erased entries marked
+  std::uint64_t generation_ = 1;
+  std::size_t live_ = 0;
+  std::size_t used_slots_ = 0;  // current-generation full + tombstone slots
+};
+
+}  // namespace caya

@@ -1,0 +1,38 @@
+#include "censor/core/reassembler.h"
+
+#include <utility>
+
+#include "util/arena.h"
+
+namespace caya {
+
+void Reassembler::add_segment(std::uint32_t seq, const Bytes& payload) {
+  const auto it = segments_.find(seq);
+  if (it != segments_.end()) {
+    it->second.assign(payload.begin(), payload.end());
+    return;
+  }
+  Bytes buf = BufferArena::local().acquire();
+  buf.assign(payload.begin(), payload.end());
+  segments_.emplace(seq, std::move(buf));
+}
+
+void Reassembler::assemble(Bytes& out) const {
+  std::uint32_t next = base_;
+  while (true) {
+    const auto seg = segments_.find(next);
+    if (seg == segments_.end()) break;
+    out.insert(out.end(), seg->second.begin(), seg->second.end());
+    next += static_cast<std::uint32_t>(seg->second.size());
+    if (out.size() > byte_cap_) break;  // bounded buffer
+  }
+}
+
+void Reassembler::clear() {
+  for (auto& [seq, buf] : segments_) {
+    BufferArena::local().release(std::move(buf));
+  }
+  segments_.clear();
+}
+
+}  // namespace caya

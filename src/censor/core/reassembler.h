@@ -1,0 +1,94 @@
+// Stream reassembly for censor models — stage 2 of the censor pipeline.
+//
+// Reassembling censor boxes (China's HTTP/HTTPS/DNS boxes, sometimes FTP)
+// buffer out-of-order client segments and inspect the contiguous prefix
+// from their believed stream base; non-reassembling boxes (SMTP, Kazakhstan,
+// Turkmenistan) inspect packets in isolation and fail open on any gap.
+// Whether a given flow gets a Reassembler at all is a per-box *probability*
+// (the paper's per-box reassembly capability, Table 2 / §6) — the censor
+// draws it once per flow via draw_capable() so the RNG consumption order is
+// part of the box's pinned behaviour.
+//
+// Segment buffers are leased from the per-thread BufferArena and returned
+// on clear()/rebase()/destruction, so steady-state reassembly across a
+// campaign allocates nothing; the assembled prefix is written into a
+// caller-provided scratch buffer (callers pass a BufferArena::Scoped).
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace caya {
+
+class Reassembler {
+ public:
+  struct Params {
+    /// P(a given flow can be reassembled) — 1.0 for HTTP/HTTPS/DNS, ~0.5
+    /// for FTP ("frequently incapable"), 0.0 for SMTP.
+    double p_capable = 1.0;
+    /// Bounded inspection buffer: assembly stops once the prefix exceeds
+    /// this many bytes.
+    std::size_t byte_cap = 65536;
+  };
+
+  /// The once-per-flow capability draw, in the censor's RNG stream.
+  [[nodiscard]] static bool draw_capable(Rng& rng, const Params& params) {
+    return rng.chance(params.p_capable);
+  }
+
+  explicit Reassembler(std::size_t byte_cap = 65536) : byte_cap_(byte_cap) {}
+  ~Reassembler() { clear(); }
+
+  Reassembler(Reassembler&& other) noexcept
+      : byte_cap_(other.byte_cap_),
+        base_(other.base_),
+        segments_(std::move(other.segments_)) {
+    other.segments_.clear();
+  }
+  Reassembler& operator=(Reassembler&& other) noexcept {
+    if (this != &other) {
+      clear();
+      byte_cap_ = other.byte_cap_;
+      base_ = other.base_;
+      segments_ = std::move(other.segments_);
+      other.segments_.clear();
+    }
+    return *this;
+  }
+  Reassembler(const Reassembler&) = delete;
+  Reassembler& operator=(const Reassembler&) = delete;
+
+  /// Buffers one segment (later copies of the same seq overwrite).
+  void add_segment(std::uint32_t seq, const Bytes& payload);
+
+  /// Moves the believed stream base — the resynchronization action. All
+  /// buffered segments are discarded (the box's stream view is void).
+  void rebase(std::uint32_t base) {
+    clear();
+    base_ = base;
+  }
+
+  [[nodiscard]] std::uint32_t base() const noexcept { return base_; }
+
+  /// Appends the contiguous prefix starting at base() to `out` (which the
+  /// caller has cleared / freshly leased). Stops at the first gap or once
+  /// the prefix exceeds the byte cap.
+  void assemble(Bytes& out) const;
+
+  /// Releases every buffered segment back to this thread's arena.
+  void clear();
+
+  [[nodiscard]] std::size_t segment_count() const noexcept {
+    return segments_.size();
+  }
+
+ private:
+  std::size_t byte_cap_;
+  std::uint32_t base_ = 0;
+  std::map<std::uint32_t, Bytes> segments_;  // seq -> arena-leased payload
+};
+
+}  // namespace caya

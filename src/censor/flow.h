@@ -1,11 +1,14 @@
 // Flow identification for censor TCB tables.
+//
+// The single client-designation rule lives in FlowTable::key_for()
+// (censor/core/flow_table.h): the client end of a flow is whichever
+// endpoint sits on the client side of the path. Censors derive keys
+// exclusively through it — there are deliberately no per-packet orientation
+// helpers here any more.
 #pragma once
 
 #include <compare>
 #include <cstdint>
-#include <map>
-
-#include "packet/packet.h"
 
 namespace caya {
 
@@ -20,17 +23,5 @@ struct FlowKey {
 
   friend auto operator<=>(const FlowKey&, const FlowKey&) = default;
 };
-
-/// Key as seen from the packet's source side.
-[[nodiscard]] inline FlowKey flow_from_packet(const Packet& pkt) {
-  return {pkt.ip.src.value(), pkt.tcp.sport, pkt.ip.dst.value(),
-          pkt.tcp.dport};
-}
-
-/// Key with the packet's *destination* treated as the client.
-[[nodiscard]] inline FlowKey reverse_flow_from_packet(const Packet& pkt) {
-  return {pkt.ip.dst.value(), pkt.tcp.dport, pkt.ip.src.value(),
-          pkt.tcp.sport};
-}
 
 }  // namespace caya

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "tcpstack/seq.h"
+#include "util/arena.h"
 
 namespace caya {
 
@@ -108,17 +109,20 @@ GfwBoxParams gfw_params(AppProtocol proto, GfwRegime regime) {
 }
 
 GfwBox::GfwBox(GfwBoxParams params, ForbiddenContent content, Rng rng)
-    : params_(params), content_(std::move(content)), rng_(rng) {}
+    : params_(params),
+      rng_(rng),
+      name_("gfw-" + std::string(to_string(params.protocol))),
+      trigger_(std::move(content),
+               {{.server_port = 0, .protocol = params.protocol}}) {}
 
 void GfwBox::reset() {
-  flows_.clear();
-  residual_.clear();
+  flows_.reset();
+  residual_.reset();
 }
 
 bool GfwBox::residual_active(Ipv4Address addr, std::uint16_t port,
                              Time now) const {
-  const auto it = residual_.find({addr.value(), port});
-  return it != residual_.end() && now < it->second;
+  return residual_.active(addr.value(), port, now);
 }
 
 Verdict GfwBox::on_packet(const Packet& pkt, Direction dir,
@@ -126,16 +130,16 @@ Verdict GfwBox::on_packet(const Packet& pkt, Direction dir,
   if (dir == Direction::kClientToServer) {
     on_client_packet(pkt, inject);
   } else {
-    on_server_packet(pkt);
+    on_server_packet(pkt, inject);
   }
   return Verdict::kPass;  // on-path: observe and inject only
 }
 
-void GfwBox::on_server_packet(const Packet& pkt) {
-  const FlowKey key = reverse_flow_from_packet(pkt);
-  const auto it = flows_.find(key);
-  if (it == flows_.end()) return;  // no TCB: fail open
-  Tcb& tcb = it->second;
+void GfwBox::on_server_packet(const Packet& pkt, Injector& inject) {
+  const FlowKey key = flows_.key_for(pkt, Direction::kServerToClient);
+  Tcb* found = flows_.find(key);
+  if (found == nullptr) return;  // no TCB: fail open
+  Tcb& tcb = *found;
   if (tcb.dead || tcb.missed) return;
 
   const std::uint8_t flags = pkt.tcp.flags;
@@ -155,6 +159,8 @@ void GfwBox::on_server_packet(const Packet& pkt) {
     }
     if (*tcb.rst_resync_draw) {
       tcb.resync = Resync::kNextClientPacket;
+      inject.trace_stage(pkt, Direction::kServerToClient, name(),
+                         "flow-table", "resync armed by server RST");
     }
     return;
   }
@@ -180,9 +186,10 @@ void GfwBox::on_server_packet(const Packet& pkt) {
       // Resync target: take the expected client sequence from the SYN+ACK's
       // ack field — corrupted ack => full desynchronization (Strategy 6).
       tcb.expected_client_seq = pkt.tcp.ack;
-      tcb.stream_base = pkt.tcp.ack;
-      tcb.segments.clear();
+      tcb.reassembly.rebase(pkt.tcp.ack);
       tcb.resync = Resync::kNone;
+      inject.trace_stage(pkt, Direction::kServerToClient, name(),
+                         "reassembly", "rebased on server SYN+ACK ack");
     }
     return;
   }
@@ -210,11 +217,11 @@ void GfwBox::on_server_packet(const Packet& pkt) {
 }
 
 void GfwBox::on_client_packet(const Packet& pkt, Injector& inject) {
-  const FlowKey key = flow_from_packet(pkt);
+  const FlowKey key = flows_.key_for(pkt, Direction::kClientToServer);
   const std::uint8_t flags = pkt.tcp.flags;
-  auto it = flows_.find(key);
+  Tcb* found = flows_.find(key);
 
-  if (it == flows_.end()) {
+  if (found == nullptr) {
     // Only a client SYN instantiates a TCB; anything else fails open.
     if (!has_flag(flags, tcpflag::kSyn) || has_flag(flags, tcpflag::kAck)) {
       return;
@@ -222,22 +229,28 @@ void GfwBox::on_client_packet(const Packet& pkt, Injector& inject) {
     Tcb tcb;
     tcb.client_isn = pkt.tcp.seq;
     tcb.expected_client_seq = pkt.tcp.seq + 1;
-    tcb.stream_base = pkt.tcp.seq + 1;
-    tcb.can_reassemble = rng_.chance(params_.p_reassembly);
+    tcb.reassembly.rebase(pkt.tcp.seq + 1);
+    tcb.can_reassemble =
+        Reassembler::draw_capable(rng_, {.p_capable = params_.p_reassembly});
     tcb.missed = rng_.chance(params_.p_miss);
     tcb.residual_kill =
         residual_active(pkt.ip.dst, pkt.tcp.dport, inject.now());
-    flows_.emplace(key, std::move(tcb));
+    (void)flows_.try_emplace(key, std::move(tcb));
+    inject.trace_stage(pkt, Direction::kClientToServer, name(), "flow-table",
+                       "TCB created on client SYN");
     return;
   }
 
-  Tcb& tcb = it->second;
+  Tcb& tcb = *found;
   if (tcb.dead || tcb.missed) return;
 
   // Residual censorship: tear down right after the handshake completes.
   if (tcb.residual_kill && has_flag(flags, tcpflag::kAck)) {
-    inject_teardown(tcb, key, pkt.tcp.seq,
-                    pkt.tcp.seq + pkt.sequence_length(), inject);
+    inject.trace_stage(pkt, Direction::kClientToServer, name(), "verdict",
+                       "residual-censorship teardown");
+    verdict::rst_teardown(inject, key, pkt.tcp.seq,
+                          pkt.tcp.seq + pkt.sequence_length(),
+                          tcb.server_next);
     tcb.dead = true;
     ++censored_count_;
     return;
@@ -283,10 +296,11 @@ void GfwBox::on_client_packet(const Packet& pkt, Injector& inject) {
       (tcb.resync == Resync::kNextServerSaOrClientAck &&
        has_flag(flags, tcpflag::kAck))) {
     tcb.expected_client_seq = pkt.tcp.seq;
-    tcb.stream_base = pkt.tcp.seq;
-    tcb.segments.clear();
+    tcb.reassembly.rebase(pkt.tcp.seq);
     tcb.resync = Resync::kNone;
     just_synced = true;
+    inject.trace_stage(pkt, Direction::kClientToServer, name(), "reassembly",
+                       "rebased on client packet");
   }
 
   if ((has_flag(flags, tcpflag::kRst) || has_flag(flags, tcpflag::kFin)) &&
@@ -310,28 +324,24 @@ void GfwBox::on_client_packet(const Packet& pkt, Injector& inject) {
   if (pkt.payload.empty()) return;
 
   if (tcb.can_reassemble) {
-    tcb.segments[pkt.tcp.seq] = pkt.payload;
-    // Assemble the contiguous prefix from the believed stream base.
-    Bytes assembled;
-    std::uint32_t next = tcb.stream_base;
-    while (true) {
-      const auto seg = tcb.segments.find(next);
-      if (seg == tcb.segments.end()) break;
-      assembled.insert(assembled.end(), seg->second.begin(),
-                       seg->second.end());
-      next += static_cast<std::uint32_t>(seg->second.size());
-      if (assembled.size() > 65536) break;  // bounded buffer
-    }
-    if (!assembled.empty() &&
-        protocol_match(params_.protocol, std::span(assembled), content_)) {
-      censor_flow(tcb, pkt, inject);
+    // Stream mode: buffer the segment and inspect the contiguous prefix
+    // from the believed stream base (arena-leased scratch).
+    tcb.reassembly.add_segment(pkt.tcp.seq, pkt.payload);
+    BufferArena::Scoped assembled;
+    tcb.reassembly.assemble(*assembled);
+    if (!assembled->empty() &&
+        trigger_.match(key.server_port, std::span(*assembled))) {
+      inject.trace_stage(pkt, Direction::kClientToServer, name(), "trigger",
+                         "stream match");
+      censor_flow(tcb, key, pkt, inject);
     }
   } else {
-    // No reassembly: inspect exactly-in-order packets in isolation.
+    // Packet mode: inspect exactly-in-order packets in isolation.
     if (pkt.tcp.seq == tcb.expected_client_seq) {
-      if (protocol_match(params_.protocol, std::span(pkt.payload),
-                         content_)) {
-        censor_flow(tcb, pkt, inject);
+      if (trigger_.match(key.server_port, std::span(pkt.payload))) {
+        inject.trace_stage(pkt, Direction::kClientToServer, name(), "trigger",
+                           "packet match");
+        censor_flow(tcb, key, pkt, inject);
         return;
       }
       tcb.expected_client_seq +=
@@ -340,38 +350,19 @@ void GfwBox::on_client_packet(const Packet& pkt, Injector& inject) {
   }
 }
 
-void GfwBox::censor_flow(Tcb& tcb, const Packet& offending,
-                         Injector& inject) {
-  const FlowKey key = flow_from_packet(offending);
-  inject_teardown(tcb, key, offending.tcp.seq,
-                  offending.tcp.seq + offending.sequence_length(), inject);
+void GfwBox::censor_flow(Tcb& tcb, const FlowKey& key,
+                         const Packet& offending, Injector& inject) {
+  inject.trace_stage(offending, Direction::kClientToServer, name(), "verdict",
+                     "RST teardown");
+  verdict::rst_teardown(inject, key, offending.tcp.seq,
+                        offending.tcp.seq + offending.sequence_length(),
+                        tcb.server_next);
   tcb.dead = true;
   ++censored_count_;
   if (params_.residual_duration > 0) {
-    residual_[{key.server_addr, key.server_port}] =
-        inject.now() + params_.residual_duration;
+    residual_.arm(key.server_addr, key.server_port,
+                  inject.now() + params_.residual_duration);
   }
-}
-
-void GfwBox::inject_teardown(const Tcb& tcb, const FlowKey& key,
-                             std::uint32_t client_start,
-                             std::uint32_t client_next, Injector& inject) {
-  // The GFW sends several RSTs with staggered sequence numbers so teardown
-  // succeeds whether the spoofed packet beats the offending one to the far
-  // end or trails it.
-  for (const std::uint32_t seq : {client_start, client_next}) {
-    Packet to_server = make_tcp_packet(
-        Ipv4Address(key.client_addr), key.client_port,
-        Ipv4Address(key.server_addr), key.server_port, tcpflag::kRst, seq, 0);
-    inject.inject(std::move(to_server), Direction::kClientToServer);
-  }
-
-  // RST to the client, spoofed from the server.
-  Packet to_client = make_tcp_packet(
-      Ipv4Address(key.server_addr), key.server_port,
-      Ipv4Address(key.client_addr), key.client_port,
-      tcpflag::kRst | tcpflag::kAck, tcb.server_next, client_next);
-  inject.inject(std::move(to_client), Direction::kServerToClient);
 }
 
 GfwBoxParams single_box_params(AppProtocol proto) {

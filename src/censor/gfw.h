@@ -27,11 +27,15 @@
 // paper itself flags as "not understood" get explicit calibrated boosts.
 #pragma once
 
-#include <map>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "censor/core/flow_table.h"
+#include "censor/core/reassembler.h"
+#include "censor/core/trigger.h"
+#include "censor/core/verdict.h"
 #include "censor/dpi.h"
 #include "censor/flow.h"
 #include "netsim/middlebox.h"
@@ -130,13 +134,15 @@ class GfwBox : public Middlebox {
   [[nodiscard]] bool residual_active(Ipv4Address addr, std::uint16_t port,
                                      Time now) const;
 
+  /// Stage-trace attribution label, e.g. "gfw-http".
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
  private:
   enum class Resync { kNone, kNextClientPacket, kNextServerSaOrClientAck };
 
   struct Tcb {
     std::uint32_t client_isn = 0;
     std::uint32_t expected_client_seq = 0;
-    std::uint32_t stream_base = 0;
     std::uint32_t server_next = 0;
     Resync resync = Resync::kNone;
     bool saw_server_synack = false;
@@ -155,21 +161,21 @@ class GfwBox : public Middlebox {
     bool missed = false;       // baseline fail-open draw
     bool dead = false;         // torn down / already censored / lost
     bool residual_kill = false;
-    std::map<std::uint32_t, Bytes> segments;
+    /// Stream view from the box's believed base (resync moves it).
+    Reassembler reassembly;
   };
 
   void on_client_packet(const Packet& pkt, Injector& inject);
-  void on_server_packet(const Packet& pkt);
-  void censor_flow(Tcb& tcb, const Packet& offending, Injector& inject);
-  void inject_teardown(const Tcb& tcb, const FlowKey& key,
-                       std::uint32_t client_start, std::uint32_t client_next,
-                       Injector& inject);
+  void on_server_packet(const Packet& pkt, Injector& inject);
+  void censor_flow(Tcb& tcb, const FlowKey& key, const Packet& offending,
+                   Injector& inject);
 
   GfwBoxParams params_;
-  ForbiddenContent content_;
   Rng rng_;
-  std::map<FlowKey, Tcb> flows_;
-  std::map<std::pair<std::uint32_t, std::uint16_t>, Time> residual_;
+  std::string name_;
+  TriggerStage trigger_;
+  FlowTable<Tcb> flows_;
+  ResidualTimers residual_;
   std::size_t censored_count_ = 0;
 };
 

@@ -1,32 +1,27 @@
 #include "censor/iran.h"
 
+#include "censor/core/flow_table.h"
+
 namespace caya {
 
 Verdict IranCensor::on_packet(const Packet& pkt, Direction dir,
                               Injector& inject) {
   if (dir != Direction::kClientToServer) return Verdict::kPass;
 
-  const FlowKey key = flow_from_packet(pkt);
-  const auto hole = blackholed_.find(key);
-  if (hole != blackholed_.end()) {
-    if (inject.now() < hole->second) {
-      return Verdict::kDrop;  // flow is blackholed: swallow everything
-    }
-    blackholed_.erase(hole);
+  const FlowKey key = FlowTable<Time>::key_for(pkt, dir);
+  if (blackholed_.held(key, inject.now())) {
+    inject.trace_stage(pkt, dir, "iran", "verdict", "blackholed");
+    return Verdict::kDrop;  // flow is blackholed: swallow everything
   }
 
   if (pkt.payload.empty()) return Verdict::kPass;
-
-  bool forbidden = false;
-  if (pkt.tcp.dport == 80) {
-    forbidden = http_host_match(std::span(pkt.payload), content_);
-  } else if (pkt.tcp.dport == 443) {
-    forbidden = sni_match(std::span(pkt.payload), content_);
+  if (!trigger_.match(key.server_port, std::span(pkt.payload))) {
+    return Verdict::kPass;
   }
-  if (!forbidden) return Verdict::kPass;
 
+  inject.trace_stage(pkt, dir, "iran", "trigger", "packet match");
   ++censored_count_;
-  blackholed_[key] = inject.now() + blackhole_duration_;
+  blackholed_.hold(key, inject.now() + blackhole_duration_);
   return Verdict::kDrop;  // the offending packet never reaches the server
 }
 

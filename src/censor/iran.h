@@ -1,14 +1,17 @@
 // Iran's in-path censor (§5.2):
 //   * HTTP (port 80, Host header) and HTTPS (port 443, TLS SNI); Iran no
 //     longer censors DNS-over-TCP (§4.2 footnote).
-//   * Stateless detection — no TCB, no reassembly.
+//   * Stateless detection — no TCB, no reassembly (a packet-mode trigger).
 //   * On a match it "blackholes" the flow: the offending packet and every
 //     subsequent client packet in that flow are dropped for ~60 s. Nothing
 //     is injected; the client just starves and times out.
+//
+// Pipeline composition: TimedFlowSet (verdict stage's in-path blackhole) +
+// a port-scoped packet-mode TriggerStage. No reassembler, no TCB state.
 #pragma once
 
-#include <map>
-
+#include "censor/core/trigger.h"
+#include "censor/core/verdict.h"
 #include "censor/dpi.h"
 #include "censor/flow.h"
 #include "netsim/middlebox.h"
@@ -20,13 +23,15 @@ class IranCensor : public Middlebox {
  public:
   explicit IranCensor(ForbiddenContent content,
                       Time blackhole_duration = duration::sec(60))
-      : content_(std::move(content)),
+      : trigger_(std::move(content),
+                 {{.server_port = 80, .matcher = &http_host_match},
+                  {.server_port = 443, .matcher = &sni_match}}),
         blackhole_duration_(blackhole_duration) {}
 
   Verdict on_packet(const Packet& pkt, Direction dir,
                     Injector& inject) override;
   [[nodiscard]] bool in_path() const noexcept override { return true; }
-  void reset() override { blackholed_.clear(); }
+  void reset() override { blackholed_.reset(); }
   [[nodiscard]] std::size_t tcb_count() const noexcept override {
     return blackholed_.size();
   }
@@ -36,9 +41,9 @@ class IranCensor : public Middlebox {
   }
 
  private:
-  ForbiddenContent content_;
+  TriggerStage trigger_;
   Time blackhole_duration_;
-  std::map<FlowKey, Time> blackholed_;  // flow -> expiry
+  TimedFlowSet blackholed_;
   std::size_t censored_count_ = 0;
 };
 

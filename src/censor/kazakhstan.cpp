@@ -1,5 +1,7 @@
 #include "censor/kazakhstan.h"
 
+#include "censor/core/verdict.h"
+
 namespace caya {
 
 namespace {
@@ -41,6 +43,8 @@ void KazakhstanCensor::inspect_server_handshake(FlowState& flow,
       tcpflag::kSyn | tcpflag::kAck | tcpflag::kFin | tcpflag::kRst;
   if ((flags & kCore) == 0) {
     flow.ignored = true;
+    inject.trace_stage(pkt, Direction::kServerToClient, "kazakhstan",
+                       "flow-table", "model violation: null core flags");
     return;
   }
 
@@ -53,6 +57,8 @@ void KazakhstanCensor::inspect_server_handshake(FlowState& flow,
   // handshake.
   if (++flow.consecutive_server_payloads >= 3) {
     flow.ignored = true;
+    inject.trace_stage(pkt, Direction::kServerToClient, "kazakhstan",
+                       "flow-table", "model violation: 3 server payloads");
     return;
   }
 
@@ -60,14 +66,11 @@ void KazakhstanCensor::inspect_server_handshake(FlowState& flow,
   // *forbidden* request elicits the block page on the second occurrence; a
   // benign one (twice) convinces the box the server is the client
   // (Strategy 10).
-  if (http_host_match(std::span(pkt.payload), content_)) {
+  if (trigger_.match(80, std::span(pkt.payload))) {
     if (++flow.forbidden_server_gets >= 2) {
       ++probe_responses_;
-      Packet page = make_tcp_packet(
-          pkt.ip.dst, pkt.tcp.dport, pkt.ip.src, pkt.tcp.sport,
-          tcpflag::kFin | tcpflag::kPsh | tcpflag::kAck, pkt.tcp.ack,
-          pkt.tcp.seq, to_bytes(block_page()));
-      inject.inject(std::move(page), Direction::kClientToServer);
+      verdict::block_page(inject, pkt, Direction::kClientToServer,
+                          pkt.tcp.ack, pkt.tcp.seq, block_page());
       flow.ignored = true;
     }
     return;
@@ -75,17 +78,17 @@ void KazakhstanCensor::inspect_server_handshake(FlowState& flow,
   if (benign_get_prefix(std::span(pkt.payload))) {
     if (++flow.benign_server_gets >= 2) {
       flow.ignored = true;  // "the server is actually the client"
+      inject.trace_stage(pkt, Direction::kServerToClient, "kazakhstan",
+                         "flow-table", "model violation: server looks like "
+                         "the client");
     }
   }
 }
 
 Verdict KazakhstanCensor::on_packet(const Packet& pkt, Direction dir,
                                     Injector& inject) {
-  const FlowKey key = dir == Direction::kClientToServer
-                          ? flow_from_packet(pkt)
-                          : reverse_flow_from_packet(pkt);
-  const bool is_http = key.server_port == 80;
-  if (!is_http) return Verdict::kPass;
+  const FlowKey key = flows_.key_for(pkt, dir);
+  if (!trigger_.applies_to_port(key.server_port)) return Verdict::kPass;
 
   FlowState& flow = flows_[key];
 
@@ -110,22 +113,22 @@ Verdict KazakhstanCensor::on_packet(const Packet& pkt, Direction dir,
   flow.handshake_done = true;
   if (flow.ignored) return Verdict::kPass;
 
-  // No reassembly: each packet is inspected alone (Strategy 8).
-  if (!http_host_match(std::span(pkt.payload), content_)) {
+  // Packet-mode trigger — no reassembly, so each packet is inspected alone
+  // (Strategy 8).
+  if (!trigger_.match(key.server_port, std::span(pkt.payload))) {
     return Verdict::kPass;
   }
 
+  inject.trace_stage(pkt, dir, "kazakhstan", "trigger", "packet match");
   ++censored_count_;
   flow.intercept_until = inject.now() + intercept_duration_;
 
   // Inject the block page at the client, spoofed from the server; the
-  // forbidden request itself is swallowed.
-  Packet page = make_tcp_packet(
-      pkt.ip.dst, pkt.tcp.dport, pkt.ip.src, pkt.tcp.sport,
-      tcpflag::kFin | tcpflag::kPsh | tcpflag::kAck, pkt.tcp.ack,
-      pkt.tcp.seq + static_cast<std::uint32_t>(pkt.payload.size()),
-      to_bytes(block_page()));
-  inject.inject(std::move(page), Direction::kServerToClient);
+  // forbidden request itself is swallowed (MITM interception).
+  verdict::block_page(inject, pkt, Direction::kServerToClient, pkt.tcp.ack,
+                      pkt.tcp.seq + static_cast<std::uint32_t>(
+                                        pkt.payload.size()),
+                      block_page());
   return Verdict::kDrop;
 }
 

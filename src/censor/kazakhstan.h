@@ -10,17 +10,25 @@
 //         twice during the handshake makes the box believe the *server* is
 //         the client (Strategy 10);
 //       - a handshake packet carrying none of SYN/ACK/FIN/RST (Strategy 11).
-//   * No reassembly: a segmented request is uncensored (Strategy 8).
+//   * No reassembly: a segmented request is uncensored (Strategy 8) — a
+//     packet-mode trigger.
 //   * On a match it turns man-in-the-middle: every packet of the stream is
 //     intercepted for ~15 s and a FIN+PSH+ACK block page is injected at the
 //     client.
 //   * Injected-probe behaviour (§5.3 follow-ups): forbidden GETs from the
 //     server during the handshake elicit the block page only on the second
 //     such request.
+//
+// Pipeline composition: shared FlowTable for the per-flow model state, a
+// port-scoped packet-mode TriggerStage, and the verdict stage's block-page
+// injection + in-path interception (the MITM rewrite: the real stream is
+// swallowed while the spoofed page stands in for it).
 #pragma once
 
-#include <map>
+#include <string>
 
+#include "censor/core/flow_table.h"
+#include "censor/core/trigger.h"
 #include "censor/dpi.h"
 #include "censor/flow.h"
 #include "netsim/middlebox.h"
@@ -32,13 +40,14 @@ class KazakhstanCensor : public Middlebox {
  public:
   explicit KazakhstanCensor(ForbiddenContent content,
                             Time intercept_duration = duration::sec(15))
-      : content_(std::move(content)),
+      : trigger_(std::move(content),
+                 {{.server_port = 80, .matcher = &http_host_match}}),
         intercept_duration_(intercept_duration) {}
 
   Verdict on_packet(const Packet& pkt, Direction dir,
                     Injector& inject) override;
   [[nodiscard]] bool in_path() const noexcept override { return true; }
-  void reset() override { flows_.clear(); }
+  void reset() override { flows_.reset(); }
   [[nodiscard]] std::size_t tcb_count() const noexcept override {
     return flows_.size();
   }
@@ -65,9 +74,9 @@ class KazakhstanCensor : public Middlebox {
   void inspect_server_handshake(FlowState& flow, const Packet& pkt,
                                 Injector& inject);
 
-  ForbiddenContent content_;
+  TriggerStage trigger_;
   Time intercept_duration_;
-  std::map<FlowKey, FlowState> flows_;
+  FlowTable<FlowState> flows_;
   std::size_t censored_count_ = 0;
   std::size_t probe_responses_ = 0;
 };

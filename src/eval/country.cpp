@@ -22,6 +22,12 @@ ForbiddenContent forbidden_content(Country country) {
     case Country::kKazakhstan:
       content.blocked_hosts = {"blocked-site.kz"};
       break;
+    case Country::kTurkmenistan:
+      // Nourin et al.: the TMCell blocklist covers hostnames in both the
+      // HTTP Host header and the TLS SNI (same list, both ports).
+      content.blocked_hosts = {"blocked-site.tm"};
+      content.blocked_sni = "blocked-site.tm";
+      break;
   }
   return content;
 }
@@ -47,6 +53,11 @@ ClientRequest client_request(Country country) {
       req.http_host = "blocked-site.kz";
       req.http_path = "/";
       break;
+    case Country::kTurkmenistan:
+      req.http_host = "blocked-site.tm";
+      req.http_path = "/";
+      req.sni = "blocked-site.tm";
+      break;
   }
   return req;
 }
@@ -63,6 +74,9 @@ std::vector<AppProtocol> censored_protocols(Country country) {
       return {AppProtocol::kHttp, AppProtocol::kHttps};
     case Country::kKazakhstan:
       return {AppProtocol::kHttp};
+    case Country::kTurkmenistan:
+      // Bidirectional RST+ACK injection on both HTTP Host and TLS SNI.
+      return {AppProtocol::kHttp, AppProtocol::kHttps};
   }
   return {};
 }
@@ -79,6 +93,9 @@ const std::vector<VantageRow>& vantage_table() {
       {Country::kKazakhstan,
        {"Qaraghandy", "Almaty"},
        {AppProtocol::kHttp}},
+      {Country::kTurkmenistan,
+       {"Ashgabat"},
+       {AppProtocol::kHttp, AppProtocol::kHttps}},
   };
   return rows;
 }

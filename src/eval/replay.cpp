@@ -4,10 +4,12 @@
 #include <map>
 
 #include "censor/airtel.h"
+#include "censor/core/flow_table.h"
 #include "censor/flow.h"
 #include "censor/gfw.h"
 #include "censor/iran.h"
 #include "censor/kazakhstan.h"
+#include "censor/turkmenistan.h"
 
 namespace caya {
 
@@ -32,6 +34,7 @@ ReplayResult replay_through_censor(const std::vector<PcapRecord>& records,
   std::unique_ptr<AirtelCensor> airtel;
   std::unique_ptr<IranCensor> iran;
   std::unique_ptr<KazakhstanCensor> kazakh;
+  std::unique_ptr<TurkmenistanCensor> turkmen;
   std::vector<Middlebox*> boxes;
   switch (country) {
     case Country::kChina:
@@ -50,6 +53,10 @@ ReplayResult replay_through_censor(const std::vector<PcapRecord>& records,
       kazakh = std::make_unique<KazakhstanCensor>(content);
       boxes = {kazakh.get()};
       break;
+    case Country::kTurkmenistan:
+      turkmen = std::make_unique<TurkmenistanCensor>(content, Rng(seed));
+      boxes = {turkmen.get()};
+      break;
   }
 
   auto censored_total = [&]() {
@@ -62,6 +69,7 @@ ReplayResult replay_through_censor(const std::vector<PcapRecord>& records,
     if (airtel) total += airtel->censored_count();
     if (iran) total += iran->censored_count();
     if (kazakh) total += kazakh->censored_count();
+    if (turkmen) total += turkmen->censored_count();
     return total;
   };
 
@@ -81,8 +89,12 @@ ReplayResult replay_through_censor(const std::vector<PcapRecord>& records,
     }
     injector.now_value = records[i].at;
 
-    const FlowKey forward = flow_from_packet(pkt);
-    const FlowKey reverse = reverse_flow_from_packet(pkt);
+    // key_for with an assumed direction: "forward" treats the source as the
+    // client, "reverse" the destination.
+    const FlowKey forward =
+        FlowTable<bool>::key_for(pkt, Direction::kClientToServer);
+    const FlowKey reverse =
+        FlowTable<bool>::key_for(pkt, Direction::kServerToClient);
     Direction dir = Direction::kClientToServer;
     if (client_is_src.contains(forward)) {
       dir = Direction::kClientToServer;

@@ -16,6 +16,8 @@ std::string_view to_string(Country country) noexcept {
       return "Iran";
     case Country::kKazakhstan:
       return "Kazakhstan";
+    case Country::kTurkmenistan:
+      return "Turkmenistan";
   }
   return "?";
 }
@@ -23,7 +25,7 @@ std::string_view to_string(Country country) noexcept {
 const std::vector<Country>& all_countries() {
   static const std::vector<Country> countries = {
       Country::kChina, Country::kIndia, Country::kIran,
-      Country::kKazakhstan};
+      Country::kKazakhstan, Country::kTurkmenistan};
   return countries;
 }
 

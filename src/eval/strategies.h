@@ -11,7 +11,7 @@
 
 namespace caya {
 
-enum class Country { kChina, kIndia, kIran, kKazakhstan };
+enum class Country { kChina, kIndia, kIran, kKazakhstan, kTurkmenistan };
 
 [[nodiscard]] std::string_view to_string(Country country) noexcept;
 [[nodiscard]] const std::vector<Country>& all_countries();

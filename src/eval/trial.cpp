@@ -59,6 +59,10 @@ Environment::Environment(Config config)
       kazakh_ = std::make_unique<KazakhstanCensor>(content);
       net_->add_middlebox(kazakh_.get());
       break;
+    case Country::kTurkmenistan:
+      turkmen_ = std::make_unique<TurkmenistanCensor>(content, rng_.fork());
+      net_->add_middlebox(turkmen_.get());
+      break;
   }
 
   if (!config_.censor_faults.empty()) {
@@ -68,6 +72,7 @@ Environment::Environment(Config config)
     if (airtel_) airtel_->set_fault_schedule(config_.censor_faults);
     if (iran_) iran_->set_fault_schedule(config_.censor_faults);
     if (kazakh_) kazakh_->set_fault_schedule(config_.censor_faults);
+    if (turkmen_) turkmen_->set_fault_schedule(config_.censor_faults);
   }
 }
 
@@ -95,6 +100,7 @@ std::size_t Environment::censored_total() const {
   if (airtel_) total += airtel_->censored_count();
   if (iran_) total += iran_->censored_count();
   if (kazakh_) total += kazakh_->censored_count();
+  if (turkmen_) total += turkmen_->censored_count();
   return total;
 }
 

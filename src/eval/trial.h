@@ -24,6 +24,7 @@
 #include "censor/gfw.h"
 #include "censor/iran.h"
 #include "censor/kazakhstan.h"
+#include "censor/turkmenistan.h"
 #include "eval/country.h"
 #include "geneva/engine.h"
 #include "netsim/network.h"
@@ -112,6 +113,9 @@ class Environment {
   }
   [[nodiscard]] AirtelCensor* airtel() noexcept { return airtel_.get(); }
   [[nodiscard]] IranCensor* iran() noexcept { return iran_.get(); }
+  [[nodiscard]] TurkmenistanCensor* turkmenistan() noexcept {
+    return turkmen_.get();
+  }
   [[nodiscard]] std::uint16_t server_port() const noexcept {
     return server_port_;
   }
@@ -131,6 +135,7 @@ class Environment {
   std::unique_ptr<AirtelCensor> airtel_;
   std::unique_ptr<IranCensor> iran_;
   std::unique_ptr<KazakhstanCensor> kazakh_;
+  std::unique_ptr<TurkmenistanCensor> turkmen_;
   std::uint16_t server_port_ = 80;
   std::uint16_t next_client_port_ = 40000;
   std::uint32_t next_isn_ = 11000;

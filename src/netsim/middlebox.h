@@ -7,6 +7,7 @@
 #pragma once
 
 #include <optional>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -25,6 +26,21 @@ class Injector {
   virtual ~Injector() = default;
   virtual void inject(Packet pkt, Direction toward) = 0;
   [[nodiscard]] virtual Time now() const = 0;
+
+  /// Stage-attribution hook for the censor pipeline: a box reports which
+  /// stage (flow-table / reassembly / trigger / verdict) decided something
+  /// notable about `pkt`. Default no-op; the Network records a trace event
+  /// when stage tracing is enabled, so waterfalls can attribute verdicts to
+  /// the stage that fired.
+  virtual void trace_stage(const Packet& pkt, Direction dir,
+                           std::string_view box, std::string_view stage,
+                           std::string_view detail) {
+    (void)pkt;
+    (void)dir;
+    (void)box;
+    (void)stage;
+    (void)detail;
+  }
 };
 
 class Middlebox {

@@ -131,6 +131,19 @@ void Network::inject(Packet pkt, Direction toward) {
   }
 }
 
+void Network::trace_stage(const Packet& pkt, Direction dir,
+                          std::string_view box, std::string_view stage,
+                          std::string_view detail) {
+  if (!config_.trace_stages) return;
+  std::string note = std::string(box) + "/" + std::string(stage);
+  if (!detail.empty()) {
+    note += ": ";
+    note += detail;
+  }
+  trace_.record(
+      {loop_.now(), TracePoint::kCensorStage, dir, pkt, std::move(note)});
+}
+
 bool Network::apply_faults(Middlebox* box, const Packet& pkt,
                            Direction dir) {
   FaultSchedule* faults = box->fault_schedule();

@@ -32,6 +32,10 @@ class Network : public Injector {
     double loss = 0.0;
     /// Per-segment, per-direction impairments (see link_model.h).
     LinkModel::Config link;
+    /// Record censor-pipeline stage attributions (Injector::trace_stage) as
+    /// kCensorStage trace events. Off by default: stage events change trace
+    /// and waterfall output, which golden/equivalence tooling pins.
+    bool trace_stages = false;
   };
 
   Network(EventLoop& loop, Config config, Rng rng, Logger logger = {});
@@ -68,6 +72,8 @@ class Network : public Injector {
   // Injector interface (used by censors).
   void inject(Packet pkt, Direction toward) override;
   [[nodiscard]] Time now() const override { return loop_.now(); }
+  void trace_stage(const Packet& pkt, Direction dir, std::string_view box,
+                   std::string_view stage, std::string_view detail) override;
 
   [[nodiscard]] Trace& trace() noexcept { return trace_; }
   [[nodiscard]] EventLoop& loop() noexcept { return loop_; }

@@ -32,6 +32,8 @@ std::string_view to_string(TracePoint point) noexcept {
       return "censor-fault";
     case TracePoint::kOrchestrator:
       return "orchestrator";
+    case TracePoint::kCensorStage:
+      return "censor-stage";
   }
   return "?";
 }

@@ -25,6 +25,7 @@ enum class TracePoint {
   kReordered,   // link added jitter delay to this traversal
   kCensorFault, // scheduled middlebox fault fired (flush/stall/restart)
   kOrchestrator, // serve-runtime health event (no packet; detail in note)
+  kCensorStage, // pipeline stage attribution (opt-in; note = box/stage)
 };
 
 [[nodiscard]] std::string_view to_string(TracePoint point) noexcept;

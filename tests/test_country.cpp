@@ -5,10 +5,11 @@
 namespace caya {
 namespace {
 
-TEST(Country, FourCountries) {
-  EXPECT_EQ(all_countries().size(), 4u);
+TEST(Country, FiveCountries) {
+  EXPECT_EQ(all_countries().size(), 5u);
   EXPECT_EQ(to_string(Country::kChina), "China");
   EXPECT_EQ(to_string(Country::kKazakhstan), "Kazakhstan");
+  EXPECT_EQ(to_string(Country::kTurkmenistan), "Turkmenistan");
 }
 
 TEST(Country, CensoredProtocolsMatchPaper) {
@@ -19,6 +20,9 @@ TEST(Country, CensoredProtocolsMatchPaper) {
   EXPECT_EQ(iran.size(), 2u);  // HTTP + HTTPS; DNS-over-TCP no longer
   EXPECT_EQ(censored_protocols(Country::kKazakhstan),
             std::vector<AppProtocol>{AppProtocol::kHttp});
+  // Turkmenistan injects on both the Host header and the SNI.
+  const auto turkmenistan = censored_protocols(Country::kTurkmenistan);
+  EXPECT_EQ(turkmenistan.size(), 2u);
 }
 
 TEST(Country, RequestsTriggerTheirCensor) {
@@ -42,8 +46,9 @@ TEST(Country, RequestsTriggerTheirCensor) {
 }
 
 TEST(Country, VantageTableMatchesTable1) {
+  // Four paper rows (Table 1) plus the Turkmenistan extension row.
   const auto& rows = vantage_table();
-  ASSERT_EQ(rows.size(), 4u);
+  ASSERT_EQ(rows.size(), 5u);
   EXPECT_EQ(rows[0].country, Country::kChina);
   EXPECT_EQ(rows[0].vantage_points.size(), 4u);
   EXPECT_EQ(rows[1].vantage_points,

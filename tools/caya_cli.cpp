@@ -6,7 +6,8 @@
 //       Validate a strategy and print its canonical form.
 //   caya run [options]
 //       Run trials of a strategy against a simulated censor.
-//         --country china|india|iran|kazakhstan   (default china)
+//         --country china|india|iran|kazakhstan|turkmenistan
+//                                                 (default china)
 //         --protocol dns|ftp|http|https|smtp      (default http)
 //         --strategy "<dsl>" | --published N      (default: no evasion)
 //         --client-side                           (deploy at the client)
@@ -14,6 +15,8 @@
 //         --seed N                                (default 1)
 //         --os <substring of OS name>             (default Ubuntu 18.04.1)
 //         --waterfall                             (print one packet diagram)
+//         --stages                                (print censor pipeline
+//                                                  stage events, trial 0)
 //         --pcap FILE                             (write censor-view pcap)
 //         --profile clean|lossy|bursty|flaky-censor  (path/censor condition)
 //         --jobs N                                (parallel trials; default:
@@ -85,7 +88,7 @@ class CliError : public std::runtime_error {
       "                [--strategy DSL | --published N | --from FILE --name "
       "N]\n"
       "                [--client-side] [--trials N] [--seed N] [--os NAME]\n"
-      "                [--waterfall] [--pcap FILE] [--jobs N]\n"
+      "                [--waterfall] [--stages] [--pcap FILE] [--jobs N]\n"
       "                [--profile clean|lossy|bursty|flaky-censor]\n"
       "evolve options: --country C --protocol P [--population N] [--gens N]"
       "\n                [--seed N] [--save FILE --name NAME] [--robust]\n"
@@ -127,8 +130,9 @@ Country parse_country(const std::string& name) {
   if (name == "india") return Country::kIndia;
   if (name == "iran") return Country::kIran;
   if (name == "kazakhstan") return Country::kKazakhstan;
+  if (name == "turkmenistan") return Country::kTurkmenistan;
   fail("unknown country \"" + name +
-       "\" (available: china india iran kazakhstan)");
+       "\" (available: china india iran kazakhstan turkmenistan)");
 }
 
 AppProtocol parse_protocol(const std::string& name) {
@@ -951,6 +955,7 @@ int cmd_run(int argc, char** argv) {
   std::uint64_t seed = 1;
   OsProfile os = OsProfile::linux_default();
   bool waterfall = false;
+  bool stages = false;
   std::string pcap_path;
   ImpairmentProfile profile = ImpairmentProfile::kClean;
   std::size_t jobs = ThreadPool::hardware_jobs();
@@ -983,6 +988,8 @@ int cmd_run(int argc, char** argv) {
       os = parse_os(next());
     } else if (arg == "--waterfall") {
       waterfall = true;
+    } else if (arg == "--stages") {
+      stages = true;
     } else if (arg == "--pcap") {
       pcap_path = next();
     } else if (arg == "--profile") {
@@ -1020,7 +1027,7 @@ int cmd_run(int argc, char** argv) {
     bool success = false;
     bool timed_out = false;
   };
-  const bool want_trace = waterfall || !pcap_path.empty();
+  const bool want_trace = waterfall || stages || !pcap_path.empty();
   Trace first_trace;
   const ParallelEvaluator evaluator(jobs);
   const std::vector<RunOutcome> outcomes =
@@ -1029,6 +1036,7 @@ int cmd_run(int argc, char** argv) {
         config.country = country;
         config.protocol = protocol;
         config.seed = seed + i;
+        config.net.trace_stages = stages;
         apply_profile(profile, config);
         ConnectionOptions options;
         if (client_side) {
@@ -1072,6 +1080,15 @@ int cmd_run(int argc, char** argv) {
   if (waterfall && have_trace) {
     std::printf("\nfirst trial, endpoint view:\n%s",
                 render_waterfall(first_trace).c_str());
+  }
+  if (stages && have_trace) {
+    std::printf("\nfirst trial, censor pipeline stages:\n");
+    for (const TraceEvent& ev : first_trace.events()) {
+      if (ev.point != TracePoint::kCensorStage) continue;
+      std::printf("  %8llu us  %s  (%s)\n",
+                  static_cast<unsigned long long>(ev.at),
+                  ev.packet.summary().c_str(), ev.note.c_str());
+    }
   }
   if (!pcap_path.empty() && have_trace) {
     write_pcap_file(pcap_path, first_trace);
