@@ -1,0 +1,263 @@
+// Packet-transport hot-path benchmark: the per-trial cost of moving packets
+// through the simulator (event scheduling, payload copies, per-hop vectors,
+// checksum folds). Reports
+//   * trials/sec on the GA-discovery workload (fresh Environment per trial,
+//     a duplicate-heavy published strategy, china/http — the loop `caya
+//     evolve` spends its life in),
+//   * allocations/trial and bytes/trial via a counting global allocator,
+//   * p50/p99 event-dispatch latency on a saturated EventLoop.
+// Emits BENCH_packet_path.json next to the human summary. When a baseline
+// snapshot exists (CAYA_BASELINE env var, else the checked-in seed capture),
+// the JSON also carries the improvement ratios against it.
+//
+// Knobs: CAYA_TRIALS (measured trials, default 300), CAYA_WARMUP (default
+// 20), CAYA_DISPATCHES (event-loop samples, default 200,000), CAYA_BASELINE
+// (path to a baseline BENCH_packet_path.json).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "eval/strategies.h"
+#include "eval/trial.h"
+#include "netsim/event_loop.h"
+
+// ---- counting allocator -----------------------------------------------------
+// Global new/delete overrides count every heap allocation in the process.
+// Relaxed atomics: the workload below is single-threaded; the counters only
+// need to be safe, not ordered.
+namespace {
+std::atomic<std::uint64_t> g_alloc_calls{0};
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t& t) noexcept {
+  return ::operator new(size, t);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace caya {
+namespace {
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return static_cast<std::size_t>(std::atoll(value));
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct TrialNumbers {
+  double trials_per_sec = 0;
+  double allocs_per_trial = 0;
+  double bytes_per_trial = 0;
+  std::size_t trials = 0;
+  std::size_t successes = 0;
+};
+
+/// The GA-discovery loop: a fresh Environment per trial (exactly what the
+/// fitness function does), running a duplicate-heavy published strategy so
+/// the action tree fans out and every hop moves real payload bytes.
+TrialNumbers run_trials(std::size_t warmup, std::size_t trials) {
+  const Strategy strategy = parsed_strategy(6);
+  auto one_trial = [&](std::size_t i) {
+    Environment::Config config;
+    config.country = Country::kChina;
+    config.protocol = AppProtocol::kHttp;
+    config.seed = 1 + i;
+    ConnectionOptions options;
+    options.server_strategy = strategy;
+    Environment env(config);
+    return env.run_connection(options).success;
+  };
+
+  for (std::size_t i = 0; i < warmup; ++i) (void)one_trial(i);
+
+  TrialNumbers out;
+  out.trials = trials;
+  const std::uint64_t calls_before =
+      g_alloc_calls.load(std::memory_order_relaxed);
+  const std::uint64_t bytes_before =
+      g_alloc_bytes.load(std::memory_order_relaxed);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < trials; ++i) {
+    if (one_trial(warmup + i)) ++out.successes;
+  }
+  const double elapsed = seconds_since(start);
+  const std::uint64_t calls =
+      g_alloc_calls.load(std::memory_order_relaxed) - calls_before;
+  const std::uint64_t bytes =
+      g_alloc_bytes.load(std::memory_order_relaxed) - bytes_before;
+  out.trials_per_sec =
+      elapsed > 0 ? static_cast<double>(trials) / elapsed : 0;
+  out.allocs_per_trial =
+      trials > 0 ? static_cast<double>(calls) / static_cast<double>(trials)
+                 : 0;
+  out.bytes_per_trial =
+      trials > 0 ? static_cast<double>(bytes) / static_cast<double>(trials)
+                 : 0;
+  return out;
+}
+
+struct DispatchNumbers {
+  double p50_ns = 0;
+  double p99_ns = 0;
+  std::size_t dispatches = 0;
+};
+
+/// Event-dispatch latency under a realistic pending-set size: 64 self-
+/// rescheduling timers (the shape of retransmit/residual timers in a busy
+/// trial). Each sample times one schedule+dispatch round trip.
+DispatchNumbers run_dispatch(std::size_t dispatches) {
+  EventLoop loop;
+  constexpr std::size_t kPending = 64;
+  std::uint64_t fired = 0;
+  for (std::size_t i = 0; i < kPending; ++i) {
+    loop.schedule_in(static_cast<Time>(i + 1), [&fired] { ++fired; });
+  }
+  std::vector<std::uint64_t> samples;
+  samples.reserve(dispatches);
+  Time next = kPending + 1;
+  for (std::size_t i = 0; i < dispatches; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    loop.schedule_at(next++, [&fired] { ++fired; });
+    (void)loop.run_one();
+    const auto t1 = std::chrono::steady_clock::now();
+    samples.push_back(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count()));
+  }
+  if (fired == 0) std::exit(1);  // keep the loop observable
+  std::sort(samples.begin(), samples.end());
+  DispatchNumbers out;
+  out.dispatches = dispatches;
+  out.p50_ns = static_cast<double>(samples[samples.size() / 2]);
+  out.p99_ns = static_cast<double>(samples[samples.size() * 99 / 100]);
+  return out;
+}
+
+/// Minimal extraction of `"key": <number>` from a baseline JSON snapshot.
+double json_number(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return 0;
+  return std::atof(text.c_str() + at + needle.size());
+}
+
+}  // namespace
+}  // namespace caya
+
+int main() {
+  using namespace caya;
+  const std::size_t trials = env_size("CAYA_TRIALS", 300);
+  const std::size_t warmup = env_size("CAYA_WARMUP", 20);
+  const std::size_t dispatches = env_size("CAYA_DISPATCHES", 200'000);
+
+  std::printf("Packet transport hot path: %zu trials (+%zu warmup), "
+              "%zu dispatch samples\n\n",
+              trials, warmup, dispatches);
+
+  const TrialNumbers t = run_trials(warmup, trials);
+  std::printf("GA-discovery workload (china/http, published 6):\n");
+  std::printf("  trials/sec      : %10.1f\n", t.trials_per_sec);
+  std::printf("  allocations     : %10.1f /trial\n", t.allocs_per_trial);
+  std::printf("  heap bytes      : %10.0f /trial\n", t.bytes_per_trial);
+  std::printf("  successes       : %zu/%zu\n", t.successes, t.trials);
+
+  const DispatchNumbers d = run_dispatch(dispatches);
+  std::printf("\nevent dispatch (64 pending timers):\n");
+  std::printf("  p50             : %10.0f ns\n", d.p50_ns);
+  std::printf("  p99             : %10.0f ns\n", d.p99_ns);
+
+  // Baseline comparison: CAYA_BASELINE wins; else the checked-in capture
+  // from the commit before this refactor (same workload, same knobs).
+  std::string baseline_path;
+  if (const char* env = std::getenv("CAYA_BASELINE"); env && *env) {
+    baseline_path = env;
+  } else {
+#ifdef CAYA_PACKET_PATH_BASELINE
+    baseline_path = CAYA_PACKET_PATH_BASELINE;
+#endif
+  }
+  double base_tps = 0;
+  double base_allocs = 0;
+  double base_p99 = 0;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (in) {
+      std::stringstream ss;
+      ss << in.rdbuf();
+      const std::string text = ss.str();
+      base_tps = json_number(text, "trials_per_sec");
+      base_allocs = json_number(text, "allocs_per_trial");
+      base_p99 = json_number(text, "dispatch_p99_ns");
+    }
+  }
+  if (base_tps > 0 && base_allocs > 0) {
+    std::printf("\nvs baseline (%s):\n", baseline_path.c_str());
+    std::printf("  trials/sec      : %10.2fx\n", t.trials_per_sec / base_tps);
+    std::printf("  allocations     : %10.2fx fewer\n",
+                base_allocs / std::max(t.allocs_per_trial, 1.0));
+    if (base_p99 > 0) {
+      std::printf("  dispatch p99    : %10.2fx faster\n",
+                  base_p99 / std::max(d.p99_ns, 1.0));
+    }
+  }
+
+  std::ofstream json("BENCH_packet_path.json");
+  json << "{\n"
+       << "  \"workload\": \"packet transport hot path\",\n"
+       << "  \"strategy\": \"published 6 (china/http)\",\n"
+       << "  \"trials\": " << t.trials << ",\n"
+       << "  \"successes\": " << t.successes << ",\n"
+       << "  \"trials_per_sec\": " << t.trials_per_sec << ",\n"
+       << "  \"allocs_per_trial\": " << t.allocs_per_trial << ",\n"
+       << "  \"bytes_per_trial\": " << t.bytes_per_trial << ",\n"
+       << "  \"dispatch_samples\": " << d.dispatches << ",\n"
+       << "  \"dispatch_p50_ns\": " << d.p50_ns << ",\n"
+       << "  \"dispatch_p99_ns\": " << d.p99_ns;
+  if (base_tps > 0 && base_allocs > 0) {
+    json << ",\n  \"baseline\": \"" << baseline_path << "\",\n"
+         << "  \"speedup_trials_per_sec\": " << t.trials_per_sec / base_tps
+         << ",\n"
+         << "  \"alloc_reduction\": "
+         << base_allocs / std::max(t.allocs_per_trial, 1.0);
+    if (base_p99 > 0) {
+      json << ",\n  \"dispatch_p99_speedup\": "
+           << base_p99 / std::max(d.p99_ns, 1.0);
+    }
+  }
+  json << "\n}\n";
+  std::printf("\nwrote BENCH_packet_path.json\n");
+  return 0;
+}

@@ -6,7 +6,8 @@
 
 namespace caya {
 
-void Reassembler::add_segment(std::uint32_t seq, const Bytes& payload) {
+void Reassembler::add_segment(std::uint32_t seq,
+                              std::span<const std::uint8_t> payload) {
   const auto it = segments_.find(seq);
   if (it != segments_.end()) {
     it->second.assign(payload.begin(), payload.end());

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <map>
+#include <span>
 
 #include "util/bytes.h"
 #include "util/rng.h"
@@ -61,8 +62,10 @@ class Reassembler {
   Reassembler(const Reassembler&) = delete;
   Reassembler& operator=(const Reassembler&) = delete;
 
-  /// Buffers one segment (later copies of the same seq overwrite).
-  void add_segment(std::uint32_t seq, const Bytes& payload);
+  /// Buffers one segment (later copies of the same seq overwrite). Takes a
+  /// span so both Bytes and copy-on-write Payload buffers bind without a
+  /// conversion copy.
+  void add_segment(std::uint32_t seq, std::span<const std::uint8_t> payload);
 
   /// Moves the believed stream base — the resynchronization action. All
   /// buffered segments are discarded (the box's stream view is void).

@@ -109,6 +109,9 @@ TrialResult Environment::run_connection(const ConnectionOptions& options) {
   const std::size_t censored_before = censored_total();
 
   net_->trace().clear();
+  // Only pay for trace recording (a packet copy per hop) when the caller
+  // actually wants the trace back.
+  net_->trace().set_enabled(options.record_trace);
   if (selfcheck_enabled()) net_->selfcheck_begin_connection();
 
   // Engines (the Geneva shims) for this connection.
@@ -116,7 +119,7 @@ TrialResult Environment::run_connection(const ConnectionOptions& options) {
   std::unique_ptr<Engine> client_engine;
   if (options.server_strategy) {
     server_engine =
-        std::make_unique<Engine>(*options.server_strategy, rng_.fork());
+        std::make_unique<Engine>(&*options.server_strategy, rng_.fork());
     net_->set_server_processor(server_engine.get());
   } else {
     net_->set_server_processor(nullptr);
@@ -125,7 +128,7 @@ TrialResult Environment::run_connection(const ConnectionOptions& options) {
     net_->set_client_processor(options.client_processor);
   } else if (options.client_strategy) {
     client_engine =
-        std::make_unique<Engine>(*options.client_strategy, rng_.fork());
+        std::make_unique<Engine>(&*options.client_strategy, rng_.fork());
     net_->set_client_processor(client_engine.get());
   } else {
     net_->set_client_processor(nullptr);

@@ -110,6 +110,7 @@ void FragmentAction::run(Packet pkt, Rng& rng,
   if (proto_ == Proto::kTcp) {
     // TCP segmentation: the second segment advances the sequence number.
     b.tcp.seq = pkt.tcp.seq + static_cast<std::uint32_t>(cut);
+    b.tcp_sum_tamper32(pkt.tcp.seq, b.tcp.seq);
   } else {
     // IP fragmentation: fragment offsets are in 8-byte units; the first
     // fragment sets More Fragments.

@@ -17,22 +17,42 @@ namespace caya {
 
 class Engine : public PacketProcessor {
  public:
+  /// Owning form: the engine keeps its own copy of the strategy.
   Engine(Strategy strategy, Rng rng)
-      : strategy_(std::move(strategy)), rng_(rng) {}
+      : owned_(std::move(strategy)), strategy_(&owned_), rng_(rng) {}
+
+  /// Borrowing form for the trial hot path: avoids cloning the whole action
+  /// tree per connection. `strategy` must outlive the engine.
+  Engine(const Strategy* strategy, Rng rng) : strategy_(strategy), rng_(rng) {}
+
+  // strategy_ may point into owned_, so default copy/move would dangle.
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
 
   [[nodiscard]] std::vector<Packet> process_outbound(Packet pkt) override {
-    auto out = strategy_.apply_outbound(std::move(pkt), rng_);
+    auto out = strategy_->apply_outbound(std::move(pkt), rng_);
     packets_out_ += out.size();
     ++packets_in_;
     return out;
   }
 
   [[nodiscard]] std::vector<Packet> process_inbound(Packet pkt) override {
-    return strategy_.apply_inbound(std::move(pkt), rng_);
+    return strategy_->apply_inbound(std::move(pkt), rng_);
+  }
+
+  void process_outbound_into(Packet pkt, std::vector<Packet>& out) override {
+    const std::size_t before = out.size();
+    strategy_->apply_outbound_into(std::move(pkt), rng_, out);
+    packets_out_ += out.size() - before;
+    ++packets_in_;
+  }
+
+  void process_inbound_into(Packet pkt, std::vector<Packet>& out) override {
+    strategy_->apply_inbound_into(std::move(pkt), rng_, out);
   }
 
   [[nodiscard]] const Strategy& strategy() const noexcept {
-    return strategy_;
+    return *strategy_;
   }
 
   /// Overhead accounting for §8: how many packets left the engine per packet
@@ -44,7 +64,8 @@ class Engine : public PacketProcessor {
   }
 
  private:
-  Strategy strategy_;
+  Strategy owned_;  // empty in the borrowing case
+  const Strategy* strategy_;
   Rng rng_;
   std::size_t packets_in_ = 0;
   std::size_t packets_out_ = 0;

@@ -3,16 +3,21 @@
 namespace caya {
 
 namespace {
-std::vector<Packet> apply_rules(const std::vector<TriggeredAction>& rules,
-                                Packet pkt, Rng& rng) {
-  std::vector<Packet> out;
+void apply_rules_into(const std::vector<TriggeredAction>& rules, Packet pkt,
+                      Rng& rng, std::vector<Packet>& out) {
   for (const auto& rule : rules) {
     if (rule.trigger.matches(pkt)) {
       run_action(rule.root.get(), std::move(pkt), rng, out);
-      return out;
+      return;
     }
   }
   out.push_back(std::move(pkt));
+}
+
+std::vector<Packet> apply_rules(const std::vector<TriggeredAction>& rules,
+                                Packet pkt, Rng& rng) {
+  std::vector<Packet> out;
+  apply_rules_into(rules, std::move(pkt), rng, out);
   return out;
 }
 }  // namespace
@@ -51,6 +56,16 @@ std::vector<Packet> Strategy::apply_outbound(Packet pkt, Rng& rng) const {
 
 std::vector<Packet> Strategy::apply_inbound(Packet pkt, Rng& rng) const {
   return apply_rules(inbound, std::move(pkt), rng);
+}
+
+void Strategy::apply_outbound_into(Packet pkt, Rng& rng,
+                                   std::vector<Packet>& out) const {
+  apply_rules_into(outbound, std::move(pkt), rng, out);
+}
+
+void Strategy::apply_inbound_into(Packet pkt, Rng& rng,
+                                  std::vector<Packet>& out) const {
+  apply_rules_into(inbound, std::move(pkt), rng, out);
 }
 
 }  // namespace caya

@@ -52,6 +52,13 @@ struct Strategy {
   /// runs; non-matching packets pass through unchanged.
   [[nodiscard]] std::vector<Packet> apply_outbound(Packet pkt, Rng& rng) const;
   [[nodiscard]] std::vector<Packet> apply_inbound(Packet pkt, Rng& rng) const;
+
+  /// Appending variants (hot path): results are pushed onto `out`, which the
+  /// caller recycles across packets.
+  void apply_outbound_into(Packet pkt, Rng& rng,
+                           std::vector<Packet>& out) const;
+  void apply_inbound_into(Packet pkt, Rng& rng,
+                          std::vector<Packet>& out) const;
 };
 
 }  // namespace caya

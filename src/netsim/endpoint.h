@@ -38,6 +38,18 @@ class PacketProcessor {
   [[nodiscard]] virtual std::vector<Packet> process_outbound(Packet pkt) = 0;
   /// Applied to packets arriving from the wire before the host sees them.
   [[nodiscard]] virtual std::vector<Packet> process_inbound(Packet pkt) = 0;
+
+  /// Appending variants for the hot path: the network recycles `out` across
+  /// packets, so engines that implement these directly avoid a fresh vector
+  /// per processed packet. Defaults forward to the returning forms.
+  virtual void process_outbound_into(Packet pkt, std::vector<Packet>& out) {
+    auto produced = process_outbound(std::move(pkt));
+    for (auto& p : produced) out.push_back(std::move(p));
+  }
+  virtual void process_inbound_into(Packet pkt, std::vector<Packet>& out) {
+    auto produced = process_inbound(std::move(pkt));
+    for (auto& p : produced) out.push_back(std::move(p));
+  }
 };
 
 }  // namespace caya

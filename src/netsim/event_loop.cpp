@@ -7,24 +7,112 @@
 
 namespace caya {
 
+std::uint32_t EventLoop::take_callback_slot() {
+  if (free_callback_ != kNone) {
+    const std::uint32_t slot = free_callback_;
+    free_callback_ = callbacks_[slot].next_free;
+    return slot;
+  }
+  callbacks_.emplace_back();
+  return static_cast<std::uint32_t>(callbacks_.size() - 1);
+}
+
+std::uint32_t EventLoop::take_packet_slot() {
+  if (free_packet_ != kNone) {
+    const std::uint32_t slot = free_packet_;
+    free_packet_ = packets_[slot].next_free;
+    return slot;
+  }
+  packets_.emplace_back();
+  return static_cast<std::uint32_t>(packets_.size() - 1);
+}
+
+void EventLoop::free_slot(std::uint32_t slot) noexcept {
+  if ((slot & kPacketLane) != 0) {
+    const std::uint32_t idx = slot & ~kPacketLane;
+    PacketSlot& s = packets_[idx];
+    s.pkt = Packet();  // drop the payload reference while parked
+    s.next_free = free_packet_;
+    free_packet_ = idx;
+  } else {
+    CallbackSlot& s = callbacks_[slot];
+    s.fn.reset();  // captured state must not outlive the event
+    s.next_free = free_callback_;
+    free_callback_ = slot;
+  }
+}
+
+void EventLoop::push_node(Time at, std::uint32_t slot) {
+  const Node node{std::max(at, now_), next_seq_++, slot};
+  std::size_t i = heap_.size();
+  heap_.push_back(node);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!before(node, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = node;
+}
+
+void EventLoop::sift_down(std::size_t i) noexcept {
+  const std::size_t n = heap_.size();
+  const Node node = heap_[i];
+  while (true) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], node)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = node;
+}
+
 void EventLoop::schedule_at(Time at, Callback cb) {
-  queue_.push(Event{std::max(at, now_), next_seq_++, std::move(cb)});
+  const std::uint32_t slot = take_callback_slot();
+  callbacks_[slot].fn = std::move(cb);
+  push_node(at, slot);
+}
+
+void EventLoop::schedule_packet_at(Time at, Packet pkt, std::uint32_t tag) {
+  const std::uint32_t slot = take_packet_slot();
+  packets_[slot].pkt = std::move(pkt);
+  packets_[slot].tag = tag;
+  push_node(at, slot | kPacketLane);
 }
 
 bool EventLoop::run_one() {
-  if (queue_.empty()) return false;
-  // priority_queue::top() is const; move the callback out via a copy of the
-  // wrapper (callbacks are cheap std::functions here).
-  Event ev = queue_.top();
-  queue_.pop();
-  if (selfcheck_enabled() && ev.at < now_) {
+  if (heap_.empty()) return false;
+  const Node top = heap_[0];
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  if (selfcheck_enabled() && top.at < now_) {
     throw SelfCheckError(
         "monotonic-time",
-        "event scheduled at t=" + std::to_string(ev.at) +
+        "event scheduled at t=" + std::to_string(top.at) +
             " fired with the clock already at t=" + std::to_string(now_));
   }
-  now_ = ev.at;
-  ev.cb();
+  now_ = top.at;
+  // Move the event out and release its slot *before* invoking: the body may
+  // schedule (reusing the slot) or clear() the loop, and both must see a
+  // consistent store.
+  if ((top.slot & kPacketLane) != 0) {
+    PacketSlot& s = packets_[top.slot & ~kPacketLane];
+    Packet pkt = std::move(s.pkt);
+    const std::uint32_t tag = s.tag;
+    free_slot(top.slot);
+    sink_->on_packet_event(std::move(pkt), tag);
+  } else {
+    Callback cb = std::move(callbacks_[top.slot].fn);
+    free_slot(top.slot);
+    cb();
+  }
   return true;
 }
 
@@ -34,11 +122,12 @@ void EventLoop::run(std::size_t max_events) {
 }
 
 void EventLoop::clear() {
-  while (!queue_.empty()) queue_.pop();
+  for (const Node& node : heap_) free_slot(node.slot);
+  heap_.clear();
 }
 
 void EventLoop::run_until(Time deadline) {
-  while (!queue_.empty() && queue_.top().at <= deadline) {
+  while (!heap_.empty() && heap_[0].at <= deadline) {
     run_one();
   }
   now_ = std::max(now_, deadline);

@@ -4,20 +4,123 @@
 // residual-censorship expiry, DNS retry backoff — runs through this loop.
 // Events at equal times fire in scheduling order (a monotonic tiebreaker),
 // which gives the FIFO delivery the paper's experiments assume.
+//
+// The loop is built not to allocate in steady state: the ready set is an
+// implicit 4-ary heap of 24-byte nodes, callbacks live in a slot store of
+// small-buffer cells (48-byte inline capacity — every timer lambda in the
+// tree fits; larger closures spill to the heap), and packet deliveries take
+// a typed fast lane that moves the Packet into a pooled slot instead of
+// wrapping it in a type-erased closure. Node/slot vectors keep their
+// capacity across trials of the same Environment.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "netsim/time.h"
+#include "packet/packet.h"
 
 namespace caya {
 
+/// Move-only type-erased callable with inline storage. Replaces
+/// std::function on the event path: scheduling a retransmit timer or a
+/// delivery hop must not heap-allocate.
+class InplaceFunction {
+ public:
+  static constexpr std::size_t kCapacity = 48;
+
+  InplaceFunction() noexcept = default;
+
+  template <class F,
+            class = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InplaceFunction>>>
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  InplaceFunction(F&& f) {
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kCapacity &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      invoke_ = [](void* s) { (*std::launder(reinterpret_cast<Fn*>(s)))(); };
+      relocate_ = [](void* src, void* dst) noexcept {
+        Fn* fn = std::launder(reinterpret_cast<Fn*>(src));
+        if (dst != nullptr) ::new (dst) Fn(std::move(*fn));
+        fn->~Fn();
+      };
+    } else {
+      // Spill: the cell holds only a pointer.
+      auto* heap = new Fn(std::forward<F>(f));
+      std::memcpy(storage_, &heap, sizeof(heap));
+      invoke_ = [](void* s) {
+        Fn* fn;
+        std::memcpy(&fn, s, sizeof(fn));
+        (*fn)();
+      };
+      relocate_ = [](void* src, void* dst) noexcept {
+        if (dst != nullptr) {
+          std::memcpy(dst, src, sizeof(Fn*));
+        } else {
+          Fn* fn;
+          std::memcpy(&fn, src, sizeof(fn));
+          delete fn;
+        }
+      };
+    }
+  }
+
+  InplaceFunction(InplaceFunction&& other) noexcept { steal(other); }
+  InplaceFunction& operator=(InplaceFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+  InplaceFunction(const InplaceFunction&) = delete;
+  InplaceFunction& operator=(const InplaceFunction&) = delete;
+  ~InplaceFunction() { reset(); }
+
+  void operator()() { invoke_(storage_); }
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  void reset() noexcept {
+    if (relocate_ != nullptr) relocate_(storage_, nullptr);
+    invoke_ = nullptr;
+    relocate_ = nullptr;
+  }
+
+ private:
+  void steal(InplaceFunction& other) noexcept {
+    invoke_ = other.invoke_;
+    relocate_ = other.relocate_;
+    if (relocate_ != nullptr) relocate_(other.storage_, storage_);
+    other.invoke_ = nullptr;
+    other.relocate_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kCapacity];
+  void (*invoke_)(void*) = nullptr;
+  // relocate(src, dst): move-construct into dst then destroy src, or just
+  // destroy src when dst is null.
+  void (*relocate_)(void* src, void* dst) noexcept = nullptr;
+};
+
+/// Receiver for the typed packet lane. The Network registers itself once;
+/// `tag` encodes which leg of the path the packet is on (the sink defines
+/// the encoding).
+struct PacketEventSink {
+  virtual ~PacketEventSink() = default;
+  virtual void on_packet_event(Packet&& pkt, std::uint32_t tag) = 0;
+};
+
 class EventLoop {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InplaceFunction;
 
   /// Schedules `cb` to run at absolute time `at` (clamped to now()).
   void schedule_at(Time at, Callback cb);
@@ -26,11 +129,20 @@ class EventLoop {
     schedule_at(now_ + delay, std::move(cb));
   }
 
+  /// Registers the receiver for packet-lane events (one per loop).
+  void set_packet_sink(PacketEventSink* sink) noexcept { sink_ = sink; }
+  /// Typed fast lane: schedules delivery of `pkt` to the registered sink.
+  /// Shares the (time, seq) total order with callback events.
+  void schedule_packet_at(Time at, Packet pkt, std::uint32_t tag);
+  void schedule_packet_in(Time delay, Packet pkt, std::uint32_t tag) {
+    schedule_packet_at(now_ + delay, std::move(pkt), tag);
+  }
+
   [[nodiscard]] Time now() const noexcept { return now_; }
-  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
-  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
   /// Fire time of the earliest pending event (undefined when empty()).
-  [[nodiscard]] Time next_at() const noexcept { return queue_.top().at; }
+  [[nodiscard]] Time next_at() const noexcept { return heap_[0].at; }
 
   /// Runs a single event; returns false if the queue was empty.
   bool run_one();
@@ -41,22 +153,46 @@ class EventLoop {
 
   /// Discards all pending events without running them (now() is preserved).
   /// Used between simulation phases so stale callbacks never outlive the
-  /// objects they capture.
+  /// objects they capture. Safe to call from inside a running event: the
+  /// running event's slot is already released before its body executes.
   void clear();
 
  private:
-  struct Event {
+  // Heap node: fire time, FIFO tiebreaker, and a handle into one of the two
+  // slot stores (top bit selects the packet lane).
+  struct Node {
     Time at;
     std::uint64_t seq;
-    Callback cb;
+    std::uint32_t slot;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
-    }
+  static constexpr std::uint32_t kPacketLane = 0x8000'0000u;
+
+  struct PacketSlot {
+    Packet pkt;
+    std::uint32_t tag = 0;
+    std::uint32_t next_free = 0;
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  [[nodiscard]] static bool before(const Node& a, const Node& b) noexcept {
+    return a.at != b.at ? a.at < b.at : a.seq < b.seq;
+  }
+  void push_node(Time at, std::uint32_t slot);
+  void sift_down(std::size_t i) noexcept;
+  [[nodiscard]] std::uint32_t take_callback_slot();
+  [[nodiscard]] std::uint32_t take_packet_slot();
+  void free_slot(std::uint32_t slot) noexcept;
+
+  std::vector<Node> heap_;  // implicit 4-ary min-heap over before()
+  struct CallbackSlot {
+    Callback fn;
+    std::uint32_t next_free = 0;
+  };
+  std::vector<CallbackSlot> callbacks_;
+  std::vector<PacketSlot> packets_;
+  static constexpr std::uint32_t kNone = 0xffff'ffffu;
+  std::uint32_t free_callback_ = kNone;  // free-list heads into the stores
+  std::uint32_t free_packet_ = kNone;
+  PacketEventSink* sink_ = nullptr;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
 };

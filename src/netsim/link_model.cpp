@@ -94,17 +94,17 @@ LinkDecision LinkModel::traverse(LinkSegment segment, Direction dir,
 
 void LinkModel::corrupt_packet(Packet& pkt) {
   // Pin the pre-corruption checksum so re-serialization exposes the damage.
-  BufferArena::Scoped segment;
-  pkt.tcp.serialize_into(*segment, pkt.ip.src, pkt.ip.dst, pkt.payload,
-                         /*compute_checksum=*/!pkt.tcp_checksum_overridden,
-                         !pkt.tcp_offset_overridden);
-  pkt.tcp.checksum =
-      static_cast<std::uint16_t>((*segment)[16] << 8 | (*segment)[17]);
-  pkt.tcp_checksum_overridden = true;
+  if (!pkt.tcp_checksum_overridden) {
+    pkt.tcp.checksum = pkt.computed_tcp_checksum();
+    pkt.tcp_checksum_overridden = true;
+  }
   if (!pkt.payload.empty()) {
-    pkt.payload[pkt.payload.size() / 2] ^= 0x20;
+    Bytes& raw = pkt.payload.mutate();
+    raw[raw.size() / 2] ^= 0x20;
   } else {
+    const std::uint16_t old = pkt.tcp.window;
     pkt.tcp.window ^= 0x0004;
+    pkt.tcp_sum_tamper(old, pkt.tcp.window);
   }
 }
 

@@ -34,34 +34,53 @@ Network::Network(EventLoop& loop, Config config, Rng rng, Logger logger)
       config_(config),
       rng_(rng),
       logger_(std::move(logger)),
-      link_(effective_link(config), rng_.fork()) {}
+      link_(effective_link(config), rng_.fork()) {
+  loop_.set_packet_sink(this);
+}
 
-void Network::send_from_client(Packet pkt) {
-  std::vector<Packet> out;
-  if (client_proc_ != nullptr) {
-    out = client_proc_->process_outbound(std::move(pkt));
+void Network::on_packet_event(Packet&& pkt, std::uint32_t tag) {
+  const Direction dir = (tag & kTagDirServerToClient) != 0
+                            ? Direction::kServerToClient
+                            : Direction::kClientToServer;
+  if ((tag & kTagCensorLeg) != 0) {
+    censor_leg(std::move(pkt), dir);
   } else {
-    out.push_back(std::move(pkt));
-  }
-  for (auto& p : out) {
-    trace_.record({loop_.now(), TracePoint::kClientSent,
-                   Direction::kClientToServer, p, ""});
-    transmit(std::move(p), Direction::kClientToServer, /*from_censor=*/false);
+    deliver_to_endpoint(std::move(pkt), dir);
   }
 }
 
-void Network::send_from_server(Packet pkt) {
-  std::vector<Packet> out;
-  if (server_proc_ != nullptr) {
-    out = server_proc_->process_outbound(std::move(pkt));
+void Network::send_from_client(Packet pkt) {
+  std::vector<Packet> out = std::move(send_scratch_);
+  out.clear();
+  if (client_proc_ != nullptr) {
+    client_proc_->process_outbound_into(std::move(pkt), out);
   } else {
     out.push_back(std::move(pkt));
   }
   for (auto& p : out) {
-    trace_.record({loop_.now(), TracePoint::kServerSent,
-                   Direction::kServerToClient, p, ""});
+    trace_.record(loop_.now(), TracePoint::kClientSent,
+                  Direction::kClientToServer, p, "");
+    transmit(std::move(p), Direction::kClientToServer, /*from_censor=*/false);
+  }
+  out.clear();
+  send_scratch_ = std::move(out);
+}
+
+void Network::send_from_server(Packet pkt) {
+  std::vector<Packet> out = std::move(send_scratch_);
+  out.clear();
+  if (server_proc_ != nullptr) {
+    server_proc_->process_outbound_into(std::move(pkt), out);
+  } else {
+    out.push_back(std::move(pkt));
+  }
+  for (auto& p : out) {
+    trace_.record(loop_.now(), TracePoint::kServerSent,
+                  Direction::kServerToClient, p, "");
     transmit(std::move(p), Direction::kServerToClient, /*from_censor=*/false);
   }
+  out.clear();
+  send_scratch_ = std::move(out);
 }
 
 void Network::selfcheck_begin_connection() {
@@ -101,8 +120,8 @@ void Network::selfcheck_end_connection(bool timed_out) const {
 
 void Network::inject(Packet pkt, Direction toward) {
   ++accounting_.created;
-  trace_.record(
-      {loop_.now(), TracePoint::kCensorInjected, toward, pkt, "injected"});
+  trace_.record(loop_.now(), TracePoint::kCensorInjected, toward, pkt,
+                "injected");
   // Injected packets ride the segment from the censor hop to their target
   // and face that lane's impairments like any other traffic.
   const LinkSegment segment = toward == Direction::kClientToServer
@@ -118,16 +137,15 @@ void Network::inject(Packet pkt, Direction toward) {
   const Time arrival = loop_.now() +
                        static_cast<Time>(hops) * config_.per_hop_delay +
                        extra_delay;
-  loop_.schedule_at(arrival, [this, pkt, toward]() mutable {
-    deliver_to_endpoint(std::move(pkt), toward);
-  });
   if (duplicate) {
-    trace_.record({loop_.now(), TracePoint::kDuplicated, toward, pkt,
-                   "link duplication"});
-    loop_.schedule_at(arrival + duration::us(1),
-                      [this, pkt = std::move(pkt), toward]() mutable {
-                        deliver_to_endpoint(std::move(pkt), toward);
-                      });
+    loop_.schedule_packet_at(arrival, pkt, make_tag(kTagDeliver, toward));
+    trace_.record(loop_.now(), TracePoint::kDuplicated, toward, pkt,
+                  "link duplication");
+    loop_.schedule_packet_at(arrival + duration::us(1), std::move(pkt),
+                             make_tag(kTagDeliver, toward));
+  } else {
+    loop_.schedule_packet_at(arrival, std::move(pkt),
+                             make_tag(kTagDeliver, toward));
   }
 }
 
@@ -140,8 +158,7 @@ void Network::trace_stage(const Packet& pkt, Direction dir,
     note += ": ";
     note += detail;
   }
-  trace_.record(
-      {loop_.now(), TracePoint::kCensorStage, dir, pkt, std::move(note)});
+  trace_.record({loop_.now(), TracePoint::kCensorStage, dir, pkt, std::move(note)});
 }
 
 bool Network::apply_faults(Middlebox* box, const Packet& pkt,
@@ -153,29 +170,33 @@ bool Network::apply_faults(Middlebox* box, const Packet& pkt,
                        : ev.kind == FaultKind::kStall ? "censor stall"
                                                       : "censor restart";
     if (ev.kind != FaultKind::kStall) box->reset();
-    trace_.record({loop_.now(), TracePoint::kCensorFault, dir, pkt, note});
+    trace_.record(loop_.now(), TracePoint::kCensorFault, dir, pkt, note);
   }
   return faults->stalled_at(loop_.now());
 }
 
-std::vector<Packet> Network::run_middleboxes(Packet pkt, Direction dir) {
-  // Spatial order: add order when heading toward the server, reversed when
-  // heading toward the client.
-  std::vector<Middlebox*> order = middleboxes_;
-  if (dir == Direction::kServerToClient) {
-    std::reverse(order.begin(), order.end());
-  }
-
-  std::vector<Packet> in_flight;
-  in_flight.push_back(std::move(pkt));
-  for (Middlebox* box : order) {
-    if (in_flight.empty()) break;
-    if (apply_faults(box, in_flight.front(), dir)) {
+void Network::run_middleboxes(Packet pkt, Direction dir,
+                              std::vector<Packet>& out) {
+  // `out` doubles as the in-flight set between boxes; `next` collects each
+  // box's outputs, then the two swap. Both keep their capacity across
+  // packets (out is the caller's recycled scratch, next is a member).
+  out.clear();
+  out.reserve(4);
+  out.push_back(std::move(pkt));
+  std::vector<Packet> next = std::move(mb_next_scratch_);
+  const std::size_t box_count = middleboxes_.size();
+  for (std::size_t i = 0; i < box_count && !out.empty(); ++i) {
+    // Spatial order: add order when heading toward the server, reversed
+    // when heading toward the client.
+    Middlebox* box = middleboxes_[dir == Direction::kServerToClient
+                                      ? box_count - 1 - i
+                                      : i];
+    if (apply_faults(box, out.front(), dir)) {
       // Stalled box: fail open — traffic passes uninspected.
       continue;
     }
-    std::vector<Packet> next;
-    for (auto& p : in_flight) {
+    next.clear();
+    for (auto& p : out) {
       if (box->in_path()) {
         if (auto rewritten = box->rewrite(p, dir)) {
           // Ledger: the original is consumed, each rewrite output is new.
@@ -188,14 +209,15 @@ std::vector<Packet> Network::run_middleboxes(Packet pkt, Direction dir) {
       const Verdict verdict = box->on_packet(p, dir, *this);
       if (verdict == Verdict::kDrop && box->in_path()) {
         ++accounting_.dropped;
-        trace_.record({loop_.now(), TracePoint::kCensorDropped, dir, p, ""});
+        trace_.record(loop_.now(), TracePoint::kCensorDropped, dir, p, "");
         continue;
       }
       next.push_back(std::move(p));
     }
-    in_flight = std::move(next);
+    out.swap(next);
   }
-  return in_flight;
+  next.clear();
+  mb_next_scratch_ = std::move(next);
 }
 
 bool Network::impair(Packet& pkt, LinkSegment segment, Direction dir,
@@ -203,18 +225,18 @@ bool Network::impair(Packet& pkt, LinkSegment segment, Direction dir,
   const LinkDecision decision = link_.traverse(segment, dir, loop_.now());
   if (decision.drop) {
     ++accounting_.dropped;
-    trace_.record({loop_.now(), TracePoint::kLost, dir, pkt,
-                   std::string(decision.drop_reason)});
+    trace_.record(loop_.now(), TracePoint::kLost, dir, pkt,
+                  decision.drop_reason);
     return false;
   }
   if (decision.corrupt) {
     LinkModel::corrupt_packet(pkt);
-    trace_.record(
-        {loop_.now(), TracePoint::kCorrupted, dir, pkt, "bit corruption"});
+    trace_.record(loop_.now(), TracePoint::kCorrupted, dir, pkt,
+                  "bit corruption");
   }
   if (decision.extra_delay > 0) {
-    trace_.record({loop_.now(), TracePoint::kReordered, dir, pkt,
-                   "jitter delay"});
+    trace_.record(loop_.now(), TracePoint::kReordered, dir, pkt,
+                  "jitter delay");
   }
   extra_delay = decision.extra_delay;
   duplicate = decision.duplicate;
@@ -235,12 +257,11 @@ void Network::transmit(Packet pkt, Direction dir, bool from_censor) {
   const int hops_to_censor = dir == Direction::kClientToServer
                                  ? config_.client_to_censor_hops
                                  : config_.censor_to_server_hops;
-  const int hops_total = total_hops();
 
   if (!from_censor && pkt.ip.ttl < hops_to_censor) {
     // TTL expires before the censor's hop: nobody sees it.
     accounting_.dropped += duplicate ? 2 : 1;
-    trace_.record({loop_.now(), TracePoint::kLost, dir, pkt, "ttl expired"});
+    trace_.record(loop_.now(), TracePoint::kLost, dir, pkt, "ttl expired");
     return;
   }
 
@@ -248,55 +269,59 @@ void Network::transmit(Packet pkt, Direction dir, bool from_censor) {
       loop_.now() +
       static_cast<Time>(hops_to_censor) * config_.per_hop_delay + extra_delay;
 
+  if (duplicate) {
+    trace_.record(loop_.now(), TracePoint::kDuplicated, dir, pkt,
+                  "link duplication");
+    // The duplicate is scheduled first (lower event seq) at a later time —
+    // preserved exactly from the closure-based implementation, since event
+    // seq numbers feed the equal-time FIFO order.
+    loop_.schedule_packet_at(censor_arrival + duration::us(1), pkt,
+                             make_tag(kTagCensorLeg, dir));
+  }
+  loop_.schedule_packet_at(censor_arrival, std::move(pkt),
+                           make_tag(kTagCensorLeg, dir));
+}
+
+void Network::censor_leg(Packet arriving, Direction dir) {
+  const int hops_to_censor = dir == Direction::kClientToServer
+                                 ? config_.client_to_censor_hops
+                                 : config_.censor_to_server_hops;
+  const int hops_total = total_hops();
   // Second segment: censor hop to the receiver (traversed by each survivor
   // of the middleboxes, with its own lane's impairments).
   const LinkSegment second_segment = dir == Direction::kClientToServer
                                          ? LinkSegment::kCensorServer
                                          : LinkSegment::kClientCensor;
-  auto censor_leg = [this, dir, hops_total, hops_to_censor,
-                     second_segment](Packet arriving) mutable {
-    trace_.record({loop_.now(), TracePoint::kCensorSaw, dir, arriving, ""});
-    std::vector<Packet> survivors = run_middleboxes(std::move(arriving), dir);
-    const Time remaining =
-        static_cast<Time>(hops_total - hops_to_censor) * config_.per_hop_delay;
-    for (auto& p : survivors) {
-      if (p.ip.ttl < hops_total) {
-        ++accounting_.dropped;
-        trace_.record({loop_.now(), TracePoint::kLost, dir, p, "ttl expired"});
-        continue;
-      }
-      p.ip.ttl = static_cast<std::uint8_t>(p.ip.ttl - hops_total);
-      Time leg_delay = 0;
-      bool leg_duplicate = false;
-      if (!impair(p, second_segment, dir, leg_delay, leg_duplicate)) continue;
-      if (leg_duplicate) ++accounting_.created;
-      loop_.schedule_in(remaining + leg_delay,
-                        [this, p, dir]() mutable {
-                          deliver_to_endpoint(std::move(p), dir);
-                        });
-      if (leg_duplicate) {
-        trace_.record({loop_.now(), TracePoint::kDuplicated, dir, p,
-                       "link duplication"});
-        loop_.schedule_in(remaining + leg_delay + duration::us(1),
-                          [this, p = std::move(p), dir]() mutable {
-                            deliver_to_endpoint(std::move(p), dir);
-                          });
-      }
+  trace_.record(loop_.now(), TracePoint::kCensorSaw, dir, arriving, "");
+  std::vector<Packet> survivors = std::move(survivors_scratch_);
+  run_middleboxes(std::move(arriving), dir, survivors);
+  const Time remaining =
+      static_cast<Time>(hops_total - hops_to_censor) * config_.per_hop_delay;
+  for (auto& p : survivors) {
+    if (p.ip.ttl < hops_total) {
+      ++accounting_.dropped;
+      trace_.record(loop_.now(), TracePoint::kLost, dir, p, "ttl expired");
+      continue;
     }
-  };
-
-  if (duplicate) {
-    trace_.record({loop_.now(), TracePoint::kDuplicated, dir, pkt,
-                   "link duplication"});
-    loop_.schedule_at(censor_arrival + duration::us(1),
-                      [censor_leg, copy = pkt]() mutable {
-                        censor_leg(std::move(copy));
-                      });
+    p.ip.ttl = static_cast<std::uint8_t>(p.ip.ttl - hops_total);
+    Time leg_delay = 0;
+    bool leg_duplicate = false;
+    if (!impair(p, second_segment, dir, leg_delay, leg_duplicate)) continue;
+    if (leg_duplicate) {
+      ++accounting_.created;
+      loop_.schedule_packet_in(remaining + leg_delay, p,
+                               make_tag(kTagDeliver, dir));
+      trace_.record(loop_.now(), TracePoint::kDuplicated, dir, p,
+                    "link duplication");
+      loop_.schedule_packet_in(remaining + leg_delay + duration::us(1),
+                               std::move(p), make_tag(kTagDeliver, dir));
+    } else {
+      loop_.schedule_packet_in(remaining + leg_delay, std::move(p),
+                               make_tag(kTagDeliver, dir));
+    }
   }
-  loop_.schedule_at(censor_arrival,
-                    [censor_leg, pkt = std::move(pkt)]() mutable {
-                      censor_leg(std::move(pkt));
-                    });
+  survivors.clear();
+  survivors_scratch_ = std::move(survivors);
 }
 
 void Network::deliver_to_endpoint(Packet pkt, Direction dir) {
@@ -310,16 +335,19 @@ void Network::deliver_to_endpoint(Packet pkt, Direction dir) {
                                : TracePoint::kClientReceived;
   if (target == nullptr) return;
 
-  std::vector<Packet> in;
+  std::vector<Packet> in = std::move(deliver_scratch_);
+  in.clear();
   if (proc != nullptr) {
-    in = proc->process_inbound(std::move(pkt));
+    proc->process_inbound_into(std::move(pkt), in);
   } else {
     in.push_back(std::move(pkt));
   }
   for (auto& p : in) {
-    trace_.record({loop_.now(), point, dir, p, ""});
+    trace_.record(loop_.now(), point, dir, p, "");
     target->deliver(p);
   }
+  in.clear();
+  deliver_scratch_ = std::move(in);
 }
 
 }  // namespace caya

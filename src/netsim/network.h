@@ -20,7 +20,7 @@
 
 namespace caya {
 
-class Network : public Injector {
+class Network : public Injector, public PacketEventSink {
  public:
   struct Config {
     int client_to_censor_hops = 3;   // hops before the censor sees a packet
@@ -75,6 +75,11 @@ class Network : public Injector {
   void trace_stage(const Packet& pkt, Direction dir, std::string_view box,
                    std::string_view stage, std::string_view detail) override;
 
+  /// PacketEventSink: the EventLoop's typed lane hands scheduled packets
+  /// back here. `tag` is one of the kTag* constants below ORed with the
+  /// direction bit.
+  void on_packet_event(Packet&& pkt, std::uint32_t tag) override;
+
   [[nodiscard]] Trace& trace() noexcept { return trace_; }
   [[nodiscard]] EventLoop& loop() noexcept { return loop_; }
 
@@ -103,12 +108,25 @@ class Network : public Injector {
   void selfcheck_end_connection(bool timed_out) const;
 
  private:
+  // Packet-lane tags: event kind in the high bits, direction in bit 0.
+  static constexpr std::uint32_t kTagDirServerToClient = 0x1;
+  static constexpr std::uint32_t kTagDeliver = 0x0;     // at receiving host
+  static constexpr std::uint32_t kTagCensorLeg = 0x2;   // at the censor hop
+  [[nodiscard]] static std::uint32_t make_tag(std::uint32_t kind,
+                                              Direction dir) noexcept {
+    return kind |
+           (dir == Direction::kServerToClient ? kTagDirServerToClient : 0);
+  }
+
   void transmit(Packet pkt, Direction dir, bool from_censor);
   void deliver_to_endpoint(Packet pkt, Direction dir);
-  /// Runs the packet through the colocated boxes in spatial order; returns
-  /// the surviving (possibly rewritten) packets to forward.
-  [[nodiscard]] std::vector<Packet> run_middleboxes(Packet pkt,
-                                                    Direction dir);
+  /// The censor-hop arrival: runs the middleboxes and forwards survivors
+  /// down the second link segment.
+  void censor_leg(Packet arriving, Direction dir);
+  /// Runs the packet through the colocated boxes in spatial order,
+  /// appending the surviving (possibly rewritten) packets to `out` (cleared
+  /// first; a recycled scratch).
+  void run_middleboxes(Packet pkt, Direction dir, std::vector<Packet>& out);
   /// Applies due fault-schedule events for `box` and reports whether the box
   /// is currently stalled (fail-open: the packet passes uninspected).
   [[nodiscard]] bool apply_faults(Middlebox* box, const Packet& pkt,
@@ -132,6 +150,13 @@ class Network : public Injector {
   std::vector<Middlebox*> middleboxes_;
   PacketAccounting accounting_;
   std::vector<std::size_t> tcb_baseline_;
+  // Recycled scratch vectors for the per-packet paths (moved out while in
+  // use, moved back cleared — a reentrant call just sees an empty member
+  // and falls back to a fresh vector).
+  std::vector<Packet> send_scratch_;
+  std::vector<Packet> deliver_scratch_;
+  std::vector<Packet> survivors_scratch_;
+  std::vector<Packet> mb_next_scratch_;
 };
 
 }  // namespace caya

@@ -3,6 +3,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "util/arena.h"
+
 namespace caya {
 
 namespace {
@@ -43,14 +45,17 @@ Bytes to_pcap(const Trace& trace, TracePoint point) {
   put_u32le(out, 65535);  // snaplen
   put_u32le(out, kLinkTypeRaw);
 
+  // One recycled wire buffer for every record instead of an allocation per
+  // packet.
+  BufferArena::Scoped wire;
   for (const auto& ev : trace.events()) {
     if (ev.point != point) continue;
-    const Bytes wire = ev.packet.serialize();
+    ev.packet.serialize_into(*wire);
     put_u32le(out, static_cast<std::uint32_t>(ev.at / 1'000'000));  // sec
     put_u32le(out, static_cast<std::uint32_t>(ev.at % 1'000'000));  // usec
-    put_u32le(out, static_cast<std::uint32_t>(wire.size()));  // captured
-    put_u32le(out, static_cast<std::uint32_t>(wire.size()));  // original
-    out.insert(out.end(), wire.begin(), wire.end());
+    put_u32le(out, static_cast<std::uint32_t>(wire->size()));  // captured
+    put_u32le(out, static_cast<std::uint32_t>(wire->size()));  // original
+    out.insert(out.end(), wire->begin(), wire->end());
   }
   return out;
 }

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "netsim/endpoint.h"
@@ -40,7 +41,25 @@ struct TraceEvent {
 
 class Trace {
  public:
-  void record(TraceEvent event) { events_.push_back(std::move(event)); }
+  /// Recording gate: while disabled, record() drops events without storing
+  /// anything. The evaluation hot path runs thousands of trials whose traces
+  /// nobody reads; disabling recording there removes a packet copy and a
+  /// vector append per hop. Enabled by default.
+  void set_enabled(bool enabled) noexcept { enabled_ = enabled; }
+  [[nodiscard]] bool is_enabled() const noexcept { return enabled_; }
+
+  void record(TraceEvent event) {
+    if (enabled_) events_.push_back(std::move(event));
+  }
+  /// Piecewise form for hot call sites: the Packet copy and the note string
+  /// are only materialized when recording is enabled.
+  void record(Time at, TracePoint point, Direction direction,
+              const Packet& packet, std::string_view note) {
+    if (enabled_) {
+      events_.push_back(
+          TraceEvent{at, point, direction, packet, std::string(note)});
+    }
+  }
   void clear() { events_.clear(); }
 
   [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
@@ -55,6 +74,7 @@ class Trace {
 
  private:
   std::vector<TraceEvent> events_;
+  bool enabled_ = true;
 };
 
 }  // namespace caya

@@ -177,8 +177,9 @@ void set_field(Packet& pkt, Proto proto, std::string_view field,
       if (dns_id(pkt)) {
         const auto id =
             static_cast<std::uint16_t>(parse_number(value, field));
-        pkt.payload[2] = static_cast<std::uint8_t>(id >> 8);
-        pkt.payload[3] = static_cast<std::uint8_t>(id & 0xff);
+        Bytes& raw = pkt.payload.mutate();
+        raw[2] = static_cast<std::uint8_t>(id >> 8);
+        raw[3] = static_cast<std::uint8_t>(id & 0xff);
       }
       return;
     }
@@ -219,9 +220,13 @@ void set_field(Packet& pkt, Proto proto, std::string_view field,
       pkt.ip.checksum = static_cast<std::uint16_t>(parse_number(value, field));
       pkt.ip_checksum_overridden = true;
     } else if (field == "src") {
+      const std::uint32_t old = pkt.ip.src.value();
       pkt.ip.src = Ipv4Address::parse(value);
+      pkt.tcp_sum_tamper32(old, pkt.ip.src.value());  // pseudo-header word
     } else if (field == "dst") {
+      const std::uint32_t old = pkt.ip.dst.value();
       pkt.ip.dst = Ipv4Address::parse(value);
+      pkt.tcp_sum_tamper32(old, pkt.ip.dst.value());  // pseudo-header word
     } else if (field == "load") {
       pkt.payload = to_bytes(value);
     } else {
@@ -229,31 +234,52 @@ void set_field(Packet& pkt, Proto proto, std::string_view field,
     }
     return;
   }
+  // Single-field TCP tampers keep the packet's checksum memo current via
+  // RFC 1624 instead of forcing a full recompute. For `flags` the data-offset
+  // high byte is common to the old and new header word, so it cancels in the
+  // one's-complement difference and the flag bytes alone suffice.
   if (field == "sport") {
+    const std::uint16_t old = pkt.tcp.sport;
     pkt.tcp.sport = static_cast<std::uint16_t>(parse_number(value, field));
+    pkt.tcp_sum_tamper(old, pkt.tcp.sport);
   } else if (field == "dport") {
+    const std::uint16_t old = pkt.tcp.dport;
     pkt.tcp.dport = static_cast<std::uint16_t>(parse_number(value, field));
+    pkt.tcp_sum_tamper(old, pkt.tcp.dport);
   } else if (field == "seq") {
+    const std::uint32_t old = pkt.tcp.seq;
     pkt.tcp.seq = static_cast<std::uint32_t>(parse_number(value, field));
+    pkt.tcp_sum_tamper32(old, pkt.tcp.seq);
   } else if (field == "ack") {
+    const std::uint32_t old = pkt.tcp.ack;
     pkt.tcp.ack = static_cast<std::uint32_t>(parse_number(value, field));
+    pkt.tcp_sum_tamper32(old, pkt.tcp.ack);
   } else if (field == "dataofs") {
     pkt.tcp.data_offset = static_cast<std::uint8_t>(parse_number(value, field));
     pkt.tcp_offset_overridden = true;
+    pkt.tcp_sum_invalidate();  // the pinned offset changes the header word
   } else if (field == "flags") {
+    const std::uint8_t old = pkt.tcp.flags;
     pkt.tcp.flags = flags_from_string(value);
+    pkt.tcp_sum_tamper(old, pkt.tcp.flags);
   } else if (field == "window") {
+    const std::uint16_t old = pkt.tcp.window;
     pkt.tcp.window = static_cast<std::uint16_t>(parse_number(value, field));
+    pkt.tcp_sum_tamper(old, pkt.tcp.window);
   } else if (field == "chksum") {
+    // Pins the *stored* checksum; the memo of the computed one stays valid.
     pkt.tcp.checksum = static_cast<std::uint16_t>(parse_number(value, field));
     pkt.tcp_checksum_overridden = true;
   } else if (field == "urgptr") {
+    const std::uint16_t old = pkt.tcp.urgent_pointer;
     pkt.tcp.urgent_pointer =
         static_cast<std::uint16_t>(parse_number(value, field));
+    pkt.tcp_sum_tamper(old, pkt.tcp.urgent_pointer);
   } else if (field == "load") {
-    pkt.payload = to_bytes(value);
+    pkt.payload = to_bytes(value);  // payload is folded in per query
   } else if (auto kind = option_kind_for(field)) {
     option_from_string(pkt, *kind, value, option_width(*kind));
+    pkt.tcp_sum_invalidate();  // option bytes and header length changed
   } else {
     unknown_field(proto, field);
   }
@@ -280,7 +306,9 @@ void corrupt_field(Packet& pkt, Proto proto, std::string_view field, Rng& rng) {
     return;
   }
   if (proto == Proto::kTcp && field == "flags") {
+    const std::uint8_t old = pkt.tcp.flags;
     pkt.tcp.flags = static_cast<std::uint8_t>(rng.uniform(0, 255));
+    pkt.tcp_sum_tamper(old, pkt.tcp.flags);
     return;
   }
   if (proto == Proto::kIp && (field == "src" || field == "dst")) {
@@ -292,6 +320,7 @@ void corrupt_field(Packet& pkt, Proto proto, std::string_view field, Rng& rng) {
   if (auto kind = option_kind_for(field); proto == Proto::kTcp && kind) {
     const std::size_t width = option_width(*kind);
     pkt.tcp.set_option(*kind, rng.bytes(width));
+    pkt.tcp_sum_invalidate();
     return;
   }
   // Numeric fields: draw random bits of the field's width. The current value

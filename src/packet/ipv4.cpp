@@ -50,6 +50,7 @@ void Ipv4Header::serialize_into(Bytes& out, std::uint16_t payload_length,
                                 bool compute_checksum,
                                 bool compute_length) const {
   ByteWriter w(std::move(out));
+  w.reserve(20);
   w.u8(static_cast<std::uint8_t>(version << 4 | (ihl & 0xf)));
   w.u8(tos);
   const std::uint16_t length =

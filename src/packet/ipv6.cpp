@@ -122,9 +122,10 @@ std::string Ipv6Address::to_string() const {
   return join(0, best_start) + "::" + join(best_start + best_len, 8);
 }
 
-Bytes Ipv6Header::serialize(std::uint16_t payload_len,
-                            bool compute_length) const {
-  ByteWriter w;
+void Ipv6Header::serialize_into(Bytes& out, std::uint16_t payload_len,
+                                bool compute_length) const {
+  ByteWriter w(std::move(out));
+  w.reserve(40);
   w.u32(static_cast<std::uint32_t>(6) << 28 |
         static_cast<std::uint32_t>(traffic_class) << 20 |
         (flow_label & 0xfffff));
@@ -133,7 +134,14 @@ Bytes Ipv6Header::serialize(std::uint16_t payload_len,
   w.u8(hop_limit);
   w.raw(std::span(src.octets()));
   w.raw(std::span(dst.octets()));
-  return w.take();
+  out = w.take();
+}
+
+Bytes Ipv6Header::serialize(std::uint16_t payload_len,
+                            bool compute_length) const {
+  Bytes out;
+  serialize_into(out, payload_len, compute_length);
+  return out;
 }
 
 Ipv6Header Ipv6Header::parse(std::span<const std::uint8_t> data,

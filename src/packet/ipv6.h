@@ -46,6 +46,9 @@ struct Ipv6Header {
 
   [[nodiscard]] Bytes serialize(std::uint16_t payload_len,
                                 bool compute_length = true) const;
+  /// Same, written into `out` (cleared first; capacity retained).
+  void serialize_into(Bytes& out, std::uint16_t payload_len,
+                      bool compute_length = true) const;
   static Ipv6Header parse(std::span<const std::uint8_t> data,
                           std::size_t& consumed);
 };

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "packet/ipv4.h"
+#include "packet/payload.h"
 #include "packet/tcp.h"
 #include "util/bytes.h"
 
@@ -14,7 +15,7 @@ namespace caya {
 struct Packet {
   Ipv4Header ip;
   TcpHeader tcp;
-  Bytes payload;
+  Payload payload;  // copy-on-write: Packet copies share the buffer
 
   // Geneva's tamper semantics: writes to checksum/length/offset fields pin
   // the stored value instead of letting the serializer recompute it. These
@@ -23,6 +24,18 @@ struct Packet {
   bool ip_length_overridden = false;
   bool tcp_checksum_overridden = false;
   bool tcp_offset_overridden = false;
+
+  // TCP-checksum memo: `tcp_sum_memo` caches the header-side partial
+  // checksum (TcpHeader::partial_checksum); the pseudo-header length word
+  // and the payload's cached word sum are folded in per query, so payload
+  // edits can never stale it. computed_tcp_checksum() fills it, set_field
+  // keeps it current across single-field tampers via RFC 1624
+  // (tcp_sum_tamper*), and any other direct header mutation performed after
+  // a checksum query must call tcp_sum_invalidate(). Public so Packet stays
+  // an aggregate; not part of the packet's logical value.
+  mutable std::uint16_t tcp_sum_memo = 0;
+  mutable std::uint16_t tcp_header_len_memo = 0;
+  mutable bool tcp_sum_memo_valid = false;
 
   [[nodiscard]] std::size_t payload_size() const noexcept {
     return payload.size();
@@ -34,10 +47,28 @@ struct Packet {
   /// Serializes IP header + TCP segment to wire bytes, honoring any
   /// checksum/length overrides.
   [[nodiscard]] Bytes serialize() const;
+  /// Same, written into `out` (cleared first; capacity retained) so batch
+  /// writers (pcap, replay) can reuse one buffer across packets.
+  void serialize_into(Bytes& out) const;
 
   /// Parses wire bytes back into a Packet. The parsed packet keeps whatever
   /// checksums were on the wire; callers use the *_valid() helpers to verify.
   static Packet parse(std::span<const std::uint8_t> wire);
+
+  /// The TCP checksum a fresh serialization of this packet would carry,
+  /// computed from the header memo + the payload's cached word sum — no
+  /// serialization and no payload scan in steady state. Under CAYA_SELFCHECK
+  /// every result is cross-checked against the full RFC 1071 fold over the
+  /// serialized segment (the oracle); divergence throws SelfCheckError.
+  [[nodiscard]] std::uint16_t computed_tcp_checksum() const;
+
+  /// RFC 1624 hooks for single-field tampers: keep the checksum memo current
+  /// when one 16-bit word (or one aligned 32-bit field) of the TCP header or
+  /// pseudo-header changes. No-ops while the memo is cold.
+  void tcp_sum_tamper(std::uint16_t old_word, std::uint16_t new_word) noexcept;
+  void tcp_sum_tamper32(std::uint32_t old_value,
+                        std::uint32_t new_value) noexcept;
+  void tcp_sum_invalidate() noexcept { tcp_sum_memo_valid = false; }
 
   /// True when the TCP checksum on a re-serialization of this packet matches
   /// the stored/pinned checksum. End hosts verify this; most censors do not,

@@ -1,0 +1,190 @@
+#include "packet/payload.h"
+
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+#include "util/arena.h"
+
+namespace caya {
+namespace {
+
+/// Per-thread pool of rep headers. Capped like BufferArena's free list; the
+/// wrapper deletes leftovers at thread exit.
+constexpr std::size_t kMaxFreeReps = 64;
+
+}  // namespace
+
+struct Payload::Rep {
+  Bytes data;
+  std::atomic<std::uint32_t> refs{1};
+  // Lazily computed folded word-sum of `data`. sum_ is published with
+  // release/acquire through sum_valid_; racing computers write the same
+  // value, so the race is benign.
+  std::atomic<bool> sum_valid{false};
+  std::atomic<std::uint32_t> sum{0};
+};
+
+namespace {
+
+struct RepPool {
+  std::vector<Payload::Rep*> free;
+  ~RepPool() {
+    for (auto* rep : free) delete rep;
+  }
+};
+
+RepPool& rep_pool() {
+  thread_local RepPool pool;
+  return pool;
+}
+
+}  // namespace
+
+Payload::Rep* Payload::acquire_rep(Bytes bytes) {
+  RepPool& pool = rep_pool();
+  if (!pool.free.empty()) {
+    Rep* rep = pool.free.back();
+    pool.free.pop_back();
+    rep->data = std::move(bytes);
+    rep->refs.store(1, std::memory_order_relaxed);
+    rep->sum_valid.store(false, std::memory_order_relaxed);
+    return rep;
+  }
+  auto* rep = new Rep;
+  rep->data = std::move(bytes);
+  return rep;
+}
+
+void Payload::release_rep(Rep* rep) noexcept {
+  if (rep == nullptr) return;
+  if (rep->refs.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+  // Last owner: the buffer goes back to this thread's arena, the header to
+  // this thread's rep pool.
+  BufferArena::local().release(std::move(rep->data));
+  rep->data = Bytes();
+  RepPool& pool = rep_pool();
+  if (pool.free.size() < kMaxFreeReps) {
+    pool.free.push_back(rep);
+  } else {
+    delete rep;
+  }
+}
+
+Payload::Payload(Bytes bytes) {
+  if (!bytes.empty()) rep_ = acquire_rep(std::move(bytes));
+}
+
+Payload::Payload(const Payload& other) noexcept : rep_(other.rep_) {
+  if (rep_ != nullptr) rep_->refs.fetch_add(1, std::memory_order_relaxed);
+}
+
+Payload& Payload::operator=(const Payload& other) noexcept {
+  if (rep_ == other.rep_) return *this;
+  Rep* old = rep_;
+  rep_ = other.rep_;
+  if (rep_ != nullptr) rep_->refs.fetch_add(1, std::memory_order_relaxed);
+  release_rep(old);
+  return *this;
+}
+
+Payload& Payload::operator=(Payload&& other) noexcept {
+  if (this == &other) return *this;
+  Rep* old = rep_;
+  rep_ = other.rep_;
+  other.rep_ = nullptr;
+  release_rep(old);
+  return *this;
+}
+
+Payload& Payload::operator=(Bytes bytes) {
+  Rep* old = rep_;
+  rep_ = bytes.empty() ? nullptr : acquire_rep(std::move(bytes));
+  release_rep(old);
+  return *this;
+}
+
+Payload::~Payload() { release_rep(rep_); }
+
+std::size_t Payload::size() const noexcept {
+  return rep_ == nullptr ? 0 : rep_->data.size();
+}
+
+const std::uint8_t* Payload::data() const noexcept {
+  return rep_ == nullptr ? nullptr : rep_->data.data();
+}
+
+const Bytes& Payload::bytes() const noexcept {
+  static const Bytes kEmpty;
+  return rep_ == nullptr ? kEmpty : rep_->data;
+}
+
+Bytes& Payload::mutate() {
+  if (rep_ == nullptr) {
+    rep_ = acquire_rep(BufferArena::local().acquire());
+  } else if (rep_->refs.load(std::memory_order_acquire) > 1) {
+    // Shared: detach onto a private arena buffer.
+    Bytes fresh = BufferArena::local().acquire();
+    fresh.assign(rep_->data.begin(), rep_->data.end());
+    Rep* old = rep_;
+    rep_ = acquire_rep(std::move(fresh));
+    release_rep(old);
+  } else {
+    rep_->sum_valid.store(false, std::memory_order_relaxed);
+  }
+  return rep_->data;
+}
+
+void Payload::clear() noexcept {
+  release_rep(rep_);
+  rep_ = nullptr;
+}
+
+void Payload::assign(std::span<const std::uint8_t> bytes) {
+  if (bytes.empty()) {
+    clear();
+    return;
+  }
+  // New buffer first: `bytes` may point into our own (possibly shared) rep.
+  Bytes fresh = BufferArena::local().acquire();
+  fresh.assign(bytes.begin(), bytes.end());
+  Rep* old = rep_;
+  rep_ = acquire_rep(std::move(fresh));
+  release_rep(old);
+}
+
+std::uint16_t Payload::word_sum() const noexcept {
+  if (rep_ == nullptr) return 0;
+  if (rep_->sum_valid.load(std::memory_order_acquire)) {
+    return static_cast<std::uint16_t>(
+        rep_->sum.load(std::memory_order_relaxed));
+  }
+  // RFC 1071 fold over big-endian 16-bit words, odd byte padded with zero —
+  // matching ChecksumAccumulator exactly.
+  const Bytes& d = rep_->data;
+  std::uint64_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < d.size(); i += 2) {
+    sum += static_cast<std::uint64_t>(d[i]) << 8 | d[i + 1];
+  }
+  if (i < d.size()) sum += static_cast<std::uint64_t>(d[i]) << 8;
+  while (sum >> 16 != 0) sum = (sum & 0xffff) + (sum >> 16);
+  rep_->sum.store(static_cast<std::uint32_t>(sum), std::memory_order_relaxed);
+  rep_->sum_valid.store(true, std::memory_order_release);
+  return static_cast<std::uint16_t>(sum);
+}
+
+bool operator==(const Payload& a, const Payload& b) noexcept {
+  if (a.rep_ == b.rep_) return true;
+  if (a.size() != b.size()) return false;
+  if (a.empty()) return true;
+  return std::memcmp(a.data(), b.data(), a.size()) == 0;
+}
+
+bool operator==(const Payload& a, const Bytes& b) noexcept {
+  if (a.size() != b.size()) return false;
+  if (a.empty()) return true;
+  return std::memcmp(a.data(), b.data(), a.size()) == 0;
+}
+
+}  // namespace caya

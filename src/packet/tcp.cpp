@@ -82,6 +82,7 @@ void TcpHeader::serialize_into(Bytes& out, Ipv4Address src, Ipv4Address dst,
                      : data_offset;
 
   ByteWriter w(std::move(out));
+  w.reserve(20 + opts->size() + payload.size());
   w.u16(sport);
   w.u16(dport);
   w.u32(seq);
@@ -107,6 +108,30 @@ Bytes TcpHeader::serialize(Ipv4Address src, Ipv4Address dst,
   Bytes out;
   serialize_into(out, src, dst, payload, compute_checksum, compute_offset);
   return out;
+}
+
+TcpHeader::PartialChecksum TcpHeader::partial_checksum(
+    Ipv4Address src, Ipv4Address dst, bool compute_offset) const {
+  BufferArena::Scoped opts;
+  serialize_options_into(*opts);
+  const std::uint8_t offset_words =
+      compute_offset ? static_cast<std::uint8_t>((20 + opts->size()) / 4)
+                     : data_offset;
+  ChecksumAccumulator acc;
+  acc.add_u32(src.value());
+  acc.add_u32(dst.value());
+  acc.add_u16(6);  // zero byte + protocol (TCP), as in tcp_checksum()
+  acc.add_u16(sport);
+  acc.add_u16(dport);
+  acc.add_u32(seq);
+  acc.add_u32(ack);
+  acc.add_u16(static_cast<std::uint16_t>(
+      static_cast<std::uint8_t>(offset_words << 4) << 8 | flags));
+  acc.add_u16(window);
+  // The checksum field itself counts as zero.
+  acc.add_u16(urgent_pointer);
+  acc.add(*opts);
+  return {acc.finish(), static_cast<std::uint16_t>(20 + opts->size())};
 }
 
 TcpHeader TcpHeader::parse(std::span<const std::uint8_t> data,

@@ -4,10 +4,12 @@
 
 namespace caya {
 
-Bytes UdpHeader::serialize(Ipv4Address src, Ipv4Address dst,
-                           std::span<const std::uint8_t> payload,
-                           bool compute_checksum, bool compute_length) const {
-  ByteWriter w;
+void UdpHeader::serialize_into(Bytes& out, Ipv4Address src, Ipv4Address dst,
+                               std::span<const std::uint8_t> payload,
+                               bool compute_checksum,
+                               bool compute_length) const {
+  ByteWriter w(std::move(out));
+  w.reserve(8 + payload.size());
   w.u16(sport);
   w.u16(dport);
   const std::uint16_t len =
@@ -17,7 +19,7 @@ Bytes UdpHeader::serialize(Ipv4Address src, Ipv4Address dst,
   w.u16(0);  // checksum placeholder
   w.raw(payload);
 
-  Bytes out = w.take();
+  out = w.take();
   std::uint16_t csum = checksum;
   if (compute_checksum) {
     csum = udp_checksum(src, dst, out);
@@ -25,6 +27,13 @@ Bytes UdpHeader::serialize(Ipv4Address src, Ipv4Address dst,
   }
   out[6] = static_cast<std::uint8_t>(csum >> 8);
   out[7] = static_cast<std::uint8_t>(csum & 0xff);
+}
+
+Bytes UdpHeader::serialize(Ipv4Address src, Ipv4Address dst,
+                           std::span<const std::uint8_t> payload,
+                           bool compute_checksum, bool compute_length) const {
+  Bytes out;
+  serialize_into(out, src, dst, payload, compute_checksum, compute_length);
   return out;
 }
 

@@ -23,6 +23,11 @@ struct UdpHeader {
                                 std::span<const std::uint8_t> payload,
                                 bool compute_checksum = true,
                                 bool compute_length = true) const;
+  /// Same, written into `out` (cleared first; capacity retained).
+  void serialize_into(Bytes& out, Ipv4Address src, Ipv4Address dst,
+                      std::span<const std::uint8_t> payload,
+                      bool compute_checksum = true,
+                      bool compute_length = true) const;
 
   /// Parses the 8-byte header; `consumed` is set to 8.
   static UdpHeader parse(std::span<const std::uint8_t> data,

@@ -161,7 +161,7 @@ void TcpEndpoint::handle_syn_sent(const Packet& pkt) {
         rcv_nxt_ += static_cast<std::uint32_t>(pkt.payload.size());
         received_.insert(received_.end(), pkt.payload.begin(),
                          pkt.payload.end());
-        if (on_data) on_data(pkt.payload);
+        if (on_data) on_data(pkt.payload.bytes());
       }
       // The handshake ACK goes out before the application learns the
       // connection is up (and possibly queues its request).

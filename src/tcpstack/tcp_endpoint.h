@@ -150,7 +150,7 @@ class TcpEndpoint : public Endpoint {
   std::uint32_t irs_ = 0;
   std::uint32_t rcv_nxt_ = 0;
   Bytes received_;
-  std::map<std::uint32_t, Bytes> out_of_order_;
+  std::map<std::uint32_t, Payload> out_of_order_;  // shares the packet buffer
 
   // Timers.
   std::uint64_t timer_generation_ = 0;

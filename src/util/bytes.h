@@ -27,6 +27,11 @@ class ByteWriter {
     buf_.clear();
   }
 
+  /// Pre-sizes the buffer for a known output length so a serializer does a
+  /// single exact allocation (or none, when adopting a recycled buffer whose
+  /// capacity already suffices) instead of geometric growth.
+  void reserve(std::size_t n) { buf_.reserve(n); }
+
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u16(std::uint16_t v) {
     buf_.push_back(static_cast<std::uint8_t>(v >> 8));

@@ -82,7 +82,7 @@ TEST(Airtel, SegmentedRequestMissed) {
   AirtelCensor censor(content());
   FakeInjector inj;
   Packet first = http_request();
-  Bytes full = first.payload;
+  Bytes full = first.payload.bytes();
   first.payload.assign(full.begin(), full.begin() + 10);
   Packet second = http_request();
   second.payload.assign(full.begin() + 10, full.end());

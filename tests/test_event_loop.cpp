@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 namespace caya {
@@ -87,6 +88,65 @@ TEST(EventLoop, MaxEventsBoundsRun) {
   loop.schedule_in(1, forever);
   loop.run(100);
   EXPECT_EQ(count, 100);
+}
+
+struct RecordingSink : PacketEventSink {
+  std::vector<std::string>* order = nullptr;
+  void on_packet_event(Packet&& pkt, std::uint32_t tag) override {
+    order->push_back("pkt" + std::to_string(tag) + ":" +
+                     std::to_string(pkt.payload.size()));
+  }
+};
+
+TEST(EventLoop, PacketAndCallbackLanesShareOneTimeline) {
+  // Equal-time events fire in scheduling order regardless of which lane
+  // (typed packet slot vs callback slot) carries them: both draw their
+  // sequence number from the same counter.
+  EventLoop loop;
+  std::vector<std::string> order;
+  RecordingSink sink;
+  sink.order = &order;
+  loop.set_packet_sink(&sink);
+
+  Packet pkt = make_tcp_packet(Ipv4Address::parse("10.0.0.1"), 1000,
+                               Ipv4Address::parse("10.0.0.2"), 80,
+                               tcpflag::kSyn, 1, 0, to_bytes("abc"));
+  loop.schedule_at(duration::ms(5), [&] { order.push_back("cb0"); });
+  loop.schedule_packet_at(duration::ms(5), pkt, 7);
+  loop.schedule_at(duration::ms(5), [&] { order.push_back("cb1"); });
+  loop.schedule_packet_at(duration::ms(5), std::move(pkt), 9);
+  loop.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"cb0", "pkt7:3", "cb1",
+                                             "pkt9:3"}));
+}
+
+TEST(EventLoop, ClearMidDispatchDropsBothLanes) {
+  EventLoop loop;
+  RecordingSink sink;
+  std::vector<std::string> order;
+  sink.order = &order;
+  loop.set_packet_sink(&sink);
+
+  int fired = 0;
+  loop.schedule_at(duration::ms(1), [&] {
+    ++fired;
+    loop.clear();  // drops the two later events below, mid-dispatch
+  });
+  loop.schedule_at(duration::ms(2), [&] { ++fired; });
+  loop.schedule_packet_at(duration::ms(3), Packet{}, 0);
+  loop.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(order.empty());
+  EXPECT_TRUE(loop.empty());
+
+  // The loop survives a mid-dispatch clear: the clock is preserved and new
+  // work (on either lane) still runs.
+  Time fired_at = 0;
+  loop.schedule_in(duration::ms(1), [&] { fired_at = loop.now(); });
+  loop.schedule_packet_in(duration::ms(2), Packet{}, 4);
+  loop.run();
+  EXPECT_EQ(fired_at, duration::ms(2));
+  EXPECT_EQ(order, (std::vector<std::string>{"pkt4:0"}));
 }
 
 }  // namespace

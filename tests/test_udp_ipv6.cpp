@@ -140,7 +140,7 @@ TEST(DnsFields, ReplaceId) {
 TEST(DnsFields, NonDnsPayloadIsLeftAlone) {
   Packet pkt = dns_packet();
   pkt.payload = to_bytes("GET / HTTP/1.1\r\n\r\n");
-  const Bytes before = pkt.payload;
+  const Bytes before = pkt.payload.bytes();
   set_field(pkt, Proto::kDns, "qname", "x.example");
   EXPECT_EQ(pkt.payload, before);
   EXPECT_EQ(get_field(pkt, Proto::kDns, "qname"), "");

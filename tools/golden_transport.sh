@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Golden-equivalence harness for transport refactors.
+#
+# Runs `caya run` for the published strategy set across all five censors,
+# md5s the full report output (waterfall + censor stages) and the censor-view
+# pcap bytes, and also asserts --jobs invariance (--jobs 1 vs --jobs 4 must
+# print byte-identical reports). A checked-in manifest captured on a known-
+# good commit lets CI prove a packet-path change didn't alter wire behavior.
+#
+# Usage:
+#   tools/golden_transport.sh capture [manifest]   # write manifest
+#   tools/golden_transport.sh check   [manifest]   # re-run, diff manifest
+#
+# Env: CAYA (default build/tools/caya), CAYA_GOLDEN_TRIALS (default 20).
+set -euo pipefail
+
+mode="${1:-check}"
+manifest="${2:-$(dirname "$0")/golden_transport.md5}"
+caya="${CAYA:-build/tools/caya}"
+trials="${CAYA_GOLDEN_TRIALS:-20}"
+
+if [[ "$mode" != "capture" && "$mode" != "check" ]]; then
+  echo "usage: $0 capture|check [manifest]" >&2
+  exit 2
+fi
+if [[ ! -x "$caya" ]]; then
+  echo "error: caya binary not found at '$caya' (set CAYA=...)" >&2
+  exit 2
+fi
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+countries=(china india iran kazakhstan turkmenistan)
+# Duplicate, tamper-corrupt, and fragment coverage from Table 2; every action
+# kind the transport moves.
+published=(1 2 5 6 8)
+
+run_case() {
+  local country="$1" id="$2" out="$3" pcap="$4" jobs="$5"
+  "$caya" run --country "$country" --protocol http --published "$id" \
+    --trials "$trials" --seed 42 --jobs "$jobs" \
+    --waterfall --stages --pcap "$pcap" > "$out"
+  # The report echoes the pcap path; normalize it so the md5 only covers
+  # behavior, not the temp directory name.
+  sed -i "s|$pcap|PCAP|" "$out"
+}
+
+generate() {
+  local dir="$1"
+  for country in "${countries[@]}"; do
+    for id in "${published[@]}"; do
+      local tag="${country}_pub${id}"
+      run_case "$country" "$id" "$dir/$tag.txt" "$dir/$tag.pcap" 1
+    done
+  done
+  # --jobs invariance: same report regardless of sharding.
+  run_case china 1 "$dir/jobs1.txt" "$dir/jobs1.pcap" 1
+  run_case china 1 "$dir/jobs4.txt" "$dir/jobs4.pcap" 4
+  diff "$dir/jobs1.txt" "$dir/jobs4.txt"
+  cmp "$dir/jobs1.pcap" "$dir/jobs4.pcap"
+}
+
+generate "$workdir"
+(cd "$workdir" && md5sum $(ls *.txt *.pcap | sort)) > "$workdir/manifest.md5"
+
+case "$mode" in
+  capture)
+    cp "$workdir/manifest.md5" "$manifest"
+    echo "captured $(wc -l < "$manifest") golden md5s -> $manifest"
+    ;;
+  check)
+    if [[ ! -f "$manifest" ]]; then
+      echo "error: no manifest at '$manifest' (run capture first)" >&2
+      exit 2
+    fi
+    if ! diff -u "$manifest" "$workdir/manifest.md5"; then
+      echo "FAIL: transport output diverged from golden manifest" >&2
+      exit 1
+    fi
+    echo "OK: $(wc -l < "$manifest") outputs byte-identical to manifest"
+    ;;
+esac
