@@ -1,0 +1,211 @@
+// Hostile-ingress benchmark: what adversarial input costs the pipeline.
+//   * decode throughput on a well-formed stream vs a hostile mutation mix
+//     (the non-throwing try_parse path — failures must not cost an unwind),
+//   * SYN-flood absorption: packets/sec while the flow tables shed state at
+//     their budget, plus the eviction ledger,
+//   * segment-flood absorption against one flow's reassembly budgets,
+//   * end-to-end fuzz iterations/sec (mutate + oracle + censor set).
+// Emits BENCH_hostile_ingress.json next to the human summary.
+//
+// Knobs: CAYA_FLOOD (SYN-flood packets, default 100000) and
+// CAYA_FUZZ_ITERS (oracle iterations, default 2000).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "eval/censor_set.h"
+#include "fuzz/fuzzer.h"
+#include "fuzz/mutator.h"
+#include "packet/tcp_flags.h"
+
+namespace caya {
+namespace {
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return static_cast<std::size_t>(std::atoll(value));
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+class NullInjector : public Injector {
+ public:
+  void inject(Packet, Direction) override { ++injected; }
+  [[nodiscard]] Time now() const override { return 0; }
+  std::size_t injected = 0;
+};
+
+struct DecodeRates {
+  double clean_per_sec = 0;
+  double hostile_per_sec = 0;
+  double hostile_fail_fraction = 0;
+};
+
+DecodeRates decode_throughput() {
+  // A corpus of serialized streams: one clean template repeated, and the
+  // mutator's full hostile mix.
+  Rng rng(1);
+  std::vector<Bytes> clean;
+  for (const PcapRecord& record : make_innocuous_flow()) {
+    clean.push_back(record.data);
+  }
+  std::vector<Bytes> hostile;
+  while (hostile.size() < 4096) {
+    HostileStream stream = generate_hostile_stream(Country::kChina, rng);
+    for (PcapRecord& record : stream.records) {
+      hostile.push_back(std::move(record.data));
+    }
+  }
+
+  DecodeRates rates;
+  const std::size_t kRounds = 200000;
+  auto start = std::chrono::steady_clock::now();
+  std::size_t ok = 0;
+  for (std::size_t i = 0; i < kRounds; ++i) {
+    ok += Packet::try_parse(clean[i % clean.size()]).ok() ? 1 : 0;
+  }
+  rates.clean_per_sec = static_cast<double>(kRounds) / seconds_since(start);
+  if (ok == 0) std::abort();  // keep the loop honest
+
+  start = std::chrono::steady_clock::now();
+  std::size_t failed = 0;
+  for (std::size_t i = 0; i < kRounds; ++i) {
+    failed += Packet::try_parse(hostile[i % hostile.size()]).ok() ? 0 : 1;
+  }
+  rates.hostile_per_sec = static_cast<double>(kRounds) / seconds_since(start);
+  rates.hostile_fail_fraction =
+      static_cast<double>(failed) / static_cast<double>(kRounds);
+  return rates;
+}
+
+struct FloodResult {
+  double packets_per_sec = 0;
+  std::uint64_t evicted_flows = 0;
+  std::uint64_t dropped_segments = 0;
+  std::size_t tcb_total = 0;
+};
+
+FloodResult syn_flood(Country country, std::size_t flood) {
+  CensorSet censors(country, 1);
+  NullInjector injector;
+  const auto server = Ipv4Address(0x0a000001);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < flood; ++i) {
+    const Packet syn = make_tcp_packet(
+        Ipv4Address(static_cast<std::uint32_t>(0x0b010000 + i / 60000)),
+        static_cast<std::uint16_t>(1024 + i % 60000), server, 80,
+        tcpflag::kSyn, static_cast<std::uint32_t>(i), 0);
+    for (Middlebox* box : censors.boxes()) {
+      (void)box->on_packet(syn, Direction::kClientToServer, injector);
+    }
+  }
+  FloodResult result;
+  result.packets_per_sec =
+      static_cast<double>(flood) / seconds_since(start);
+  result.evicted_flows = censors.state_stats().evicted_flows;
+  result.dropped_segments = censors.state_stats().dropped_segments;
+  result.tcb_total = censors.tcb_total();
+  return result;
+}
+
+FloodResult segment_flood(std::size_t segments) {
+  CensorSet censors(Country::kChina, 1);
+  NullInjector injector;
+  const auto client = Ipv4Address(0x0b020001);
+  const auto server = Ipv4Address(0x0a000001);
+  const Packet syn =
+      make_tcp_packet(client, 2000, server, 80, tcpflag::kSyn, 100, 0);
+  for (Middlebox* box : censors.boxes()) {
+    (void)box->on_packet(syn, Direction::kClientToServer, injector);
+  }
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < segments; ++i) {
+    const Packet seg = make_tcp_packet(
+        client, 2000, server, 80, tcpflag::kAck,
+        static_cast<std::uint32_t>(101 + 1000 + i * 600), 1,
+        Bytes(300, static_cast<std::uint8_t>(i)));
+    for (Middlebox* box : censors.boxes()) {
+      (void)box->on_packet(seg, Direction::kClientToServer, injector);
+    }
+  }
+  FloodResult result;
+  result.packets_per_sec =
+      static_cast<double>(segments) / seconds_since(start);
+  result.evicted_flows = censors.state_stats().evicted_flows;
+  result.dropped_segments = censors.state_stats().dropped_segments;
+  result.tcb_total = censors.tcb_total();
+  return result;
+}
+
+}  // namespace
+}  // namespace caya
+
+int main() {
+  using namespace caya;
+  const std::size_t flood = env_size("CAYA_FLOOD", 100000);
+  const std::size_t fuzz_iters = env_size("CAYA_FUZZ_ITERS", 2000);
+
+  std::printf("== hostile ingress ==\n\n");
+
+  const DecodeRates decode = decode_throughput();
+  std::printf("decode clean      : %.2fM packets/sec\n",
+              decode.clean_per_sec / 1e6);
+  std::printf("decode hostile mix: %.2fM packets/sec (%.0f%% rejected)\n",
+              decode.hostile_per_sec / 1e6,
+              decode.hostile_fail_fraction * 100);
+
+  const FloodResult syn = syn_flood(Country::kChina, flood);
+  std::printf("SYN flood (china) : %.2fM packets/sec, %llu evicted, "
+              "%zu live TCBs\n",
+              syn.packets_per_sec / 1e6,
+              static_cast<unsigned long long>(syn.evicted_flows),
+              syn.tcb_total);
+
+  const FloodResult seg = segment_flood(20000);
+  std::printf("segment flood     : %.2fM segments/sec, %llu dropped\n",
+              seg.packets_per_sec / 1e6,
+              static_cast<unsigned long long>(seg.dropped_segments));
+
+  FuzzConfig config;
+  config.country = Country::kChina;
+  config.iters = fuzz_iters;
+  config.seed = 1;
+  config.jobs = 1;
+  const auto start = std::chrono::steady_clock::now();
+  const FuzzReport report = run_fuzz(config);
+  const double fuzz_per_sec =
+      static_cast<double>(fuzz_iters) / seconds_since(start);
+  std::printf("fuzz oracle       : %.0f iters/sec (serial), "
+              "%zu crashes, %zu fail-closed\n",
+              fuzz_per_sec, report.crashes, report.fail_closed);
+
+  std::ofstream json("BENCH_hostile_ingress.json");
+  json << "{\n"
+       << "  \"decode_clean_packets_per_sec\": " << decode.clean_per_sec
+       << ",\n"
+       << "  \"decode_hostile_packets_per_sec\": " << decode.hostile_per_sec
+       << ",\n"
+       << "  \"decode_hostile_fail_fraction\": "
+       << decode.hostile_fail_fraction << ",\n"
+       << "  \"syn_flood_packets_per_sec\": " << syn.packets_per_sec << ",\n"
+       << "  \"syn_flood_evicted_flows\": " << syn.evicted_flows << ",\n"
+       << "  \"syn_flood_live_tcbs\": " << syn.tcb_total << ",\n"
+       << "  \"segment_flood_segments_per_sec\": " << seg.packets_per_sec
+       << ",\n"
+       << "  \"segment_flood_dropped_segments\": " << seg.dropped_segments
+       << ",\n"
+       << "  \"fuzz_iters_per_sec\": " << fuzz_per_sec << ",\n"
+       << "  \"fuzz_crashes\": " << report.crashes << ",\n"
+       << "  \"fuzz_fail_closed\": " << report.fail_closed << "\n"
+       << "}\n";
+  std::printf("\nwrote BENCH_hostile_ingress.json\n");
+  return report.clean() ? 0 : 1;
+}

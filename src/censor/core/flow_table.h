@@ -88,12 +88,16 @@ class FlowTable {
   }
 
   /// Inserts a default-constructed state unless the key is already present.
-  /// Returns {state, inserted}.
+  /// Returns {state, inserted}. At the flow budget the oldest live flow is
+  /// evicted first (deterministic: insertion order, independent of hashing),
+  /// so a SYN flood recycles state instead of growing it — the fail-open
+  /// bias a real censor exhibits under state exhaustion.
   std::pair<State*, bool> try_emplace(const FlowKey& key) {
     return try_emplace(key, State{});
   }
   std::pair<State*, bool> try_emplace(const FlowKey& key, State state) {
     if (State* existing = find(key)) return {existing, false};
+    if (budget_ != 0 && live_ >= budget_) evict_oldest();
     maybe_grow();
     const std::uint32_t index = static_cast<std::uint32_t>(entries_.size());
     entries_.push_back(Entry{key, std::move(state), true});
@@ -124,6 +128,7 @@ class FlowTable {
     entries_.clear();
     live_ = 0;
     used_slots_ = 0;
+    evict_cursor_ = 0;
     ++generation_;
   }
 
@@ -138,6 +143,15 @@ class FlowTable {
 
   /// Index capacity, for tests and the bench's occupancy accounting.
   [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Hard cap on live flows (0 = unbounded). The default is far above any
+  /// legitimate trial's flow count, so eviction only engages under floods.
+  void set_flow_budget(std::size_t max_flows) noexcept { budget_ = max_flows; }
+  [[nodiscard]] std::size_t flow_budget() const noexcept { return budget_; }
+
+  /// Flows evicted to stay within the budget, cumulative across reset()
+  /// (reset drops the flows, not the ledger).
+  [[nodiscard]] std::uint64_t evicted() const noexcept { return evicted_; }
 
  private:
   enum class SlotState : std::uint8_t { kEmpty, kFull, kTombstone };
@@ -188,6 +202,20 @@ class FlowTable {
     }
   }
 
+  // Evicts the oldest live flow. The cursor only ever moves forward over the
+  // insertion-order log (and rewinds on compaction), so a sustained flood
+  // pays O(1) amortized per eviction.
+  void evict_oldest() noexcept {
+    while (evict_cursor_ < entries_.size()) {
+      Entry& entry = entries_[evict_cursor_];
+      ++evict_cursor_;
+      if (!entry.live) continue;
+      erase(entry.key);
+      ++evicted_;
+      return;
+    }
+  }
+
   void maybe_grow() {
     // Rehash when the probe structure degrades (filled + tombstoned slots
     // past ~70%) or when erased entries dominate the entry log. Rebuilding
@@ -204,6 +232,7 @@ class FlowTable {
       if (entry.live) live_entries.push_back(std::move(entry));
     }
     entries_ = std::move(live_entries);
+    evict_cursor_ = 0;  // the compacted log is all-live from the front
 
     std::size_t new_size = slots_.size();
     while (live_ * 10 >= new_size * 5) new_size *= 2;  // target <= 50% load
@@ -215,11 +244,19 @@ class FlowTable {
     }
   }
 
+  /// Default flow budget: far above any legitimate workload (a full
+  /// evaluation campaign touches a few thousand flows), small enough that a
+  /// flood cannot grow censor state without bound.
+  static constexpr std::size_t kDefaultFlowBudget = 65536;
+
   std::vector<Slot> slots_;
   std::vector<Entry> entries_;  // insertion-order log, erased entries marked
   std::uint64_t generation_ = 1;
   std::size_t live_ = 0;
   std::size_t used_slots_ = 0;  // current-generation full + tombstone slots
+  std::size_t budget_ = kDefaultFlowBudget;
+  std::size_t evict_cursor_ = 0;  // next entry considered for eviction
+  std::uint64_t evicted_ = 0;
 };
 
 }  // namespace caya

@@ -46,16 +46,24 @@ class Reassembler {
   Reassembler(Reassembler&& other) noexcept
       : byte_cap_(other.byte_cap_),
         base_(other.base_),
+        max_segments_(other.max_segments_),
+        max_bytes_(other.max_bytes_),
+        buffered_bytes_(other.buffered_bytes_),
         segments_(std::move(other.segments_)) {
     other.segments_.clear();
+    other.buffered_bytes_ = 0;
   }
   Reassembler& operator=(Reassembler&& other) noexcept {
     if (this != &other) {
       clear();
       byte_cap_ = other.byte_cap_;
       base_ = other.base_;
+      max_segments_ = other.max_segments_;
+      max_bytes_ = other.max_bytes_;
+      buffered_bytes_ = other.buffered_bytes_;
       segments_ = std::move(other.segments_);
       other.segments_.clear();
+      other.buffered_bytes_ = 0;
     }
     return *this;
   }
@@ -64,8 +72,12 @@ class Reassembler {
 
   /// Buffers one segment (later copies of the same seq overwrite). Takes a
   /// span so both Bytes and copy-on-write Payload buffers bind without a
-  /// conversion copy.
-  void add_segment(std::uint32_t seq, std::span<const std::uint8_t> payload);
+  /// conversion copy. Returns false — and buffers nothing — when the
+  /// segment-count or buffered-byte budget would be exceeded: an
+  /// overlap-flood drops on the floor (fail open) instead of growing state.
+  /// Empty payloads are ignored (nothing to inspect; a zero-length segment
+  /// would stall the contiguous-prefix walk).
+  bool add_segment(std::uint32_t seq, std::span<const std::uint8_t> payload);
 
   /// Moves the believed stream base — the resynchronization action. All
   /// buffered segments are discarded (the box's stream view is void).
@@ -87,10 +99,33 @@ class Reassembler {
   [[nodiscard]] std::size_t segment_count() const noexcept {
     return segments_.size();
   }
+  [[nodiscard]] std::size_t buffered_bytes() const noexcept {
+    return buffered_bytes_;
+  }
+
+  /// Hard per-flow state budgets (segment count / buffered bytes). Defaults
+  /// are far above any legitimate flow; floods hit them immediately.
+  void set_budgets(std::size_t max_segments, std::size_t max_bytes) noexcept {
+    max_segments_ = max_segments;
+    max_bytes_ = max_bytes;
+  }
+  [[nodiscard]] std::size_t max_segments() const noexcept {
+    return max_segments_;
+  }
+  [[nodiscard]] std::size_t max_bytes() const noexcept { return max_bytes_; }
+
+  /// Default per-flow budgets: a real flow's inspection window is bounded
+  /// by byte_cap (64 KiB), so 1024 segments / 256 KiB of buffer per flow is
+  /// already pathological input.
+  static constexpr std::size_t kDefaultMaxSegments = 1024;
+  static constexpr std::size_t kDefaultMaxBytes = 262144;
 
  private:
   std::size_t byte_cap_;
   std::uint32_t base_ = 0;
+  std::size_t max_segments_ = kDefaultMaxSegments;
+  std::size_t max_bytes_ = kDefaultMaxBytes;
+  std::size_t buffered_bytes_ = 0;
   std::map<std::uint32_t, Bytes> segments_;  // seq -> arena-leased payload
 };
 

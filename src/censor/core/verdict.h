@@ -79,6 +79,15 @@ class TimedFlowSet {
   [[nodiscard]] std::size_t size() const noexcept { return table_.size(); }
   void reset() { table_.reset(); }
 
+  /// Budget passthroughs (see FlowTable): a blackhole set is censor state
+  /// like any other and must not grow without bound under a trigger flood.
+  void set_flow_budget(std::size_t max_flows) noexcept {
+    table_.set_flow_budget(max_flows);
+  }
+  [[nodiscard]] std::uint64_t evicted() const noexcept {
+    return table_.evicted();
+  }
+
  private:
   FlowTable<Time> table_;
 };
@@ -100,6 +109,10 @@ class ResidualTimers {
   }
 
   void reset() { table_.reset(); }
+
+  [[nodiscard]] std::uint64_t evicted() const noexcept {
+    return table_.evicted();
+  }
 
  private:
   [[nodiscard]] static FlowKey key(std::uint32_t addr,

@@ -326,7 +326,12 @@ void GfwBox::on_client_packet(const Packet& pkt, Injector& inject) {
   if (tcb.can_reassemble) {
     // Stream mode: buffer the segment and inspect the contiguous prefix
     // from the believed stream base (arena-leased scratch).
-    tcb.reassembly.add_segment(pkt.tcp.seq, pkt.payload);
+    if (!tcb.reassembly.add_segment(pkt.tcp.seq, pkt.payload)) {
+      // Budget exceeded: the segment is shed (fail open) and accounted.
+      ++dropped_segments_;
+      inject.trace_stage(pkt, Direction::kClientToServer, name(),
+                         "reassembly", "segment budget drop");
+    }
     BufferArena::Scoped assembled;
     tcb.reassembly.assemble(*assembled);
     if (!assembled->empty() &&

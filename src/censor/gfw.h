@@ -124,6 +124,9 @@ class GfwBox : public Middlebox {
   [[nodiscard]] std::size_t tcb_count() const noexcept override {
     return flows_.size();
   }
+  [[nodiscard]] StateStats state_stats() const noexcept override {
+    return {flows_.evicted(), dropped_segments_};
+  }
   [[nodiscard]] AppProtocol protocol() const noexcept {
     return params_.protocol;
   }
@@ -177,6 +180,7 @@ class GfwBox : public Middlebox {
   FlowTable<Tcb> flows_;
   ResidualTimers residual_;
   std::size_t censored_count_ = 0;
+  std::uint64_t dropped_segments_ = 0;  // reassembly budget drops (ledger)
 };
 
 /// A counterfactual single-box GFW for the Figure 3 ablation: ONE shared

@@ -35,6 +35,9 @@ class IranCensor : public Middlebox {
   [[nodiscard]] std::size_t tcb_count() const noexcept override {
     return blackholed_.size();
   }
+  [[nodiscard]] StateStats state_stats() const noexcept override {
+    return {blackholed_.evicted(), 0};
+  }
 
   [[nodiscard]] std::size_t censored_count() const noexcept {
     return censored_count_;

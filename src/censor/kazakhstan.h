@@ -51,6 +51,9 @@ class KazakhstanCensor : public Middlebox {
   [[nodiscard]] std::size_t tcb_count() const noexcept override {
     return flows_.size();
   }
+  [[nodiscard]] StateStats state_stats() const noexcept override {
+    return {flows_.evicted(), 0};
+  }
 
   [[nodiscard]] std::size_t censored_count() const noexcept {
     return censored_count_;

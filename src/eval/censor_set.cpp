@@ -1,0 +1,71 @@
+#include "eval/censor_set.h"
+
+#include "censor/airtel.h"
+#include "censor/gfw.h"
+#include "censor/iran.h"
+#include "censor/kazakhstan.h"
+#include "censor/turkmenistan.h"
+
+namespace caya {
+
+CensorSet::CensorSet(Country country, std::uint64_t seed) {
+  const ForbiddenContent content = forbidden_content(country);
+  switch (country) {
+    case Country::kChina:
+      china_ = std::make_unique<ChinaCensor>(content, Rng(seed));
+      boxes_ = china_->middleboxes();
+      break;
+    case Country::kIndia:
+      airtel_ = std::make_unique<AirtelCensor>(content);
+      boxes_ = {airtel_.get()};
+      break;
+    case Country::kIran:
+      iran_ = std::make_unique<IranCensor>(content);
+      boxes_ = {iran_.get()};
+      break;
+    case Country::kKazakhstan:
+      kazakh_ = std::make_unique<KazakhstanCensor>(content);
+      boxes_ = {kazakh_.get()};
+      break;
+    case Country::kTurkmenistan:
+      turkmen_ = std::make_unique<TurkmenistanCensor>(content, Rng(seed));
+      boxes_ = {turkmen_.get()};
+      break;
+  }
+}
+
+CensorSet::~CensorSet() = default;
+CensorSet::CensorSet(CensorSet&&) noexcept = default;
+CensorSet& CensorSet::operator=(CensorSet&&) noexcept = default;
+
+std::size_t CensorSet::censored_total() const {
+  std::size_t total = 0;
+  if (china_) {
+    for (const AppProtocol proto : all_protocols()) {
+      total += china_->box(proto).censored_count();
+    }
+  }
+  if (airtel_) total += airtel_->censored_count();
+  if (iran_) total += iran_->censored_count();
+  if (kazakh_) total += kazakh_->censored_count();
+  if (turkmen_) total += turkmen_->censored_count();
+  return total;
+}
+
+Middlebox::StateStats CensorSet::state_stats() const {
+  Middlebox::StateStats total;
+  for (const Middlebox* box : boxes_) {
+    const Middlebox::StateStats stats = box->state_stats();
+    total.evicted_flows += stats.evicted_flows;
+    total.dropped_segments += stats.dropped_segments;
+  }
+  return total;
+}
+
+std::size_t CensorSet::tcb_total() const {
+  std::size_t total = 0;
+  for (const Middlebox* box : boxes_) total += box->tcb_count();
+  return total;
+}
+
+}  // namespace caya

@@ -1,0 +1,56 @@
+// Owning bundle of a country's censor middleboxes, shared by every offline
+// ingest path (capture replay, the adversarial fuzz oracle). Trial execution
+// builds its censors inside Environment; this helper exists for the paths
+// that feed *external* bytes to a censor model and need the same
+// construction, the same seeding, and the same counters without re-rolling
+// the five-way switch each time.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "eval/country.h"
+#include "netsim/middlebox.h"
+
+namespace caya {
+
+class ChinaCensor;
+class AirtelCensor;
+class IranCensor;
+class KazakhstanCensor;
+class TurkmenistanCensor;
+
+class CensorSet {
+ public:
+  CensorSet(Country country, std::uint64_t seed);
+  ~CensorSet();
+  CensorSet(CensorSet&&) noexcept;
+  CensorSet& operator=(CensorSet&&) noexcept;
+  CensorSet(const CensorSet&) = delete;
+  CensorSet& operator=(const CensorSet&) = delete;
+
+  /// The middleboxes in deterministic order (China: one per protocol).
+  [[nodiscard]] const std::vector<Middlebox*>& boxes() const noexcept {
+    return boxes_;
+  }
+
+  /// Sum of censored-flow counts across every box.
+  [[nodiscard]] std::size_t censored_total() const;
+
+  /// Aggregated bounded-state ledger across every box.
+  [[nodiscard]] Middlebox::StateStats state_stats() const;
+
+  /// Sum of live per-flow state entries across every box.
+  [[nodiscard]] std::size_t tcb_total() const;
+
+ private:
+  std::unique_ptr<ChinaCensor> china_;
+  std::unique_ptr<AirtelCensor> airtel_;
+  std::unique_ptr<IranCensor> iran_;
+  std::unique_ptr<KazakhstanCensor> kazakh_;
+  std::unique_ptr<TurkmenistanCensor> turkmen_;
+  std::vector<Middlebox*> boxes_;
+};
+
+}  // namespace caya

@@ -3,13 +3,9 @@
 
 #include <map>
 
-#include "censor/airtel.h"
 #include "censor/core/flow_table.h"
 #include "censor/flow.h"
-#include "censor/gfw.h"
-#include "censor/iran.h"
-#include "censor/kazakhstan.h"
-#include "censor/turkmenistan.h"
+#include "eval/censor_set.h"
 
 namespace caya {
 
@@ -27,51 +23,11 @@ class CountingInjector : public Injector {
 }  // namespace
 
 ReplayResult replay_through_censor(const std::vector<PcapRecord>& records,
-                                   Country country, std::uint64_t seed) {
-  // Build the censor set for the country.
-  const ForbiddenContent content = forbidden_content(country);
-  std::unique_ptr<ChinaCensor> china;
-  std::unique_ptr<AirtelCensor> airtel;
-  std::unique_ptr<IranCensor> iran;
-  std::unique_ptr<KazakhstanCensor> kazakh;
-  std::unique_ptr<TurkmenistanCensor> turkmen;
-  std::vector<Middlebox*> boxes;
-  switch (country) {
-    case Country::kChina:
-      china = std::make_unique<ChinaCensor>(content, Rng(seed));
-      boxes = china->middleboxes();
-      break;
-    case Country::kIndia:
-      airtel = std::make_unique<AirtelCensor>(content);
-      boxes = {airtel.get()};
-      break;
-    case Country::kIran:
-      iran = std::make_unique<IranCensor>(content);
-      boxes = {iran.get()};
-      break;
-    case Country::kKazakhstan:
-      kazakh = std::make_unique<KazakhstanCensor>(content);
-      boxes = {kazakh.get()};
-      break;
-    case Country::kTurkmenistan:
-      turkmen = std::make_unique<TurkmenistanCensor>(content, Rng(seed));
-      boxes = {turkmen.get()};
-      break;
-  }
-
-  auto censored_total = [&]() {
-    std::size_t total = 0;
-    if (china) {
-      for (const AppProtocol proto : all_protocols()) {
-        total += china->box(proto).censored_count();
-      }
-    }
-    if (airtel) total += airtel->censored_count();
-    if (iran) total += iran->censored_count();
-    if (kazakh) total += kazakh->censored_count();
-    if (turkmen) total += turkmen->censored_count();
-    return total;
-  };
+                                   Country country, std::uint64_t seed,
+                                   Trace* trace) {
+  CensorSet censors(country, seed);
+  const std::vector<Middlebox*>& boxes = censors.boxes();
+  auto censored_total = [&]() { return censors.censored_total(); };
 
   ReplayResult result;
   CountingInjector injector;
@@ -80,13 +36,26 @@ ReplayResult replay_through_censor(const std::vector<PcapRecord>& records,
 
   for (std::size_t i = 0; i < records.size(); ++i) {
     ++result.packets;
-    Packet pkt;
-    try {
-      pkt = Packet::parse(records[i].data);
-    } catch (const std::exception&) {
+    // Non-throwing ingest: a record the decode layer rejects is an
+    // accounted fail-open verdict, not an exception.
+    auto decoded = Packet::try_parse(records[i].data);
+    result.decode.note(decoded.error);
+    if (!decoded.ok()) {
       ++result.parse_failures;
+      std::string detail = std::string(to_string(decoded.error)) +
+                           " at offset " +
+                           std::to_string(decoded.error_offset);
+      if (trace != nullptr) {
+        TraceEvent event;
+        event.at = records[i].at;
+        event.point = TracePoint::kDecodeError;
+        event.note = detail;
+        trace->record(std::move(event));
+      }
+      result.events.push_back({i, "decode-error: " + std::move(detail)});
       continue;
     }
+    Packet pkt = std::move(decoded.value);
     injector.now_value = records[i].at;
 
     // key_for with an assumed direction: "forward" treats the source as the
@@ -120,12 +89,22 @@ ReplayResult replay_through_censor(const std::vector<PcapRecord>& records,
 }
 
 ReplayResult replay_pcap_file(const std::string& path, Country country,
-                              std::uint64_t seed) {
+                              std::uint64_t seed, bool lenient) {
   std::ifstream file(path, std::ios::binary);
   if (!file) throw std::runtime_error("cannot open " + path);
   Bytes data((std::istreambuf_iterator<char>(file)),
              std::istreambuf_iterator<char>());
-  return replay_through_censor(from_pcap(data), country, seed);
+  PcapLoadResult loaded = try_from_pcap(data, lenient);
+  if (!loaded.ok()) {
+    if (loaded.error == DecodeError::kBadRecord) {
+      throw std::invalid_argument("truncated pcap record at offset " +
+                                  std::to_string(loaded.error_offset));
+    }
+    throw std::invalid_argument("not a (little-endian, usec) pcap stream");
+  }
+  ReplayResult result = replay_through_censor(loaded.records, country, seed);
+  result.skipped_records = loaded.skipped;
+  return result;
 }
 
 }  // namespace caya

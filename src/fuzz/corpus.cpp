@@ -1,0 +1,44 @@
+#include "fuzz/corpus.h"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace caya {
+
+std::string corpus_entry_name(Country country, std::uint64_t seed,
+                              std::size_t iter) {
+  return "crash-" + std::string(to_string(country)) + "-seed" +
+         std::to_string(seed) + "-iter" + std::to_string(iter) + ".pcap";
+}
+
+std::string dump_corpus_entry(const std::string& dir, Country country,
+                              std::uint64_t seed, std::size_t iter,
+                              const std::vector<PcapRecord>& hostile) {
+  std::filesystem::create_directories(dir);
+  const std::string path =
+      (std::filesystem::path(dir) / corpus_entry_name(country, seed, iter))
+          .string();
+  const Bytes data = to_pcap(hostile);
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) throw std::runtime_error("cannot open " + path);
+  file.write(reinterpret_cast<const char*>(data.data()),
+             static_cast<std::streamsize>(data.size()));
+  if (!file) throw std::runtime_error("write failed for " + path);
+  return path;
+}
+
+OracleOutcome replay_corpus_entry(const std::string& path, Country country,
+                                  std::uint64_t seed) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("cannot open " + path);
+  Bytes data((std::istreambuf_iterator<char>(file)),
+             std::istreambuf_iterator<char>());
+  PcapLoadResult loaded = try_from_pcap(data, /*lenient=*/true);
+  if (!loaded.ok()) {
+    throw std::invalid_argument("not a corpus pcap: " + path);
+  }
+  return run_oracle(country, seed, loaded.records);
+}
+
+}  // namespace caya

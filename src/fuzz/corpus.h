@@ -1,0 +1,39 @@
+// Crash-repro corpus: every fuzz finding (crash or fail-closed verdict) is
+// dumped as a standalone pcap whose name encodes the campaign coordinates —
+//   crash-<country>-seed<S>-iter<I>.pcap
+// so `caya fuzz --repro FILE --censor C` (or replay_corpus_entry) re-runs
+// the exact hostile stream through a fresh censor set. The files are plain
+// LINKTYPE_RAW pcaps, so Wireshark opens them too.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eval/strategies.h"
+#include "fuzz/oracle.h"
+#include "netsim/pcap.h"
+
+namespace caya {
+
+/// Canonical corpus file name for a finding at (country, seed, iter).
+[[nodiscard]] std::string corpus_entry_name(Country country,
+                                            std::uint64_t seed,
+                                            std::size_t iter);
+
+/// Writes the hostile stream to `dir`/corpus_entry_name(...). Creates the
+/// directory if needed. Returns the full path. Throws std::runtime_error on
+/// I/O failure.
+std::string dump_corpus_entry(const std::string& dir, Country country,
+                              std::uint64_t seed, std::size_t iter,
+                              const std::vector<PcapRecord>& hostile);
+
+/// Loads a corpus pcap (leniently — a truncated dump still replays its
+/// good prefix) and runs the differential oracle on it. Throws
+/// std::runtime_error when the file cannot be opened and
+/// std::invalid_argument when it is not a pcap at all.
+[[nodiscard]] OracleOutcome replay_corpus_entry(const std::string& path,
+                                                Country country,
+                                                std::uint64_t seed);
+
+}  // namespace caya

@@ -1,0 +1,69 @@
+// The adversarial fuzz campaign driver behind `caya fuzz`.
+//
+// Each iteration derives a private seed from (campaign seed, iteration) via
+// a splitmix64 mix, generates one hostile stream, and runs the differential
+// oracle against a fresh censor set. Iterations are independent, so they
+// shard over ParallelEvaluator; the report is reduced in canonical index
+// order and corpus entries are dumped after the parallel phase, also in
+// index order — output is byte-identical for any --jobs value.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eval/strategies.h"
+#include "fuzz/mutator.h"
+#include "fuzz/oracle.h"
+#include "packet/decode.h"
+
+namespace caya {
+
+struct FuzzConfig {
+  Country country = Country::kChina;
+  std::size_t iters = 1000;
+  std::uint64_t seed = 1;
+  std::size_t jobs = 1;       // 0 = auto (hardware threads)
+  std::string corpus_dir;     // when set, findings are dumped here
+};
+
+/// One iteration that violated the oracle (crash or fail-closed).
+struct FuzzFinding {
+  std::size_t iter = 0;
+  MutationKind kind = MutationKind::kBitFlip;
+  bool crashed = false;
+  bool fail_closed = false;
+  std::string crash_what;
+  std::string corpus_path;  // empty unless a corpus_dir was configured
+};
+
+struct FuzzReport {
+  Country country = Country::kChina;
+  std::uint64_t seed = 1;
+  std::size_t iters = 0;
+  std::size_t records = 0;          // total records fed across iterations
+  std::size_t censor_events = 0;    // hostile records the censors acted on
+  std::size_t injected = 0;
+  std::size_t crashes = 0;
+  std::size_t fail_closed = 0;
+  DecodeStats decode;               // per-kind fail-open ledger
+  Middlebox::StateStats state;      // summed eviction/drop ledger
+  std::array<std::uint64_t, kMutationKindCount> kind_counts{};
+  std::vector<FuzzFinding> findings;
+
+  [[nodiscard]] bool clean() const noexcept {
+    return crashes == 0 && fail_closed == 0;
+  }
+};
+
+/// Per-iteration seed derivation (splitmix64 over campaign seed + iter) —
+/// exposed so a corpus replay can rebuild the iteration's oracle seed.
+[[nodiscard]] std::uint64_t fuzz_iteration_seed(std::uint64_t seed,
+                                                std::size_t iter) noexcept;
+
+/// Runs the campaign. Deterministic for a fixed (country, iters, seed) at
+/// any jobs value.
+[[nodiscard]] FuzzReport run_fuzz(const FuzzConfig& config);
+
+}  // namespace caya

@@ -1,0 +1,326 @@
+#include "fuzz/mutator.h"
+
+#include <algorithm>
+#include <string>
+
+#include "eval/country.h"
+#include "packet/dns.h"
+#include "packet/packet.h"
+#include "packet/tcp_flags.h"
+#include "util/bytes.h"
+
+namespace caya {
+
+namespace {
+
+// Hostile-template endpoints. Deliberately disjoint from the innocuous
+// flow's endpoints so the oracle can attribute every censor action.
+const Ipv4Address kHostileClient = Ipv4Address(0x0a090002);  // 10.9.0.2
+const Ipv4Address kHostileServer = Ipv4Address(0x0a090101);  // 10.9.1.1
+
+Bytes wire_of(const Packet& pkt) { return pkt.serialize(); }
+
+void push(std::vector<PcapRecord>& out, Time at, Bytes wire) {
+  out.push_back({at, std::move(wire)});
+}
+
+/// A complete forbidden HTTP exchange for `country` — handshake, the
+/// triggering GET, teardown. This is the flow a censor would actually act
+/// on; mutations then lie about its framing.
+std::vector<PcapRecord> http_template(Country country) {
+  const ClientRequest req = client_request(country);
+  const ForbiddenContent content = forbidden_content(country);
+  const std::string host =
+      content.blocked_hosts.empty() ? req.http_host : content.blocked_hosts[0];
+  const std::string get = "GET " + req.http_path +
+                          " HTTP/1.1\r\nHost: " + host + "\r\n\r\n";
+
+  std::vector<PcapRecord> out;
+  std::uint32_t cseq = 1000;
+  std::uint32_t sseq = 5000;
+  push(out, 10,
+       wire_of(make_tcp_packet(kHostileClient, 40000, kHostileServer, 80,
+                               tcpflag::kSyn, cseq, 0)));
+  push(out, 20,
+       wire_of(make_tcp_packet(kHostileServer, 80, kHostileClient, 40000,
+                               tcpflag::kSyn | tcpflag::kAck, sseq, cseq + 1)));
+  push(out, 30,
+       wire_of(make_tcp_packet(kHostileClient, 40000, kHostileServer, 80,
+                               tcpflag::kAck, cseq + 1, sseq + 1)));
+  push(out, 40,
+       wire_of(make_tcp_packet(kHostileClient, 40000, kHostileServer, 80,
+                               tcpflag::kPsh | tcpflag::kAck, cseq + 1,
+                               sseq + 1, to_bytes(get))));
+  push(out, 50,
+       wire_of(make_tcp_packet(kHostileClient, 40000, kHostileServer, 80,
+                               tcpflag::kFin | tcpflag::kAck,
+                               cseq + 1 + static_cast<std::uint32_t>(
+                                              get.size()),
+                               sseq + 1)));
+  return out;
+}
+
+/// A DNS-over-TCP query for the country's blocked qname (port 53).
+std::vector<PcapRecord> dns_template(Country country) {
+  const ForbiddenContent content = forbidden_content(country);
+  const Bytes query = build_dns_query({0x1234, content.blocked_qname});
+
+  std::vector<PcapRecord> out;
+  std::uint32_t cseq = 2000;
+  std::uint32_t sseq = 7000;
+  push(out, 10,
+       wire_of(make_tcp_packet(kHostileClient, 40001, kHostileServer, 53,
+                               tcpflag::kSyn, cseq, 0)));
+  push(out, 20,
+       wire_of(make_tcp_packet(kHostileServer, 53, kHostileClient, 40001,
+                               tcpflag::kSyn | tcpflag::kAck, sseq, cseq + 1)));
+  push(out, 30,
+       wire_of(make_tcp_packet(kHostileClient, 40001, kHostileServer, 53,
+                               tcpflag::kAck, cseq + 1, sseq + 1)));
+  push(out, 40,
+       wire_of(make_tcp_packet(kHostileClient, 40001, kHostileServer, 53,
+                               tcpflag::kPsh | tcpflag::kAck, cseq + 1,
+                               sseq + 1, query)));
+  return out;
+}
+
+std::vector<PcapRecord> pick_template(Country country, Rng& rng) {
+  return rng.chance(0.5) ? http_template(country) : dns_template(country);
+}
+
+void bit_flip(std::vector<PcapRecord>& records, Rng& rng) {
+  Bytes& wire = rng.pick(records).data;
+  if (wire.empty()) return;
+  const std::size_t flips = 1 + rng.index(8);
+  for (std::size_t i = 0; i < flips; ++i) {
+    wire[rng.index(wire.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.index(8));
+  }
+}
+
+void byte_garbage(std::vector<PcapRecord>& records, Rng& rng) {
+  Bytes& wire = rng.pick(records).data;
+  if (wire.empty()) return;
+  const std::size_t at = rng.index(wire.size());
+  const std::size_t run = std::min(1 + rng.index(16), wire.size() - at);
+  const Bytes noise = rng.bytes(run);
+  std::copy(noise.begin(), noise.end(),
+            wire.begin() + static_cast<std::ptrdiff_t>(at));
+}
+
+/// Lies in exactly the fields the decoder must bound-check: the IPv4
+/// version/ihl byte, the total-length word, the TCP data offset.
+void length_lie(std::vector<PcapRecord>& records, Rng& rng) {
+  Bytes& wire = rng.pick(records).data;
+  if (wire.size() < 20) return;
+  switch (rng.index(4)) {
+    case 0:  // ihl lies: 0..4 (too small) or 6..15 (into/past payload)
+      wire[0] = static_cast<std::uint8_t>(
+          0x40 | (rng.chance(0.5) ? rng.index(5) : 6 + rng.index(10)));
+      break;
+    case 1:  // version lies
+      wire[0] = static_cast<std::uint8_t>((rng.index(16) << 4) | 0x05);
+      break;
+    case 2:  // total length lies
+      wire[2] = static_cast<std::uint8_t>(rng.uniform(0, 255));
+      wire[3] = static_cast<std::uint8_t>(rng.uniform(0, 255));
+      break;
+    default: {  // TCP data offset lies
+      const std::size_t ihl = (wire[0] & 0x0f) * std::size_t{4};
+      const std::size_t off = ihl + 12;
+      if (off < wire.size()) {
+        wire[off] = static_cast<std::uint8_t>(
+            (rng.chance(0.5) ? rng.index(5) : 6 + rng.index(10)) << 4);
+      }
+      break;
+    }
+  }
+}
+
+void truncate(std::vector<PcapRecord>& records, Rng& rng) {
+  Bytes& wire = rng.pick(records).data;
+  if (wire.empty()) return;
+  wire.resize(rng.index(wire.size()));  // anywhere from 0 to size-1 bytes
+}
+
+/// Rewrites the TCP options region with TLV soup: raised data offset, then
+/// random kinds with lying lengths. The packet keeps its real framing, so
+/// the failure (if any) is strictly the option walker's.
+void option_garbage(std::vector<PcapRecord>& records, Rng& rng) {
+  Bytes& wire = rng.pick(records).data;
+  if (wire.size() < 20) return;
+  const std::size_t ihl = (wire[0] & 0x0f) * std::size_t{4};
+  const std::size_t tcp_at = ihl;
+  if (tcp_at + 20 > wire.size()) return;
+  const std::size_t option_words = 1 + rng.index(10);  // offset 6..15
+  wire[tcp_at + 12] = static_cast<std::uint8_t>((5 + option_words) << 4);
+  const std::size_t opt_at = tcp_at + 20;
+  const std::size_t opt_len = option_words * 4;
+  // Grow the record if the lie points past it half the time; the other
+  // half leave it short so the walker must catch the overflow.
+  if (rng.chance(0.5) && wire.size() < opt_at + opt_len) {
+    wire.resize(opt_at + opt_len);
+  }
+  for (std::size_t i = opt_at; i < std::min(wire.size(), opt_at + opt_len);
+       ++i) {
+    wire[i] = static_cast<std::uint8_t>(rng.uniform(0, 255));
+  }
+}
+
+/// Hand-crafts DNS messages whose names abuse RFC 1035 compression:
+/// self-pointers, pointer chains, pointers past the message, reserved label
+/// tags. The TCP/IP framing stays valid — these bytes reach the DNS parser.
+void dns_pointer_loop(std::vector<PcapRecord>& records, Rng& rng) {
+  Bytes msg(12, 0);  // DNS header: id 0x4242, all counts 0 except qdcount
+  msg[0] = 0x42;
+  msg[1] = 0x42;
+  msg[5] = 1;  // qdcount = 1
+  switch (rng.index(4)) {
+    case 0:  // self-pointer at offset 12
+      msg.push_back(0xc0);
+      msg.push_back(12);
+      break;
+    case 1: {  // two-hop pointer cycle
+      msg.push_back(0xc0);
+      msg.push_back(14);
+      msg.push_back(0xc0);
+      msg.push_back(12);
+      break;
+    }
+    case 2:  // pointer past the end of the message
+      msg.push_back(0xc0);
+      msg.push_back(static_cast<std::uint8_t>(200 + rng.index(55)));
+      break;
+    default:  // reserved label tag (01/10 top bits)
+      msg.push_back(static_cast<std::uint8_t>(0x40 | rng.index(0x40)));
+      msg.push_back(0x00);
+      break;
+  }
+  msg.push_back(0);  // qtype/qclass stub
+  msg.push_back(1);
+  msg.push_back(0);
+  msg.push_back(1);
+
+  Bytes payload;
+  payload.push_back(static_cast<std::uint8_t>(msg.size() >> 8));
+  payload.push_back(static_cast<std::uint8_t>(msg.size() & 0xff));
+  payload.insert(payload.end(), msg.begin(), msg.end());
+
+  std::uint32_t cseq = 3000;
+  push(records, records.empty() ? 10 : records.back().at + 10,
+       wire_of(make_tcp_packet(kHostileClient, 40002, kHostileServer, 53,
+                               tcpflag::kPsh | tcpflag::kAck, cseq, 1,
+                               std::move(payload))));
+}
+
+/// A burst of one-packet flows with distinct keys: flow-table pressure.
+/// Bounded per iteration so a campaign's cost stays linear in --iters; the
+/// dedicated flood scenarios (bench + tests) push tables past their budget.
+void flow_collision_flood(std::vector<PcapRecord>& records, Rng& rng) {
+  const std::size_t flows = 64 + rng.index(192);
+  const Time base = records.empty() ? 10 : records.back().at + 10;
+  for (std::size_t i = 0; i < flows; ++i) {
+    const auto src = Ipv4Address(
+        0x0a090800 + static_cast<std::uint32_t>(rng.index(1 << 16)));
+    const auto sport =
+        static_cast<std::uint16_t>(1024 + rng.index(60000));
+    push(records, base + static_cast<Time>(i),
+         wire_of(make_tcp_packet(src, sport, kHostileServer, 80,
+                                 tcpflag::kSyn,
+                                 static_cast<std::uint32_t>(rng.uniform(
+                                     0, 0xffffffff)),
+                                 0)));
+  }
+}
+
+}  // namespace
+
+std::string_view to_string(MutationKind kind) noexcept {
+  switch (kind) {
+    case MutationKind::kBitFlip: return "bit-flip";
+    case MutationKind::kByteGarbage: return "byte-garbage";
+    case MutationKind::kLengthLie: return "length-lie";
+    case MutationKind::kTruncate: return "truncate";
+    case MutationKind::kOptionGarbage: return "option-garbage";
+    case MutationKind::kDnsPointerLoop: return "dns-pointer-loop";
+    case MutationKind::kFlowCollisionFlood: return "flow-collision-flood";
+  }
+  return "unknown";
+}
+
+std::vector<PcapRecord> make_innocuous_flow() {
+  const std::string get =
+      "GET /index.html HTTP/1.1\r\nHost: benign.example.com\r\n\r\n";
+  std::vector<PcapRecord> out;
+  std::uint32_t cseq = 100;
+  std::uint32_t sseq = 900;
+  push(out, 1,
+       wire_of(make_tcp_packet(innocuous_client(), kInnocuousClientPort,
+                               innocuous_server(), kInnocuousServerPort,
+                               tcpflag::kSyn, cseq, 0)));
+  push(out, 2,
+       wire_of(make_tcp_packet(innocuous_server(), kInnocuousServerPort,
+                               innocuous_client(), kInnocuousClientPort,
+                               tcpflag::kSyn | tcpflag::kAck, sseq,
+                               cseq + 1)));
+  push(out, 3,
+       wire_of(make_tcp_packet(innocuous_client(), kInnocuousClientPort,
+                               innocuous_server(), kInnocuousServerPort,
+                               tcpflag::kAck, cseq + 1, sseq + 1)));
+  push(out, 4,
+       wire_of(make_tcp_packet(innocuous_client(), kInnocuousClientPort,
+                               innocuous_server(), kInnocuousServerPort,
+                               tcpflag::kPsh | tcpflag::kAck, cseq + 1,
+                               sseq + 1, to_bytes(get))));
+  push(out, 5,
+       wire_of(make_tcp_packet(innocuous_server(), kInnocuousServerPort,
+                               innocuous_client(), kInnocuousClientPort,
+                               tcpflag::kPsh | tcpflag::kAck, sseq + 1,
+                               cseq + 1 + static_cast<std::uint32_t>(
+                                              get.size()),
+                               to_bytes("HTTP/1.1 200 OK\r\n\r\nhello"))));
+  push(out, 6,
+       wire_of(make_tcp_packet(innocuous_client(), kInnocuousClientPort,
+                               innocuous_server(), kInnocuousServerPort,
+                               tcpflag::kFin | tcpflag::kAck,
+                               cseq + 1 + static_cast<std::uint32_t>(
+                                              get.size()),
+                               sseq + 25)));
+  return out;
+}
+
+Ipv4Address innocuous_client() { return Ipv4Address(0x0a070002); }
+Ipv4Address innocuous_server() { return Ipv4Address(0x0a070001); }
+
+HostileStream generate_hostile_stream(Country country, Rng& rng) {
+  // Independent forks per concern: the kind draw, the template draw, and
+  // the mutation itself never share a stream, so adding draws to one family
+  // cannot shift another family's bytes.
+  Rng kind_rng = rng.fork();
+  Rng template_rng = rng.fork();
+  Rng mutate_rng = rng.fork();
+
+  HostileStream out;
+  out.kind = static_cast<MutationKind>(kind_rng.index(kMutationKindCount));
+  out.records = pick_template(country, template_rng);
+  switch (out.kind) {
+    case MutationKind::kBitFlip: bit_flip(out.records, mutate_rng); break;
+    case MutationKind::kByteGarbage:
+      byte_garbage(out.records, mutate_rng);
+      break;
+    case MutationKind::kLengthLie: length_lie(out.records, mutate_rng); break;
+    case MutationKind::kTruncate: truncate(out.records, mutate_rng); break;
+    case MutationKind::kOptionGarbage:
+      option_garbage(out.records, mutate_rng);
+      break;
+    case MutationKind::kDnsPointerLoop:
+      dns_pointer_loop(out.records, mutate_rng);
+      break;
+    case MutationKind::kFlowCollisionFlood:
+      flow_collision_flood(out.records, mutate_rng);
+      break;
+  }
+  return out;
+}
+
+}  // namespace caya

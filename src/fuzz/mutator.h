@@ -1,0 +1,67 @@
+// Structure-aware adversarial input generation for the hostile-ingress
+// harness. The mutator starts from well-formed "template" flows that a real
+// censor would inspect (an HTTP request carrying forbidden content, a
+// DNS-over-TCP query) and then lies about exactly the fields a decoder must
+// not trust: length words, header offsets, option TLVs, DNS compression
+// pointers. A structure-aware lie lands in a validation branch; a blind
+// bit-flip mostly lands in checksum noise — we ship both.
+//
+// Determinism contract: every mutation draws only from the Rng handed in,
+// and the per-iteration Rng is derived from (campaign seed, iteration) by
+// the fuzzer — so iteration i produces byte-identical hostile streams no
+// matter which thread runs it or how many jobs are in flight.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "eval/strategies.h"
+#include "netsim/pcap.h"
+#include "util/rng.h"
+
+namespace caya {
+
+/// The mutation families, each targeting a distinct decoder obligation.
+enum class MutationKind : std::uint8_t {
+  kBitFlip = 0,        // random single-bit corruption anywhere in the wire
+  kByteGarbage,        // a run of random bytes spliced over the packet
+  kLengthLie,          // ihl / total-length / data-offset field lies
+  kTruncate,           // cut the record short mid-header or mid-option
+  kOptionGarbage,      // TCP option TLV soup (bad kinds, lying lengths)
+  kDnsPointerLoop,     // DNS names with self/chained compression pointers
+  kFlowCollisionFlood, // many one-packet flows hammering the flow tables
+};
+inline constexpr std::size_t kMutationKindCount = 7;
+
+[[nodiscard]] std::string_view to_string(MutationKind kind) noexcept;
+
+/// One generated hostile input: a stream of raw wire records plus the
+/// family that produced it (for per-kind accounting in reports).
+struct HostileStream {
+  MutationKind kind = MutationKind::kBitFlip;
+  std::vector<PcapRecord> records;
+};
+
+/// The innocuous control flow the oracle interleaves with hostile bytes: a
+/// complete handshake + benign HTTP GET + teardown between endpoints that
+/// never appear in any hostile record. Any censor action against THIS flow
+/// is a fail-closed verdict. Deterministic (no Rng): identical in every
+/// iteration, so a differential failure is attributable to the hostile
+/// stream alone.
+[[nodiscard]] std::vector<PcapRecord> make_innocuous_flow();
+
+/// Endpoint constants for the innocuous flow (the oracle needs the key).
+[[nodiscard]] Ipv4Address innocuous_client();
+[[nodiscard]] Ipv4Address innocuous_server();
+inline constexpr std::uint16_t kInnocuousClientPort = 49321;
+inline constexpr std::uint16_t kInnocuousServerPort = 80;
+
+/// Generates one hostile stream for this iteration. `country` selects the
+/// template content (so the pre-mutation flow would actually trigger that
+/// censor); `rng` is the iteration's private stream — the kind choice and
+/// each mutation family draw from independent forks of it.
+[[nodiscard]] HostileStream generate_hostile_stream(Country country,
+                                                    Rng& rng);
+
+}  // namespace caya

@@ -1,0 +1,52 @@
+// The differential oracle: feed one hostile stream, interleaved with a
+// known-innocuous control flow, to a country's full censor set and judge
+// the outcome.
+//
+//   * crash        — any exception escaping decode or a censor. The decode
+//                    layer is non-throwing by contract, so a crash here is
+//                    a real bug; the fuzzer dumps the stream as a corpus
+//                    entry.
+//   * fail-closed  — the censor acted against the innocuous flow (dropped
+//                    one of its packets or injected toward its endpoints).
+//                    Hostile bytes must never poison verdicts for
+//                    bystander traffic.
+//   * fail-open    — undecodable records are counted per DecodeError kind
+//                    and never reach a censor; decodable hostile records
+//                    may or may not be censored. Both are acceptable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eval/strategies.h"
+#include "netsim/middlebox.h"
+#include "netsim/pcap.h"
+#include "packet/decode.h"
+
+namespace caya {
+
+struct OracleOutcome {
+  DecodeStats decode;              // per-kind fail-open accounting
+  std::size_t records = 0;         // total records fed (hostile + innocuous)
+  std::size_t censor_events = 0;   // censored-count increases (any flow)
+  std::size_t injected = 0;        // packets the censors injected
+  bool fail_closed = false;        // censor action touched the innocuous flow
+  bool crashed = false;            // an exception escaped
+  std::string crash_what;          // its what() when crashed
+  Middlebox::StateStats state;     // eviction/drop ledger after the run
+
+  [[nodiscard]] bool clean() const noexcept {
+    return !crashed && !fail_closed;
+  }
+};
+
+/// Runs the differential oracle for one hostile stream against a fresh
+/// censor set for `country` seeded with `seed`. The innocuous control flow
+/// is interleaved around the hostile records (handshake before, data mid-
+/// stream, teardown after), so censor state built up by hostile bytes is
+/// live while innocuous packets transit.
+[[nodiscard]] OracleOutcome run_oracle(Country country, std::uint64_t seed,
+                                       const std::vector<PcapRecord>& hostile);
+
+}  // namespace caya

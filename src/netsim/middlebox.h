@@ -77,6 +77,16 @@ class Middlebox {
   /// OOM a multi-week campaign.
   [[nodiscard]] virtual std::size_t tcb_count() const noexcept { return 0; }
 
+  /// Bounded-state ledger: what the box shed to stay within its hard
+  /// budgets (FlowTable flow budget, Reassembler per-flow budgets). Every
+  /// shed entry is a fail-open bias under flood — the hostile-ingress bench
+  /// and the fuzz oracle report these. Cumulative across reset().
+  struct StateStats {
+    std::uint64_t evicted_flows = 0;     // flow-table budget evictions
+    std::uint64_t dropped_segments = 0;  // reassembly budget drops
+  };
+  [[nodiscard]] virtual StateStats state_stats() const noexcept { return {}; }
+
   /// Attaches a schedule of faults (state flushes, stalls, restarts). The
   /// Network consults it before each packet crosses this box; see fault.h.
   void set_fault_schedule(FaultSchedule schedule) {

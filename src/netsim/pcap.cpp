@@ -24,10 +24,8 @@ void put_u16le(Bytes& out, std::uint16_t v) {
   out.push_back(static_cast<std::uint8_t>(v >> 8 & 0xff));
 }
 
+// Unchecked little-endian read; callers bounds-check before calling.
 std::uint32_t get_u32le(std::span<const std::uint8_t> data, std::size_t at) {
-  if (at + 4 > data.size()) {
-    throw std::invalid_argument("truncated pcap");
-  }
   return static_cast<std::uint32_t>(data[at]) |
          static_cast<std::uint32_t>(data[at + 1]) << 8 |
          static_cast<std::uint32_t>(data[at + 2]) << 16 |
@@ -60,28 +58,82 @@ Bytes to_pcap(const Trace& trace, TracePoint point) {
   return out;
 }
 
-std::vector<PcapRecord> from_pcap(std::span<const std::uint8_t> data) {
-  if (data.size() < 24 || get_u32le(data, 0) != kMagic) {
-    throw std::invalid_argument("not a (little-endian, usec) pcap stream");
+Bytes to_pcap(const std::vector<PcapRecord>& records) {
+  Bytes out;
+  put_u32le(out, kMagic);
+  put_u16le(out, 2);
+  put_u16le(out, 4);
+  put_u32le(out, 0);
+  put_u32le(out, 0);
+  put_u32le(out, 65535);
+  put_u32le(out, kLinkTypeRaw);
+  for (const PcapRecord& record : records) {
+    put_u32le(out, static_cast<std::uint32_t>(record.at / 1'000'000));
+    put_u32le(out, static_cast<std::uint32_t>(record.at % 1'000'000));
+    put_u32le(out, static_cast<std::uint32_t>(record.data.size()));
+    put_u32le(out, static_cast<std::uint32_t>(record.data.size()));
+    out.insert(out.end(), record.data.begin(), record.data.end());
   }
-  std::vector<PcapRecord> out;
+  return out;
+}
+
+PcapLoadResult try_from_pcap(std::span<const std::uint8_t> data,
+                             bool lenient) {
+  PcapLoadResult out;
+  if (data.size() < 4 || get_u32le(data, 0) != kMagic) {
+    out.error = DecodeError::kBadMagic;
+    return out;  // no framing to recover, lenient or not
+  }
+  if (data.size() < 24) {
+    out.error = DecodeError::kTruncated;
+    out.error_offset = data.size();
+    return out;
+  }
   std::size_t at = 24;
   while (at < data.size()) {
+    if (at + 16 > data.size()) {
+      // Partial record header: the classic killed-capture tail.
+      out.error = DecodeError::kBadRecord;
+      out.error_offset = at;
+      break;
+    }
     const std::uint32_t sec = get_u32le(data, at);
     const std::uint32_t usec = get_u32le(data, at + 4);
     const std::uint32_t len = get_u32le(data, at + 8);
-    at += 16;
-    if (at + len > data.size()) {
-      throw std::invalid_argument("truncated pcap record");
+    if (at + 16 + len > data.size()) {
+      // Truncated payload or a lying length field; either way the stream
+      // carries no resync marker, so decoding ends here.
+      out.error = DecodeError::kBadRecord;
+      out.error_offset = at;
+      break;
     }
     PcapRecord record;
     record.at = static_cast<Time>(sec) * 1'000'000 + usec;
-    record.data.assign(data.begin() + static_cast<std::ptrdiff_t>(at),
-                       data.begin() + static_cast<std::ptrdiff_t>(at + len));
-    out.push_back(std::move(record));
-    at += len;
+    record.data.assign(
+        data.begin() + static_cast<std::ptrdiff_t>(at + 16),
+        data.begin() + static_cast<std::ptrdiff_t>(at + 16 + len));
+    out.records.push_back(std::move(record));
+    at += 16 + len;
+  }
+  if (lenient && out.error == DecodeError::kBadRecord) {
+    out.skipped = 1;  // the bad tail record
+    out.error = DecodeError::kNone;
   }
   return out;
+}
+
+std::vector<PcapRecord> from_pcap(std::span<const std::uint8_t> data) {
+  auto result = try_from_pcap(data);
+  switch (result.error) {
+    case DecodeError::kNone:
+      return std::move(result.records);
+    case DecodeError::kBadRecord:
+      throw std::invalid_argument(
+          "truncated pcap record at offset " +
+          std::to_string(result.error_offset));
+    default:
+      throw std::invalid_argument("not a (little-endian, usec) pcap stream");
+  }
 }
 
 void write_pcap_file(const std::string& path, const Trace& trace,

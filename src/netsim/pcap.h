@@ -7,6 +7,7 @@
 #include <string>
 
 #include "netsim/trace.h"
+#include "packet/decode.h"
 #include "util/bytes.h"
 
 namespace caya {
@@ -16,15 +17,41 @@ struct PcapRecord {
   Bytes data;   // raw IPv4 packet bytes
 };
 
+/// Result of a non-throwing pcap load. In strict mode decoding stops at the
+/// first bad record; in lenient mode bad records are skipped and counted.
+/// Either way `error`/`error_offset` describe the first bad record (byte
+/// offset into the capture), so diagnostics can point at it.
+struct PcapLoadResult {
+  std::vector<PcapRecord> records;
+  DecodeError error = DecodeError::kNone;  // first bad record's kind
+  std::size_t error_offset = 0;            // file offset of first bad record
+  std::size_t skipped = 0;                 // lenient mode: bad records skipped
+  [[nodiscard]] bool ok() const noexcept {
+    return error == DecodeError::kNone;
+  }
+};
+
 /// Serializes trace events (from the given observation points) into a pcap
 /// byte stream. By default exports the censor's view of the wire, which is
 /// the most informative single vantage.
 [[nodiscard]] Bytes to_pcap(const Trace& trace,
                             TracePoint point = TracePoint::kCensorSaw);
 
+/// Serializes pre-framed records verbatim — the writer the fuzz corpus uses
+/// to dump hostile byte streams that may not survive a Packet round-trip.
+[[nodiscard]] Bytes to_pcap(const std::vector<PcapRecord>& records);
+
+/// Non-throwing pcap load. Strict mode (`lenient` false) stops at the first
+/// bad record with error/error_offset set and the good prefix kept. Lenient
+/// mode additionally counts the bad tail as skipped and reports ok() — pcap
+/// records carry no resync framing, so a lying record header ends decoding
+/// either way; what differs is whether the caller treats that as fatal.
+[[nodiscard]] PcapLoadResult try_from_pcap(std::span<const std::uint8_t> data,
+                                           bool lenient = false);
+
 /// Parses a pcap byte stream produced by to_pcap (or any LINKTYPE_RAW pcap
 /// with microsecond timestamps). Throws std::invalid_argument on bad magic
-/// or truncated records.
+/// or truncated records. Implemented over try_from_pcap.
 [[nodiscard]] std::vector<PcapRecord> from_pcap(
     std::span<const std::uint8_t> data);
 

@@ -34,6 +34,8 @@ std::string_view to_string(TracePoint point) noexcept {
       return "orchestrator";
     case TracePoint::kCensorStage:
       return "censor-stage";
+    case TracePoint::kDecodeError:
+      return "decode-error";
   }
   return "?";
 }

@@ -27,6 +27,7 @@ enum class TracePoint {
   kCensorFault, // scheduled middlebox fault fired (flush/stall/restart)
   kOrchestrator, // serve-runtime health event (no packet; detail in note)
   kCensorStage, // pipeline stage attribution (opt-in; note = box/stage)
+  kDecodeError, // ingest bytes failed try_parse; fail-open (note = taxonomy)
 };
 
 [[nodiscard]] std::string_view to_string(TracePoint point) noexcept;

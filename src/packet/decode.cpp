@@ -1,0 +1,52 @@
+#include "packet/decode.h"
+
+namespace caya {
+
+namespace {
+struct Label {
+  DecodeError error;
+  std::string_view text;
+};
+constexpr Label kLabels[] = {
+    {DecodeError::kNone, "ok"},
+    {DecodeError::kTruncated, "truncated"},
+    {DecodeError::kBadVersion, "bad-version"},
+    {DecodeError::kBadHeaderLength, "bad-header-length"},
+    {DecodeError::kHeaderOffsetOverflow, "header-offset-overflow"},
+    {DecodeError::kOptionOverrun, "option-overrun"},
+    {DecodeError::kBadLabel, "bad-label"},
+    {DecodeError::kPointerLoop, "pointer-loop"},
+    {DecodeError::kBadLength, "bad-length"},
+    {DecodeError::kBadMagic, "bad-magic"},
+    {DecodeError::kBadRecord, "bad-record"},
+};
+static_assert(sizeof(kLabels) / sizeof(kLabels[0]) == kDecodeErrorCount,
+              "label table must cover the taxonomy");
+}  // namespace
+
+std::string_view to_string(DecodeError error) noexcept {
+  const auto index = static_cast<std::size_t>(error);
+  if (index >= kDecodeErrorCount) return "unknown";
+  return kLabels[index].text;
+}
+
+DecodeError parse_decode_error(std::string_view label) noexcept {
+  for (const auto& entry : kLabels) {
+    if (entry.text == label) return entry.error;
+  }
+  return DecodeError::kNone;
+}
+
+std::string DecodeStats::to_summary() const {
+  std::string out;
+  for (std::size_t i = 1; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    if (!out.empty()) out += ' ';
+    out += to_string(static_cast<DecodeError>(i));
+    out += '=';
+    out += std::to_string(counts[i]);
+  }
+  return out;
+}
+
+}  // namespace caya

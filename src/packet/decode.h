@@ -1,0 +1,155 @@
+// Non-throwing decode layer for hostile ingress.
+//
+// A production evasion station sits mid-path on the open Internet: it is fed
+// truncated headers, lying length fields, DNS compression-pointer games, and
+// deliberate garbage long before it sees a well-formed SYN. The paper's core
+// observation (§6) is that real censors fail *open* on traffic they cannot
+// make sense of — so our ingest paths must too, and they must do it without
+// unwinding an exception per packet on the hot path.
+//
+// Every wire codec therefore exposes a `try_parse` entry point returning a
+// DecodeResult<T>: either the parsed value, or a structured DecodeError
+// naming exactly which malformation was hit and at which byte offset. The
+// legacy throwing `parse` functions are thin wrappers over `try_parse` (one
+// implementation, two calling conventions), so the two can never disagree.
+// Censor-facing ingest (replay, pcap loading, the fuzz oracle) goes through
+// `try_parse` and accounts each failure as a fail-open verdict in a
+// DecodeStats tally instead of letting an exception tear the batch down.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace caya {
+
+/// The malformation taxonomy. Every decode failure across the packet codecs
+/// maps to exactly one of these — the labels the corpus tests pin and the
+/// fail-open accounting reports.
+enum class DecodeError : std::uint8_t {
+  kNone = 0,             // success
+  kTruncated,            // input ended before the structure completed
+  kBadVersion,           // IP version nibble is not the expected 4 / 6
+  kBadHeaderLength,      // declared header length below the fixed minimum
+  kHeaderOffsetOverflow, // declared header length runs past the buffer
+  kOptionOverrun,        // a TCP option's length escapes the option region
+  kBadLabel,             // DNS label with a reserved tag or over-long name
+  kPointerLoop,          // DNS compression-pointer jump budget exhausted
+  kBadLength,            // an embedded length field lies about the buffer
+  kBadMagic,             // capture container magic mismatch
+  kBadRecord,            // capture record header truncated or oversized
+};
+
+inline constexpr std::size_t kDecodeErrorCount = 11;
+
+/// Stable lowercase label, e.g. kPointerLoop -> "pointer-loop".
+[[nodiscard]] std::string_view to_string(DecodeError error) noexcept;
+
+/// Reverse lookup for the corpus manifest; kNone on unknown labels.
+[[nodiscard]] DecodeError parse_decode_error(std::string_view label) noexcept;
+
+/// Outcome of a non-throwing decode: `value` is meaningful iff ok().
+/// On failure `error_offset` is the byte offset (into the input span) of the
+/// first offending byte; on success `consumed` is how many bytes the
+/// structure occupied.
+template <typename T>
+struct DecodeResult {
+  T value{};
+  DecodeError error = DecodeError::kNone;
+  std::size_t consumed = 0;
+  std::size_t error_offset = 0;
+
+  [[nodiscard]] bool ok() const noexcept {
+    return error == DecodeError::kNone;
+  }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] static DecodeResult failure(DecodeError error,
+                                            std::size_t offset) noexcept {
+    DecodeResult out;
+    out.error = error;
+    out.error_offset = offset;
+    return out;
+  }
+};
+
+/// Per-kind failure counters: the fail-open ledger replay and the fuzz
+/// oracle report. Index 0 (kNone) counts successful decodes.
+struct DecodeStats {
+  std::array<std::uint64_t, kDecodeErrorCount> counts{};
+
+  void note(DecodeError error) noexcept {
+    ++counts[static_cast<std::size_t>(error)];
+  }
+  [[nodiscard]] std::uint64_t successes() const noexcept { return counts[0]; }
+  [[nodiscard]] std::uint64_t failures() const noexcept {
+    std::uint64_t total = 0;
+    for (std::size_t i = 1; i < counts.size(); ++i) total += counts[i];
+    return total;
+  }
+  void merge(const DecodeStats& other) noexcept {
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      counts[i] += other.counts[i];
+    }
+  }
+  /// "truncated=3 pointer-loop=1" — nonzero failure kinds only; "" if clean.
+  [[nodiscard]] std::string to_summary() const;
+};
+
+/// Bounds-checked non-throwing cursor: the decode layer's reader. Every
+/// accessor reports truncation through its return value instead of throwing,
+/// and a failed read leaves the cursor position unchanged so error offsets
+/// point at the first byte that could not be satisfied.
+class DecodeCursor {
+ public:
+  explicit DecodeCursor(std::span<const std::uint8_t> data) noexcept
+      : data_(data) {}
+
+  [[nodiscard]] bool u8(std::uint8_t& out) noexcept {
+    if (pos_ + 1 > data_.size()) return false;
+    out = data_[pos_++];
+    return true;
+  }
+  [[nodiscard]] bool u16(std::uint16_t& out) noexcept {
+    if (pos_ + 2 > data_.size()) return false;
+    out = static_cast<std::uint16_t>(
+        static_cast<std::uint16_t>(data_[pos_]) << 8 | data_[pos_ + 1]);
+    pos_ += 2;
+    return true;
+  }
+  [[nodiscard]] bool u32(std::uint32_t& out) noexcept {
+    if (pos_ + 4 > data_.size()) return false;
+    out = static_cast<std::uint32_t>(data_[pos_]) << 24 |
+          static_cast<std::uint32_t>(data_[pos_ + 1]) << 16 |
+          static_cast<std::uint32_t>(data_[pos_ + 2]) << 8 |
+          static_cast<std::uint32_t>(data_[pos_ + 3]);
+    pos_ += 4;
+    return true;
+  }
+  [[nodiscard]] bool skip(std::size_t n) noexcept {
+    if (pos_ + n > data_.size()) return false;
+    pos_ += n;
+    return true;
+  }
+  [[nodiscard]] bool bytes(std::size_t n,
+                           std::span<const std::uint8_t>& out) noexcept {
+    if (pos_ + n > data_.size()) return false;
+    out = data_.subspan(pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t pos() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace caya

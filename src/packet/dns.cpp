@@ -18,17 +18,89 @@ void write_qname(ByteWriter& w, std::string_view qname) {
   w.u8(0);
 }
 
-std::string read_qname(ByteReader& r) {
-  std::string name;
+// Names may not exceed 255 octets on the wire (RFC 1035 §2.3.4); the cap
+// also bounds the work a compression-loop payload can extract per name.
+constexpr std::size_t kMaxNameLength = 255;
+
+// Decodes a (possibly compressed) name from the message `msg` starting at
+// offset `at`. On success `next` is the offset just past the name's in-place
+// encoding — after the terminating zero octet, or after the first pointer's
+// two bytes when one was followed. `error_offset` (relative to `msg`) is set
+// on failure.
+DecodeError read_name(std::span<const std::uint8_t> msg, std::size_t at,
+                      std::string& name, std::size_t& next,
+                      std::size_t& error_offset) {
+  name.clear();
+  next = at;
+  std::size_t pos = at;
+  int jumps = 0;
+  bool jumped = false;
   while (true) {
-    const std::uint8_t len = r.u8();
-    if (len == 0) break;
-    if (len > 63) throw ShortReadError("label too long");
-    const Bytes label = r.raw(len);
+    if (pos >= msg.size()) {
+      error_offset = pos;
+      return DecodeError::kTruncated;
+    }
+    const std::uint8_t len = msg[pos];
+    if ((len & 0xc0) == 0xc0) {
+      if (pos + 2 > msg.size()) {
+        error_offset = pos;
+        return DecodeError::kTruncated;
+      }
+      if (!jumped) next = pos + 2;
+      if (++jumps > kDnsPointerJumpBudget) {
+        error_offset = pos;
+        return DecodeError::kPointerLoop;
+      }
+      const std::size_t target =
+          static_cast<std::size_t>(len & 0x3f) << 8 | msg[pos + 1];
+      if (target >= msg.size()) {
+        error_offset = pos;
+        return DecodeError::kBadLength;
+      }
+      jumped = true;
+      pos = target;
+      continue;
+    }
+    if ((len & 0xc0) != 0) {  // reserved 01/10 tags
+      error_offset = pos;
+      return DecodeError::kBadLabel;
+    }
+    if (len == 0) {
+      if (!jumped) next = pos + 1;
+      return DecodeError::kNone;
+    }
+    if (pos + 1 + len > msg.size()) {
+      error_offset = pos;
+      return DecodeError::kTruncated;
+    }
+    if (name.size() + len + 1 > kMaxNameLength) {
+      error_offset = pos;
+      return DecodeError::kBadLabel;
+    }
     if (!name.empty()) name.push_back('.');
-    name += to_string(label);
+    name.append(reinterpret_cast<const char*>(msg.data() + pos + 1), len);
+    pos += 1 + len;
   }
-  return name;
+}
+
+// Peels the two-byte length prefix off `stream` and exposes the message
+// body. kTruncated when the prefix itself is short, kBadLength when it
+// promises more bytes than the stream holds.
+DecodeError open_message(std::span<const std::uint8_t> stream,
+                         std::span<const std::uint8_t>& msg,
+                         std::size_t& error_offset) {
+  if (stream.size() < 2) {
+    error_offset = stream.size();
+    return DecodeError::kTruncated;
+  }
+  const std::size_t length =
+      static_cast<std::size_t>(stream[0]) << 8 | stream[1];
+  if (length > stream.size() - 2) {
+    error_offset = 0;
+    return DecodeError::kBadLength;
+  }
+  msg = stream.subspan(2, length);
+  return DecodeError::kNone;
 }
 
 Bytes with_length_prefix(const Bytes& message) {
@@ -75,46 +147,96 @@ Bytes build_dns_response(const DnsResponse& response) {
   return with_length_prefix(w.bytes());
 }
 
+DecodeResult<std::string> try_parse_dns_qname(
+    std::span<const std::uint8_t> stream) {
+  using R = DecodeResult<std::string>;
+  std::span<const std::uint8_t> msg;
+  std::size_t error_offset = 0;
+  if (const DecodeError err = open_message(stream, msg, error_offset);
+      err != DecodeError::kNone) {
+    return R::failure(err, error_offset);
+  }
+  if (msg.size() < 12) {
+    return R::failure(DecodeError::kTruncated, 2 + msg.size());
+  }
+  R out;
+  std::size_t next = 0;
+  if (const DecodeError err =
+          read_name(msg, 12, out.value, next, error_offset);
+      err != DecodeError::kNone) {
+    return R::failure(err, 2 + error_offset);
+  }
+  out.consumed = 2 + next;
+  return out;
+}
+
+DecodeResult<DnsResponse> try_parse_dns_response(
+    std::span<const std::uint8_t> stream) {
+  using R = DecodeResult<DnsResponse>;
+  std::span<const std::uint8_t> msg;
+  std::size_t error_offset = 0;
+  if (const DecodeError err = open_message(stream, msg, error_offset);
+      err != DecodeError::kNone) {
+    return R::failure(err, error_offset);
+  }
+  DecodeCursor c(msg);
+  R out;
+  std::uint16_t flags = 0;
+  std::uint16_t qdcount = 0;
+  std::uint16_t ancount = 0;
+  if (!c.u16(out.value.id) || !c.u16(flags) || !c.u16(qdcount) ||
+      !c.u16(ancount) || !c.skip(4)) {  // NSCOUNT + ARCOUNT
+    return R::failure(DecodeError::kTruncated, 2 + c.pos());
+  }
+  if ((flags & 0x8000) == 0) {  // not a response
+    return R::failure(DecodeError::kBadRecord, 2 + 2);
+  }
+  std::size_t at = c.pos();
+  for (int i = 0; i < qdcount; ++i) {
+    if (const DecodeError err =
+            read_name(msg, at, out.value.qname, at, error_offset);
+        err != DecodeError::kNone) {
+      return R::failure(err, 2 + error_offset);
+    }
+    if (at + 4 > msg.size()) {  // qtype + qclass
+      return R::failure(DecodeError::kTruncated, 2 + msg.size());
+    }
+    at += 4;
+  }
+  if (ancount == 0) return R::failure(DecodeError::kBadRecord, 2 + 6);
+  std::string answer_name;
+  if (const DecodeError err =
+          read_name(msg, at, answer_name, at, error_offset);
+      err != DecodeError::kNone) {
+    return R::failure(err, 2 + error_offset);
+  }
+  if (at + 10 + 4 > msg.size()) {  // type, class, ttl, rdlength, A rdata
+    return R::failure(DecodeError::kTruncated, 2 + msg.size());
+  }
+  const std::uint16_t rdlength =
+      static_cast<std::uint16_t>(msg[at + 8] << 8 | msg[at + 9]);
+  if (rdlength != 4) return R::failure(DecodeError::kBadRecord, 2 + at + 8);
+  out.value.address =
+      Ipv4Address(static_cast<std::uint32_t>(msg[at + 10]) << 24 |
+                  static_cast<std::uint32_t>(msg[at + 11]) << 16 |
+                  static_cast<std::uint32_t>(msg[at + 12]) << 8 |
+                  static_cast<std::uint32_t>(msg[at + 13]));
+  out.consumed = 2 + at + 14;
+  return out;
+}
+
 std::optional<std::string> parse_dns_qname(
     std::span<const std::uint8_t> stream) {
-  try {
-    ByteReader r(stream);
-    const std::uint16_t length = r.u16();
-    if (length > r.remaining()) return std::nullopt;
-    r.skip(12);  // header
-    return read_qname(r);
-  } catch (const ShortReadError&) {
-    return std::nullopt;
-  }
+  auto result = try_parse_dns_qname(stream);
+  if (!result.ok()) return std::nullopt;
+  return std::move(result.value);
 }
 
 std::optional<DnsResponse> parse_dns_response(
     std::span<const std::uint8_t> stream) {
-  try {
-    ByteReader r(stream);
-    const std::uint16_t length = r.u16();
-    if (length > r.remaining()) return std::nullopt;
-    DnsResponse out;
-    out.id = r.u16();
-    const std::uint16_t flags = r.u16();
-    if ((flags & 0x8000) == 0) return std::nullopt;  // not a response
-    const std::uint16_t qdcount = r.u16();
-    const std::uint16_t ancount = r.u16();
-    r.skip(4);  // NSCOUNT + ARCOUNT
-    for (int i = 0; i < qdcount; ++i) {
-      out.qname = read_qname(r);
-      r.skip(4);  // qtype + qclass
-    }
-    if (ancount == 0) return std::nullopt;
-    (void)read_qname(r);
-    r.skip(8);  // type, class, ttl
-    const std::uint16_t rdlength = r.u16();
-    if (rdlength != 4) return std::nullopt;
-    out.address = Ipv4Address(r.u32());
-    return out;
-  } catch (const ShortReadError&) {
-    return std::nullopt;
-  }
+  auto result = try_parse_dns_response(stream);
+  if (!result.ok()) return std::nullopt;
+  return std::move(result.value);
 }
 
 }  // namespace caya

@@ -6,6 +6,7 @@
 #include <string>
 #include <string_view>
 
+#include "packet/decode.h"
 #include "packet/ipv4.h"
 #include "util/bytes.h"
 
@@ -28,12 +29,33 @@ struct DnsResponse {
 /// Length-prefixed response echoing the question plus one A record.
 [[nodiscard]] Bytes build_dns_response(const DnsResponse& response);
 
+/// Compression-pointer (RFC 1035 §4.1.4) jump budget: following more than
+/// this many pointers while decoding one name is reported as kPointerLoop.
+/// Real messages need at most a handful; loops and pointer-into-pointer
+/// chains crafted to pin the parser blow through it immediately.
+inline constexpr int kDnsPointerJumpBudget = 16;
+
+/// Non-throwing QNAME extraction from a length-prefixed DNS message at the
+/// start of `stream`. Decodes compressed names with a bounded jump budget:
+/// kTruncated (short header/label), kBadLength (length prefix or pointer
+/// target lying about the buffer), kBadLabel (reserved label tag or a name
+/// over 255 octets), kPointerLoop (jump budget exhausted).
+[[nodiscard]] DecodeResult<std::string> try_parse_dns_qname(
+    std::span<const std::uint8_t> stream);
+
+/// Non-throwing response parse; semantically foreign messages (not a
+/// response, no answer, non-A RDATA) are reported as kBadRecord.
+[[nodiscard]] DecodeResult<DnsResponse> try_parse_dns_response(
+    std::span<const std::uint8_t> stream);
+
 /// Extracts the QNAME from a length-prefixed DNS message at the start of
 /// `stream`. Returns nullopt when the message is truncated or malformed.
+/// Implemented over try_parse_dns_qname.
 [[nodiscard]] std::optional<std::string> parse_dns_qname(
     std::span<const std::uint8_t> stream);
 
 /// Parses a complete length-prefixed response; nullopt if incomplete.
+/// Implemented over try_parse_dns_response.
 [[nodiscard]] std::optional<DnsResponse> parse_dns_response(
     std::span<const std::uint8_t> stream);
 

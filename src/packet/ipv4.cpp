@@ -80,30 +80,55 @@ Bytes Ipv4Header::serialize(std::uint16_t payload_length, bool compute_checksum,
   return out;
 }
 
-Ipv4Header Ipv4Header::parse(std::span<const std::uint8_t> data,
-                             std::size_t& consumed) {
-  ByteReader r(data);
+DecodeResult<Ipv4Header> Ipv4Header::try_parse(
+    std::span<const std::uint8_t> data) noexcept {
+  using R = DecodeResult<Ipv4Header>;
+  DecodeCursor c(data);
   Ipv4Header h;
-  const std::uint8_t vihl = r.u8();
+  std::uint8_t vihl = 0;
+  if (!c.u8(vihl)) return R::failure(DecodeError::kTruncated, c.pos());
   h.version = vihl >> 4;
   h.ihl = vihl & 0xf;
-  if (h.version != 4) throw std::invalid_argument("not an IPv4 packet");
-  if (h.ihl < 5) throw std::invalid_argument("IPv4 ihl < 5");
-  h.tos = r.u8();
-  h.total_length = r.u16();
-  h.id = r.u16();
-  const std::uint16_t ff = r.u16();
+  if (h.version != 4) return R::failure(DecodeError::kBadVersion, 0);
+  if (h.ihl < 5) return R::failure(DecodeError::kBadHeaderLength, 0);
+  std::uint16_t ff = 0;
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  if (!c.u8(h.tos) || !c.u16(h.total_length) || !c.u16(h.id) || !c.u16(ff) ||
+      !c.u8(h.ttl) || !c.u8(h.protocol) || !c.u16(h.checksum) ||
+      !c.u32(src) || !c.u32(dst)) {
+    return R::failure(DecodeError::kTruncated, c.pos());
+  }
   h.flags = static_cast<std::uint8_t>(ff >> 13);
   h.frag_offset = ff & 0x1fff;
-  h.ttl = r.u8();
-  h.protocol = r.u8();
-  h.checksum = r.u16();
-  h.src = Ipv4Address(r.u32());
-  h.dst = Ipv4Address(r.u32());
-  // Skip options if present; we model them as opaque.
-  r.skip(h.header_length() - 20);
-  consumed = r.pos();
-  return h;
+  h.src = Ipv4Address(src);
+  h.dst = Ipv4Address(dst);
+  // Skip options if present; we model them as opaque. A declared header
+  // length past the end of the buffer is the classic parser-desync lie.
+  if (!c.skip(h.header_length() - 20)) {
+    return R::failure(DecodeError::kHeaderOffsetOverflow, c.pos());
+  }
+  R out;
+  out.value = h;
+  out.consumed = c.pos();
+  return out;
+}
+
+Ipv4Header Ipv4Header::parse(std::span<const std::uint8_t> data,
+                             std::size_t& consumed) {
+  const auto result = try_parse(data);
+  switch (result.error) {
+    case DecodeError::kNone:
+      consumed = result.consumed;
+      return result.value;
+    case DecodeError::kBadVersion:
+      throw std::invalid_argument("not an IPv4 packet");
+    case DecodeError::kBadHeaderLength:
+      throw std::invalid_argument("IPv4 ihl < 5");
+    default:
+      throw ShortReadError("short read: truncated IPv4 header at offset " +
+                           std::to_string(result.error_offset));
+  }
 }
 
 }  // namespace caya

@@ -5,6 +5,7 @@
 #include <string>
 #include <string_view>
 
+#include "packet/decode.h"
 #include "util/bytes.h"
 
 namespace caya {
@@ -66,8 +67,15 @@ struct Ipv4Header {
                       bool compute_checksum = true,
                       bool compute_length = true) const;
 
+  /// Non-throwing parse: kTruncated / kBadVersion / kBadHeaderLength /
+  /// kHeaderOffsetOverflow instead of exceptions. On success `consumed` is
+  /// ihl*4 (options skipped as opaque).
+  static DecodeResult<Ipv4Header> try_parse(
+      std::span<const std::uint8_t> data) noexcept;
+
   /// Parses a header from `data`; throws ShortReadError / invalid_argument on
   /// truncated or non-v4 input. On success `consumed` is set to ihl*4.
+  /// Implemented over try_parse — the two can never disagree.
   static Ipv4Header parse(std::span<const std::uint8_t> data,
                           std::size_t& consumed);
 };

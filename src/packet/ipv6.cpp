@@ -1,6 +1,7 @@
 #include "packet/ipv6.h"
 #include <cstdio>
 
+#include <algorithm>
 #include <charconv>
 #include <stdexcept>
 #include <vector>
@@ -144,25 +145,47 @@ Bytes Ipv6Header::serialize(std::uint16_t payload_len,
   return out;
 }
 
-Ipv6Header Ipv6Header::parse(std::span<const std::uint8_t> data,
-                             std::size_t& consumed) {
-  ByteReader r(data);
+DecodeResult<Ipv6Header> Ipv6Header::try_parse(
+    std::span<const std::uint8_t> data) noexcept {
+  using R = DecodeResult<Ipv6Header>;
+  DecodeCursor c(data);
   Ipv6Header h;
-  const std::uint32_t first = r.u32();
-  if (first >> 28 != 6) throw std::invalid_argument("not an IPv6 packet");
+  std::uint32_t first = 0;
+  if (!c.u32(first)) return R::failure(DecodeError::kTruncated, c.pos());
+  if (first >> 28 != 6) return R::failure(DecodeError::kBadVersion, 0);
   h.traffic_class = static_cast<std::uint8_t>(first >> 20 & 0xff);
   h.flow_label = first & 0xfffff;
-  h.payload_length = r.u16();
-  h.next_header = r.u8();
-  h.hop_limit = r.u8();
-  Ipv6Address::Octets src{};
-  Ipv6Address::Octets dst{};
-  for (auto& b : src) b = r.u8();
-  for (auto& b : dst) b = r.u8();
-  h.src = Ipv6Address(src);
-  h.dst = Ipv6Address(dst);
-  consumed = 40;
-  return h;
+  std::span<const std::uint8_t> src;
+  std::span<const std::uint8_t> dst;
+  if (!c.u16(h.payload_length) || !c.u8(h.next_header) || !c.u8(h.hop_limit) ||
+      !c.bytes(16, src) || !c.bytes(16, dst)) {
+    return R::failure(DecodeError::kTruncated, c.pos());
+  }
+  Ipv6Address::Octets src_octets{};
+  Ipv6Address::Octets dst_octets{};
+  std::copy(src.begin(), src.end(), src_octets.begin());
+  std::copy(dst.begin(), dst.end(), dst_octets.begin());
+  h.src = Ipv6Address(src_octets);
+  h.dst = Ipv6Address(dst_octets);
+  R out;
+  out.value = h;
+  out.consumed = 40;
+  return out;
+}
+
+Ipv6Header Ipv6Header::parse(std::span<const std::uint8_t> data,
+                             std::size_t& consumed) {
+  const auto result = try_parse(data);
+  switch (result.error) {
+    case DecodeError::kNone:
+      consumed = result.consumed;
+      return result.value;
+    case DecodeError::kBadVersion:
+      throw std::invalid_argument("not an IPv6 packet");
+    default:
+      throw ShortReadError("short read: truncated IPv6 header at offset " +
+                           std::to_string(result.error_offset));
+  }
 }
 
 }  // namespace caya

@@ -8,6 +8,7 @@
 #include <string>
 #include <string_view>
 
+#include "packet/decode.h"
 #include "util/bytes.h"
 
 namespace caya {
@@ -49,6 +50,11 @@ struct Ipv6Header {
   /// Same, written into `out` (cleared first; capacity retained).
   void serialize_into(Bytes& out, std::uint16_t payload_len,
                       bool compute_length = true) const;
+  /// Non-throwing parse: kTruncated / kBadVersion. `consumed` is 40.
+  static DecodeResult<Ipv6Header> try_parse(
+      std::span<const std::uint8_t> data) noexcept;
+
+  /// Throwing wrapper over try_parse — the two can never disagree.
   static Ipv6Header parse(std::span<const std::uint8_t> data,
                           std::size_t& consumed);
 };

@@ -1,6 +1,7 @@
 #include "packet/packet.h"
 
 #include <sstream>
+#include <stdexcept>
 
 #include "util/arena.h"
 #include "util/checksum.h"
@@ -34,19 +35,43 @@ Bytes Packet::serialize() const {
   return wire;
 }
 
-Packet Packet::parse(std::span<const std::uint8_t> wire) {
-  Packet pkt;
-  std::size_t ip_len = 0;
-  pkt.ip = Ipv4Header::parse(wire, ip_len);
-  std::size_t tcp_len = 0;
-  auto segment = wire.subspan(ip_len);
-  pkt.tcp = TcpHeader::parse(segment, tcp_len);
-  pkt.payload.assign(segment.begin() + static_cast<std::ptrdiff_t>(tcp_len),
-                     segment.end());
+DecodeResult<Packet> Packet::try_parse(std::span<const std::uint8_t> wire) {
+  using R = DecodeResult<Packet>;
+  auto ip = Ipv4Header::try_parse(wire);
+  if (!ip.ok()) return R::failure(ip.error, ip.error_offset);
+  auto segment = wire.subspan(ip.consumed);
+  auto tcp = TcpHeader::try_parse(segment);
+  if (!tcp.ok()) return R::failure(tcp.error, ip.consumed + tcp.error_offset);
+  R out;
+  out.value.ip = ip.value;
+  out.value.tcp = std::move(tcp.value);
+  out.value.payload.assign(
+      segment.begin() + static_cast<std::ptrdiff_t>(tcp.consumed),
+      segment.end());
   // Keep the on-wire checksums: a parsed packet re-serializes byte-for-byte.
-  pkt.ip_checksum_overridden = true;
-  pkt.tcp_checksum_overridden = true;
-  return pkt;
+  out.value.ip_checksum_overridden = true;
+  out.value.tcp_checksum_overridden = true;
+  out.consumed = wire.size();
+  return out;
+}
+
+Packet Packet::parse(std::span<const std::uint8_t> wire) {
+  auto result = try_parse(wire);
+  switch (result.error) {
+    case DecodeError::kNone:
+      return std::move(result.value);
+    case DecodeError::kBadVersion:
+      throw std::invalid_argument("not an IPv4 packet");
+    case DecodeError::kBadHeaderLength:
+      throw std::invalid_argument("bad header length at offset " +
+                                  std::to_string(result.error_offset));
+    case DecodeError::kOptionOverrun:
+      throw std::invalid_argument("malformed TCP option at offset " +
+                                  std::to_string(result.error_offset));
+    default:
+      throw ShortReadError("short read: truncated packet at offset " +
+                           std::to_string(result.error_offset));
+  }
 }
 
 std::uint16_t Packet::computed_tcp_checksum() const {

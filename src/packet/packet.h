@@ -51,8 +51,15 @@ struct Packet {
   /// writers (pcap, replay) can reuse one buffer across packets.
   void serialize_into(Bytes& out) const;
 
+  /// Non-throwing parse of IP header + TCP segment. TCP-layer failures
+  /// report `error_offset` relative to the start of `wire`. This is the
+  /// ingest entry point for hostile bytes: replay, pcap loading, and the
+  /// fuzz oracle route through it and account failures as fail-open.
+  static DecodeResult<Packet> try_parse(std::span<const std::uint8_t> wire);
+
   /// Parses wire bytes back into a Packet. The parsed packet keeps whatever
   /// checksums were on the wire; callers use the *_valid() helpers to verify.
+  /// Implemented over try_parse — the two can never disagree.
   static Packet parse(std::span<const std::uint8_t> wire);
 
   /// The TCP checksum a fresh serialization of this packet would carry,

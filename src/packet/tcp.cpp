@@ -134,49 +134,78 @@ TcpHeader::PartialChecksum TcpHeader::partial_checksum(
   return {acc.finish(), static_cast<std::uint16_t>(20 + opts->size())};
 }
 
-TcpHeader TcpHeader::parse(std::span<const std::uint8_t> data,
-                           std::size_t& consumed) {
-  ByteReader r(data);
+DecodeResult<TcpHeader> TcpHeader::try_parse(
+    std::span<const std::uint8_t> data) {
+  using R = DecodeResult<TcpHeader>;
+  DecodeCursor c(data);
   TcpHeader h;
-  h.sport = r.u16();
-  h.dport = r.u16();
-  h.seq = r.u32();
-  h.ack = r.u32();
-  const std::uint8_t off = r.u8();
+  std::uint8_t off = 0;
+  if (!c.u16(h.sport) || !c.u16(h.dport) || !c.u32(h.seq) || !c.u32(h.ack) ||
+      !c.u8(off) || !c.u8(h.flags) || !c.u16(h.window) || !c.u16(h.checksum) ||
+      !c.u16(h.urgent_pointer)) {
+    return R::failure(DecodeError::kTruncated, c.pos());
+  }
   h.data_offset = off >> 4;
-  h.flags = r.u8();
-  h.window = r.u16();
-  h.checksum = r.u16();
-  h.urgent_pointer = r.u16();
-  if (h.data_offset < 5) throw std::invalid_argument("TCP data offset < 5");
+  if (h.data_offset < 5) return R::failure(DecodeError::kBadHeaderLength, 12);
 
+  // Truncation inside the option region is a header-length lie when the
+  // declared offset runs past the buffer; classify it as such.
   const std::size_t header_len = static_cast<std::size_t>(h.data_offset) * 4;
+  const DecodeError on_short = header_len > data.size()
+                                   ? DecodeError::kHeaderOffsetOverflow
+                                   : DecodeError::kTruncated;
   std::size_t opt_remaining = header_len - 20;
   while (opt_remaining > 0) {
-    const std::uint8_t kind = r.u8();
+    std::uint8_t kind = 0;
+    if (!c.u8(kind)) return R::failure(on_short, c.pos());
     --opt_remaining;
     if (kind == TcpOption::kEndOfOptions) {
-      r.skip(opt_remaining);
+      if (!c.skip(opt_remaining)) return R::failure(on_short, c.pos());
       opt_remaining = 0;
       break;
     }
     if (kind == TcpOption::kNop) continue;
     if (opt_remaining == 0) {
-      throw std::invalid_argument("truncated TCP option");
+      return R::failure(DecodeError::kOptionOverrun, c.pos() - 1);
     }
-    const std::uint8_t len = r.u8();
+    std::uint8_t len = 0;
+    if (!c.u8(len)) return R::failure(on_short, c.pos());
     --opt_remaining;
     if (len < 2 || static_cast<std::size_t>(len - 2) > opt_remaining) {
-      throw std::invalid_argument("malformed TCP option length");
+      return R::failure(DecodeError::kOptionOverrun, c.pos() - 1);
     }
+    std::span<const std::uint8_t> value;
+    if (!c.bytes(static_cast<std::size_t>(len - 2), value)) {
+      return R::failure(on_short, c.pos());
+    }
+    opt_remaining -= static_cast<std::size_t>(len - 2);
     TcpOption opt;
     opt.kind = kind;
-    opt.data = r.raw(static_cast<std::size_t>(len - 2));
-    opt_remaining -= static_cast<std::size_t>(len - 2);
+    opt.data.assign(value.begin(), value.end());
     h.options.push_back(std::move(opt));
   }
-  consumed = header_len;
-  return h;
+  R out;
+  out.value = std::move(h);
+  out.consumed = header_len;
+  return out;
+}
+
+TcpHeader TcpHeader::parse(std::span<const std::uint8_t> data,
+                           std::size_t& consumed) {
+  auto result = try_parse(data);
+  switch (result.error) {
+    case DecodeError::kNone:
+      consumed = result.consumed;
+      return std::move(result.value);
+    case DecodeError::kBadHeaderLength:
+      throw std::invalid_argument("TCP data offset < 5");
+    case DecodeError::kOptionOverrun:
+      throw std::invalid_argument("malformed TCP option at offset " +
+                                  std::to_string(result.error_offset));
+    default:
+      throw ShortReadError("short read: truncated TCP header at offset " +
+                           std::to_string(result.error_offset));
+  }
 }
 
 std::uint16_t tcp_checksum(Ipv4Address src, Ipv4Address dst,

@@ -90,8 +90,15 @@ struct TcpHeader {
                                                  Ipv4Address dst,
                                                  bool compute_offset) const;
 
+  /// Non-throwing parse: kTruncated / kBadHeaderLength (data offset < 5) /
+  /// kHeaderOffsetOverflow (declared offset past the buffer) /
+  /// kOptionOverrun (an option length escaping the option region). On
+  /// success `consumed` is the header length; payload follows.
+  static DecodeResult<TcpHeader> try_parse(std::span<const std::uint8_t> data);
+
   /// Parses a TCP header (with options) from `data`. `consumed` is set to the
   /// header length; payload follows. Throws on truncation/malformed options.
+  /// Implemented over try_parse — the two can never disagree.
   static TcpHeader parse(std::span<const std::uint8_t> data,
                          std::size_t& consumed);
 };

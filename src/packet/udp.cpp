@@ -37,16 +37,30 @@ Bytes UdpHeader::serialize(Ipv4Address src, Ipv4Address dst,
   return out;
 }
 
+DecodeResult<UdpHeader> UdpHeader::try_parse(
+    std::span<const std::uint8_t> data) noexcept {
+  using R = DecodeResult<UdpHeader>;
+  DecodeCursor c(data);
+  UdpHeader h;
+  if (!c.u16(h.sport) || !c.u16(h.dport) || !c.u16(h.length) ||
+      !c.u16(h.checksum)) {
+    return R::failure(DecodeError::kTruncated, c.pos());
+  }
+  R out;
+  out.value = h;
+  out.consumed = 8;
+  return out;
+}
+
 UdpHeader UdpHeader::parse(std::span<const std::uint8_t> data,
                            std::size_t& consumed) {
-  ByteReader r(data);
-  UdpHeader h;
-  h.sport = r.u16();
-  h.dport = r.u16();
-  h.length = r.u16();
-  h.checksum = r.u16();
-  consumed = 8;
-  return h;
+  const auto result = try_parse(data);
+  if (!result.ok()) {
+    throw ShortReadError("short read: truncated UDP header at offset " +
+                         std::to_string(result.error_offset));
+  }
+  consumed = result.consumed;
+  return result.value;
 }
 
 std::uint16_t udp_checksum(Ipv4Address src, Ipv4Address dst,

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 
+#include "packet/decode.h"
 #include "packet/ipv4.h"
 #include "util/bytes.h"
 
@@ -29,7 +30,12 @@ struct UdpHeader {
                       bool compute_checksum = true,
                       bool compute_length = true) const;
 
-  /// Parses the 8-byte header; `consumed` is set to 8.
+  /// Non-throwing parse: kTruncated when fewer than 8 bytes remain.
+  static DecodeResult<UdpHeader> try_parse(
+      std::span<const std::uint8_t> data) noexcept;
+
+  /// Parses the 8-byte header; `consumed` is set to 8. Implemented over
+  /// try_parse — the two can never disagree.
   static UdpHeader parse(std::span<const std::uint8_t> data,
                          std::size_t& consumed);
 };

@@ -93,5 +93,56 @@ TEST(CliErrors, SuccessPathStillExitsZero) {
   EXPECT_TRUE(result.stderr_text.empty()) << result.stderr_text;
 }
 
+TEST(CliErrors, ReplayMissingFileIsStructured) {
+  expect_structured_error(
+      run_cli("replay /nonexistent-dir-xyzzy/capture.pcap --country china"),
+      "cannot open");
+}
+
+// A damaged capture: valid pcap global header, then a partial record
+// header. Strict replay reports the file offset of the bad record; the
+// --lenient flag skips it instead.
+TEST(CliErrors, ReplayTruncatedPcapIsStructuredWithOffset) {
+  const std::string path = ::testing::TempDir() + "/caya_cli_truncated.pcap";
+  {
+    // 24-byte little-endian usec pcap header + 10 stray bytes.
+    const unsigned char header[] = {0xd4, 0xc3, 0xb2, 0xa1, 0x02, 0x00,
+                                    0x04, 0x00, 0x00, 0x00, 0x00, 0x00,
+                                    0x00, 0x00, 0x00, 0x00, 0xff, 0xff,
+                                    0x00, 0x00, 0x65, 0x00, 0x00, 0x00};
+    std::FILE* file = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(file, nullptr);
+    std::fwrite(header, 1, sizeof(header), file);
+    const unsigned char junk[10] = {};
+    std::fwrite(junk, 1, sizeof(junk), file);
+    std::fclose(file);
+  }
+  expect_structured_error(
+      run_cli("replay " + path + " --country china"),
+      "truncated pcap record at offset 24");
+  const CliResult lenient =
+      run_cli("replay " + path + " --country china --lenient");
+  EXPECT_EQ(lenient.exit_code, 0);
+  EXPECT_TRUE(lenient.stderr_text.empty()) << lenient.stderr_text;
+  std::remove(path.c_str());
+}
+
+TEST(CliErrors, FuzzUnknownCensorIsStructured) {
+  expect_structured_error(run_cli("fuzz --censor atlantis --iters 1"),
+                          "unknown country \"atlantis\"");
+}
+
+TEST(CliErrors, FuzzReproRequiresCensor) {
+  expect_structured_error(run_cli("fuzz --repro some.pcap"),
+                          "--repro needs --censor");
+}
+
+TEST(CliErrors, FuzzSmokeCampaignExitsZero) {
+  const CliResult result =
+      run_cli("fuzz --censor india --iters 20 --seed 1 --jobs 2");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_TRUE(result.stderr_text.empty()) << result.stderr_text;
+}
+
 }  // namespace
 }  // namespace caya

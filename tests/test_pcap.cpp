@@ -66,6 +66,50 @@ TEST(Pcap, RejectsGarbage) {
   EXPECT_THROW((void)from_pcap(truncated), std::invalid_argument);
 }
 
+TEST(Pcap, TryFromPcapReportsOffsetOfBadRecord) {
+  const Bytes intact = to_pcap(sample_trace());
+  const std::vector<PcapRecord> records = from_pcap(intact);
+  ASSERT_EQ(records.size(), 2u);
+  // Chop into the last record's payload: strict load stops there and
+  // reports the byte offset of the record whose bytes lie.
+  const std::size_t second_header = 24 + 16 + records[0].data.size();
+  Bytes damaged = intact;
+  damaged.resize(damaged.size() - 3);
+  const PcapLoadResult strict = try_from_pcap(damaged);
+  EXPECT_FALSE(strict.ok());
+  EXPECT_EQ(strict.error, DecodeError::kBadRecord);
+  EXPECT_EQ(strict.error_offset, second_header);
+  EXPECT_EQ(strict.records.size(), 1u);  // good prefix kept
+
+  const PcapLoadResult lenient = try_from_pcap(damaged, /*lenient=*/true);
+  EXPECT_TRUE(lenient.ok());
+  EXPECT_EQ(lenient.skipped, 1u);
+  EXPECT_EQ(lenient.records.size(), 1u);
+  EXPECT_EQ(lenient.records[0].data, records[0].data);
+}
+
+TEST(Pcap, BadMagicNotRecoverableEvenLenient) {
+  const Bytes garbage = to_bytes("definitely not a pcap");
+  const PcapLoadResult result = try_from_pcap(garbage, /*lenient=*/true);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.error, DecodeError::kBadMagic);
+}
+
+TEST(Pcap, RawRecordWriterRoundTrips) {
+  // The corpus writer serializes pre-framed records verbatim — including
+  // byte streams that are not valid packets.
+  std::vector<PcapRecord> records;
+  records.push_back({1'500'000, to_bytes("not a packet at all")});
+  records.push_back({2'000'001, Bytes(40, 0xee)});
+  const Bytes pcap = to_pcap(records);
+  const std::vector<PcapRecord> loaded = from_pcap(pcap);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].at, records[0].at);
+  EXPECT_EQ(loaded[0].data, records[0].data);
+  EXPECT_EQ(loaded[1].at, records[1].at);
+  EXPECT_EQ(loaded[1].data, records[1].data);
+}
+
 TEST(Pcap, WriteFile) {
   const std::string path = ::testing::TempDir() + "/caya_test.pcap";
   write_pcap_file(path, sample_trace());

@@ -1,5 +1,8 @@
 #include "eval/replay.h"
 
+#include <cstdio>
+#include <fstream>
+
 #include <gtest/gtest.h>
 
 #include "eval/strategies.h"
@@ -67,11 +70,51 @@ TEST(Replay, IndiaBlockPageCounted) {
 TEST(Replay, GarbageRecordsAreCountedNotFatal) {
   std::vector<PcapRecord> records;
   records.push_back({0, to_bytes("not an ip packet")});
+  Trace trace;
   const ReplayResult result =
-      replay_through_censor(records, Country::kChina, 1);
+      replay_through_censor(records, Country::kChina, 1, &trace);
   EXPECT_EQ(result.packets, 1u);
   EXPECT_EQ(result.parse_failures, 1u);
   EXPECT_EQ(result.censor_events, 0u);
+  // The taxonomy ledger agrees with the legacy counter and the event log
+  // names the decode error.
+  EXPECT_EQ(result.decode.failures(), 1u);
+  EXPECT_EQ(result.decode.successes(), 0u);
+  ASSERT_EQ(result.events.size(), 1u);
+  EXPECT_NE(result.events[0].description.find("decode-error"),
+            std::string::npos);
+  // The failure is also mirrored into the trace as a packetless event.
+  const auto mirrored = trace.at(TracePoint::kDecodeError);
+  ASSERT_EQ(mirrored.size(), 1u);
+  EXPECT_NE(mirrored[0].note.find("offset"), std::string::npos);
+}
+
+TEST(Replay, LenientFileLoadSkipsDamagedTail) {
+  const Bytes pcap = capture(Country::kChina, AppProtocol::kHttp,
+                             std::nullopt, 11);
+  const std::size_t intact_records = from_pcap(pcap).size();
+  Bytes damaged = pcap;
+  damaged.resize(damaged.size() - 3);
+  const std::string path = ::testing::TempDir() + "/caya_damaged.pcap";
+  {
+    std::ofstream file(path, std::ios::binary | std::ios::trunc);
+    file.write(reinterpret_cast<const char*>(damaged.data()),
+               static_cast<std::streamsize>(damaged.size()));
+  }
+  // Strict: structured failure naming the offset of the first bad record.
+  try {
+    (void)replay_pcap_file(path, Country::kChina, 11);
+    FAIL() << "strict load of a damaged capture must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+  }
+  // Lenient: the good prefix replays, the bad tail is counted.
+  const ReplayResult result =
+      replay_pcap_file(path, Country::kChina, 11, /*lenient=*/true);
+  EXPECT_EQ(result.skipped_records, 1u);
+  EXPECT_EQ(result.packets, intact_records - 1);
+  EXPECT_EQ(result.parse_failures, 0u);
+  std::remove(path.c_str());
 }
 
 }  // namespace

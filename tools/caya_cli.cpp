@@ -56,6 +56,8 @@
 #include "eval/replay.h"
 #include "eval/strategies.h"
 #include "eval/waterfall.h"
+#include "fuzz/corpus.h"
+#include "fuzz/fuzzer.h"
 #include "geneva/fitness_cache.h"
 #include "geneva/ga.h"
 #include "geneva/library.h"
@@ -84,6 +86,7 @@ class CliError : public std::runtime_error {
       "       caya library FILE | caya evolve [options] |\n"
       "       caya rates [options] | caya sweep [options] |\n"
       "       caya serve [options] | caya replay FILE --country C\n"
+      "       caya fuzz [options]\n"
       "run options   : --country C --protocol P\n"
       "                [--strategy DSL | --published N | --from FILE --name "
       "N]\n"
@@ -101,6 +104,15 @@ class CliError : public std::runtime_error {
       "                [--checkpoint-dir D] [--checkpoint-every N] [--resume]\n"
       "                [--table-out FILE] [--inject-soft-fault-every N]\n"
       "                [--inject-hard-fault-every N]\n"
+      "replay options: --country C [--lenient]   (skip damaged pcap tail)\n"
+      "fuzz options  : --censor C|all [--iters N] [--seed N] [--jobs N]\n"
+      "                [--corpus-dir D] [--repro FILE]\n"
+      "caya fuzz runs the structure-aware adversarial fuzzer: each\n"
+      "iteration feeds a mutated hostile stream, interleaved with an\n"
+      "innocuous control flow, to a fresh censor set and asserts no crash\n"
+      "and no fail-closed verdict. Findings are dumped to --corpus-dir as\n"
+      "crash-<country>-seed<S>-iter<I>.pcap; --repro FILE replays one.\n"
+      "Exit codes: 0 clean, 4 findings.\n"
       "serve options : --country C --protocol P\n"
       "                [--library FILE | --published N]...   (failover chain)\n"
       "                [--flows N] [--regime-flip-at K]\n"
@@ -441,33 +453,138 @@ int cmd_replay(int argc, char** argv) {
   if (argc < 1) usage(2);
   const std::string path = argv[0];
   Country country = Country::kChina;
+  bool lenient = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--country" && i + 1 < argc) {
       country = parse_country(argv[++i]);
+    } else if (arg == "--lenient") {
+      lenient = true;
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       usage(2);
     }
   }
-  try {
-    const ReplayResult result = replay_pcap_file(path, country);
-    std::printf("capture        : %s\n", path.c_str());
-    std::printf("country        : %s\n",
-                std::string(to_string(country)).c_str());
-    std::printf("packets        : %zu (%zu unparseable)\n", result.packets,
-                result.parse_failures);
-    std::printf("censor events  : %zu\n", result.censor_events);
-    std::printf("would inject   : %zu packets\n", result.injected_packets);
-    for (const auto& ev : result.events) {
-      std::printf("  pkt #%zu: %s\n", ev.packet_index,
-                  ev.description.c_str());
-    }
-    return result.censor_events > 0 ? 3 : 0;  // exit code: censored or not
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "%s\n", e.what());
-    return 1;
+  // Load/parse failures propagate to main(): one structured
+  // "caya: error: ..." line (with the offset of the first bad record for a
+  // damaged capture), exit 2. --lenient instead skips the bad tail.
+  const ReplayResult result = replay_pcap_file(path, country, 1, lenient);
+  std::printf("capture        : %s\n", path.c_str());
+  std::printf("country        : %s\n",
+              std::string(to_string(country)).c_str());
+  std::printf("packets        : %zu (%zu unparseable)\n", result.packets,
+              result.parse_failures);
+  if (result.skipped_records > 0) {
+    std::printf("skipped records: %zu (lenient)\n", result.skipped_records);
   }
+  if (result.decode.failures() > 0) {
+    std::printf("decode errors  : %s\n", result.decode.to_summary().c_str());
+  }
+  std::printf("censor events  : %zu\n", result.censor_events);
+  std::printf("would inject   : %zu packets\n", result.injected_packets);
+  for (const auto& ev : result.events) {
+    std::printf("  pkt #%zu: %s\n", ev.packet_index,
+                ev.description.c_str());
+  }
+  return result.censor_events > 0 ? 3 : 0;  // exit code: censored or not
+}
+
+void print_fuzz_report(const FuzzReport& report) {
+  std::printf("censor         : %s\n",
+              std::string(to_string(report.country)).c_str());
+  std::printf("iterations     : %zu (seed %llu)\n", report.iters,
+              static_cast<unsigned long long>(report.seed));
+  std::printf("records fed    : %zu\n", report.records);
+  std::printf("decode ok/fail : %llu/%llu\n",
+              static_cast<unsigned long long>(report.decode.successes()),
+              static_cast<unsigned long long>(report.decode.failures()));
+  if (report.decode.failures() > 0) {
+    std::printf("decode errors  : %s\n", report.decode.to_summary().c_str());
+  }
+  std::printf("censor events  : %zu (injected %zu)\n", report.censor_events,
+              report.injected);
+  std::printf("state shed     : %llu flows evicted, %llu segments dropped\n",
+              static_cast<unsigned long long>(report.state.evicted_flows),
+              static_cast<unsigned long long>(report.state.dropped_segments));
+  for (std::size_t k = 0; k < kMutationKindCount; ++k) {
+    std::printf("  %-20s: %llu\n",
+                std::string(to_string(static_cast<MutationKind>(k))).c_str(),
+                static_cast<unsigned long long>(report.kind_counts[k]));
+  }
+  std::printf("crashes        : %zu\n", report.crashes);
+  std::printf("fail-closed    : %zu\n", report.fail_closed);
+  for (const auto& finding : report.findings) {
+    std::printf("  FINDING iter %zu kind %s%s%s%s%s\n", finding.iter,
+                std::string(to_string(finding.kind)).c_str(),
+                finding.crashed ? " CRASH: " : "",
+                finding.crashed ? finding.crash_what.c_str() : "",
+                finding.fail_closed ? " FAIL-CLOSED" : "",
+                finding.corpus_path.empty()
+                    ? ""
+                    : (" -> " + finding.corpus_path).c_str());
+  }
+}
+
+int cmd_fuzz(int argc, char** argv) {
+  std::vector<Country> countries = all_countries();
+  bool censor_given = false;
+  FuzzConfig config;
+  config.jobs = ThreadPool::hardware_jobs();
+  std::string repro;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(2);
+      return argv[++i];
+    };
+    if (arg == "--censor") {
+      const std::string value = next();
+      censor_given = true;
+      if (value != "all") countries = {parse_country(value)};
+    } else if (arg == "--iters") {
+      config.iters = static_cast<std::size_t>(std::stoull(next()));
+    } else if (arg == "--seed") {
+      config.seed = std::stoull(next());
+    } else if (arg == "--jobs") {
+      config.jobs = static_cast<std::size_t>(std::stoull(next()));
+    } else if (arg == "--corpus-dir") {
+      config.corpus_dir = next();
+    } else if (arg == "--repro") {
+      repro = next();
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      usage(2);
+    }
+  }
+
+  if (!repro.empty()) {
+    if (!censor_given || countries.size() != 1) {
+      fail("--repro needs --censor <country> (the corpus entry's censor)");
+    }
+    const OracleOutcome outcome =
+        replay_corpus_entry(repro, countries[0], config.seed);
+    std::printf("corpus entry   : %s\n", repro.c_str());
+    std::printf("records        : %zu\n", outcome.records);
+    std::printf("decode ok/fail : %llu/%llu\n",
+                static_cast<unsigned long long>(outcome.decode.successes()),
+                static_cast<unsigned long long>(outcome.decode.failures()));
+    std::printf("censor events  : %zu (injected %zu)\n",
+                outcome.censor_events, outcome.injected);
+    std::printf("crash          : %s%s\n", outcome.crashed ? "yes " : "no",
+                outcome.crashed ? outcome.crash_what.c_str() : "");
+    std::printf("fail-closed    : %s\n", outcome.fail_closed ? "yes" : "no");
+    return outcome.clean() ? 0 : 4;
+  }
+
+  bool clean = true;
+  for (std::size_t c = 0; c < countries.size(); ++c) {
+    if (c > 0) std::printf("\n");
+    config.country = countries[c];
+    const FuzzReport report = run_fuzz(config);
+    print_fuzz_report(report);
+    clean = clean && report.clean();
+  }
+  return clean ? 0 : 4;
 }
 
 int cmd_sweep(int argc, char** argv) {
@@ -1122,6 +1239,7 @@ int main(int argc, char** argv) {
       if (argc < 3) caya::usage(2);
       return caya::cmd_replay(argc - 2, argv + 2);
     }
+    if (command == "fuzz") return caya::cmd_fuzz(argc - 2, argv + 2);
     caya::usage(1);
   } catch (const std::exception& e) {
     // One structured line, exit 2 — scripts driving long campaigns get a
