@@ -7,14 +7,12 @@ HttpServer::HttpServer(EventLoop& loop, Network& net, Ipv4Address addr,
     : conn_(loop,
             {.local_addr = addr, .local_port = port, .isn = 50000},
             [&net](Packet pkt) { net.send_from_server(std::move(pkt)); }),
-      body_(std::move(body)) {
+      body_(std::move(body)),
+      response_("HTTP/1.1 200 OK\r\nContent-Length: " +
+                std::to_string(body_.size()) +
+                "\r\nConnection: keep-alive\r\n\r\n" + body_) {
   conn_.on_data = [this](const Bytes&) { on_bytes(); };
   conn_.listen();
-}
-
-std::string HttpServer::expected_response() const {
-  return "HTTP/1.1 200 OK\r\nContent-Length: " + std::to_string(body_.size()) +
-         "\r\nConnection: keep-alive\r\n\r\n" + body_;
 }
 
 void HttpServer::on_bytes() {
@@ -22,7 +20,7 @@ void HttpServer::on_bytes() {
   const std::string text = to_string(conn_.received());
   if (text.find("\r\n\r\n") == std::string::npos) return;  // incomplete
   request_seen_ = true;
-  conn_.send_data(to_bytes(expected_response()));
+  conn_.send_data(to_bytes(response_));
 }
 
 HttpClient::HttpClient(EventLoop& loop, Network& net, ClientAppConfig config,

@@ -32,7 +32,10 @@ class HttpServer : public Endpoint {
   void deliver(const Packet& pkt) override { conn_.deliver(pkt); }
   [[nodiscard]] TcpEndpoint& endpoint() noexcept { return conn_; }
   [[nodiscard]] const std::string& body() const noexcept { return body_; }
-  [[nodiscard]] std::string expected_response() const;
+  /// The full response the server will send — built once at construction.
+  [[nodiscard]] const std::string& expected_response() const noexcept {
+    return response_;
+  }
   [[nodiscard]] bool request_seen() const noexcept { return request_seen_; }
 
  private:
@@ -40,6 +43,7 @@ class HttpServer : public Endpoint {
 
   TcpEndpoint conn_;
   std::string body_;
+  std::string response_;
   bool request_seen_ = false;
 };
 

@@ -33,6 +33,13 @@ class AirtelCensor : public Middlebox {
   [[nodiscard]] bool in_path() const noexcept override { return false; }
   void reset() override {}
 
+  /// Full trial-substrate reinitialization: the box is stateless, so this
+  /// only zeroes the cumulative counter and rewinds the fault schedule.
+  void reinit() noexcept {
+    censored_count_ = 0;
+    rewind_fault_schedule();
+  }
+
   [[nodiscard]] std::size_t censored_count() const noexcept {
     return censored_count_;
   }

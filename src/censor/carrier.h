@@ -35,6 +35,14 @@ class CarrierMiddlebox : public Middlebox {
                     Injector& inject) override;
   [[nodiscard]] bool in_path() const noexcept override { return true; }
   void reset() override { server_spoke_.reset(); }
+
+  /// Full trial-substrate reinitialization: state wipe plus the cumulative
+  /// drop counter and eviction ledger a fresh construction would zero.
+  void reinit() noexcept {
+    server_spoke_.reset();
+    server_spoke_.clear_eviction_ledger();
+    dropped_ = 0;
+  }
   [[nodiscard]] std::size_t tcb_count() const noexcept override {
     return server_spoke_.size();
   }

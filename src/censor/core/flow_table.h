@@ -153,6 +153,12 @@ class FlowTable {
   /// (reset drops the flows, not the ledger).
   [[nodiscard]] std::uint64_t evicted() const noexcept { return evicted_; }
 
+  /// Zeroes the eviction ledger. Only full substrate reinitialization calls
+  /// this: a recycled table must report the same (zero) eviction history a
+  /// freshly constructed one would. The mid-trial fault flush deliberately
+  /// keeps the ledger (see evicted()).
+  void clear_eviction_ledger() noexcept { evicted_ = 0; }
+
  private:
   enum class SlotState : std::uint8_t { kEmpty, kFull, kTombstone };
 

@@ -87,6 +87,8 @@ class TimedFlowSet {
   [[nodiscard]] std::uint64_t evicted() const noexcept {
     return table_.evicted();
   }
+  /// Full-reinit ledger clear (see FlowTable::clear_eviction_ledger).
+  void clear_eviction_ledger() noexcept { table_.clear_eviction_ledger(); }
 
  private:
   FlowTable<Time> table_;
@@ -113,6 +115,8 @@ class ResidualTimers {
   [[nodiscard]] std::uint64_t evicted() const noexcept {
     return table_.evicted();
   }
+  /// Full-reinit ledger clear (see FlowTable::clear_eviction_ledger).
+  void clear_eviction_ledger() noexcept { table_.clear_eviction_ledger(); }
 
  private:
   [[nodiscard]] static FlowKey key(std::uint32_t addr,

@@ -120,6 +120,17 @@ void GfwBox::reset() {
   residual_.reset();
 }
 
+void GfwBox::reinit(Rng rng) {
+  rng_ = rng;
+  flows_.reset();
+  flows_.clear_eviction_ledger();
+  residual_.reset();
+  residual_.clear_eviction_ledger();
+  censored_count_ = 0;
+  dropped_segments_ = 0;
+  rewind_fault_schedule();
+}
+
 bool GfwBox::residual_active(Ipv4Address addr, std::uint16_t port,
                              Time now) const {
   return residual_.active(addr.value(), port, now);
@@ -380,7 +391,8 @@ GfwBoxParams single_box_params(AppProtocol proto) {
 }
 
 ChinaCensor::ChinaCensor(ForbiddenContent content, Rng rng,
-                         Architecture architecture, GfwRegime regime) {
+                         Architecture architecture, GfwRegime regime)
+    : architecture_(architecture) {
   // Under the single-box counterfactual, every "box" shares one stack's
   // parameters AND one RNG stream, so the per-flow resync draws coincide:
   // a TCP-level bug either fires for all protocols or for none.
@@ -415,6 +427,18 @@ const GfwBox& ChinaCensor::box(AppProtocol proto) const {
 
 void ChinaCensor::reset() {
   for (const auto& box : boxes_) box->reset();
+}
+
+void ChinaCensor::reinit(Rng rng) {
+  // Replays the constructor's stream handling: the shared stream is forked
+  // first (always, so multi- and single-box runs draw from the same well),
+  // then each box gets its own fork — or a copy of the shared stream under
+  // the single-box ablation, exactly as at construction.
+  Rng shared = rng.fork();
+  for (const auto& box : boxes_) {
+    box->reinit(architecture_ == Architecture::kMultiBox ? rng.fork()
+                                                         : shared);
+  }
 }
 
 void ChinaCensor::set_fault_schedule(const FaultSchedule& schedule) {

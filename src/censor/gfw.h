@@ -121,6 +121,13 @@ class GfwBox : public Middlebox {
   [[nodiscard]] bool in_path() const noexcept override { return false; }
   void reset() override;
 
+  /// Full trial-substrate reinitialization: beyond the mid-trial reset()
+  /// (flow/residual state), this re-seeds the box's RNG stream, zeroes the
+  /// cumulative censorship and eviction ledgers, and rewinds the fault
+  /// schedule — leaving the box byte-identical to a fresh construction
+  /// with `rng`. Table/arena storage keeps its capacity.
+  void reinit(Rng rng);
+
   [[nodiscard]] std::size_t tcb_count() const noexcept override {
     return flows_.size();
   }
@@ -204,12 +211,18 @@ class ChinaCensor {
   [[nodiscard]] const GfwBox& box(AppProtocol proto) const;
   void reset();
 
+  /// Full trial-substrate reinitialization of every box, replaying the
+  /// constructor's RNG fork order (shared stream first, then per-box forks
+  /// — or copies of the shared stream under the single-box ablation).
+  void reinit(Rng rng);
+
   /// Attaches a copy of `schedule` to every box (each keeps its own cursor):
   /// the whole colocated deployment flushes/stalls/restarts together, which
   /// models a failover of the shared path tap.
   void set_fault_schedule(const FaultSchedule& schedule);
 
  private:
+  Architecture architecture_ = Architecture::kMultiBox;
   std::vector<std::unique_ptr<GfwBox>> boxes_;
 };
 

@@ -32,6 +32,15 @@ class IranCensor : public Middlebox {
                     Injector& inject) override;
   [[nodiscard]] bool in_path() const noexcept override { return true; }
   void reset() override { blackholed_.reset(); }
+
+  /// Full trial-substrate reinitialization: state wipe plus the cumulative
+  /// counters and ledgers a fresh construction would start at zero.
+  void reinit() noexcept {
+    blackholed_.reset();
+    blackholed_.clear_eviction_ledger();
+    censored_count_ = 0;
+    rewind_fault_schedule();
+  }
   [[nodiscard]] std::size_t tcb_count() const noexcept override {
     return blackholed_.size();
   }

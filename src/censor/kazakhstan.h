@@ -48,6 +48,16 @@ class KazakhstanCensor : public Middlebox {
                     Injector& inject) override;
   [[nodiscard]] bool in_path() const noexcept override { return true; }
   void reset() override { flows_.reset(); }
+
+  /// Full trial-substrate reinitialization: state wipe plus the cumulative
+  /// counters and ledgers a fresh construction would start at zero.
+  void reinit() noexcept {
+    flows_.reset();
+    flows_.clear_eviction_ledger();
+    censored_count_ = 0;
+    probe_responses_ = 0;
+    rewind_fault_schedule();
+  }
   [[nodiscard]] std::size_t tcb_count() const noexcept override {
     return flows_.size();
   }

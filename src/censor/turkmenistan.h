@@ -45,6 +45,17 @@ class TurkmenistanCensor : public Middlebox {
                     Injector& inject) override;
   [[nodiscard]] bool in_path() const noexcept override { return false; }
   void reset() override { flows_.reset(); }
+
+  /// Full trial-substrate reinitialization: re-seeds the miss-draw stream
+  /// and zeroes the cumulative counters/ledgers, leaving the box
+  /// byte-identical to TurkmenistanCensor(content, rng).
+  void reinit(Rng rng) noexcept {
+    rng_ = rng;
+    flows_.reset();
+    flows_.clear_eviction_ledger();
+    censored_count_ = 0;
+    rewind_fault_schedule();
+  }
   [[nodiscard]] std::size_t tcb_count() const noexcept override {
     return flows_.size();
   }

@@ -1,5 +1,7 @@
 #include "eval/censor_set.h"
 
+#include "eval/env_pool.h"
+
 #include "censor/airtel.h"
 #include "censor/gfw.h"
 #include "censor/iran.h"
@@ -8,7 +10,8 @@
 
 namespace caya {
 
-CensorSet::CensorSet(Country country, std::uint64_t seed) {
+CensorSet::CensorSet(Country country, std::uint64_t seed)
+    : country_(country) {
   const ForbiddenContent content = forbidden_content(country);
   switch (country) {
     case Country::kChina:
@@ -32,6 +35,15 @@ CensorSet::CensorSet(Country country, std::uint64_t seed) {
       boxes_ = {turkmen_.get()};
       break;
   }
+}
+
+void CensorSet::reset(std::uint64_t seed) {
+  // Matches the constructor's seeding: the Rng is handed over unforked.
+  if (china_) china_->reinit(Rng(seed));
+  if (airtel_) airtel_->reinit();
+  if (iran_) iran_->reinit();
+  if (kazakh_) kazakh_->reinit();
+  if (turkmen_) turkmen_->reinit(Rng(seed));
 }
 
 CensorSet::~CensorSet() = default;
@@ -66,6 +78,24 @@ std::size_t CensorSet::tcb_total() const {
   std::size_t total = 0;
   for (const Middlebox* box : boxes_) total += box->tcb_count();
   return total;
+}
+
+CensorSet& pooled_censor_set(Country country, std::uint64_t seed) {
+  // unique_ptr elements keep addresses stable across cache growth, so the
+  // returned reference survives later calls for *other* countries.
+  static thread_local std::vector<std::unique_ptr<CensorSet>> cache;
+  for (auto& set : cache) {
+    if (set->country() == country) {
+      if (EnvironmentPool::enabled()) {
+        set->reset(seed);
+      } else {
+        *set = CensorSet(country, seed);  // gate off: rebuild from scratch
+      }
+      return *set;
+    }
+  }
+  cache.push_back(std::make_unique<CensorSet>(country, seed));
+  return *cache.back();
 }
 
 }  // namespace caya

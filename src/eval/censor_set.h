@@ -30,6 +30,15 @@ class CensorSet {
   CensorSet(const CensorSet&) = delete;
   CensorSet& operator=(const CensorSet&) = delete;
 
+  /// Full trial-substrate reinitialization: re-seeds exactly as the
+  /// constructor does (the seed is passed unforked to the censor) and wipes
+  /// every box's flow state, cumulative counters, and eviction ledgers —
+  /// byte-identical to CensorSet(country, seed) on fresh storage.
+  void reset(std::uint64_t seed);
+
+  /// The country this set models.
+  [[nodiscard]] Country country() const noexcept { return country_; }
+
   /// The middleboxes in deterministic order (China: one per protocol).
   [[nodiscard]] const std::vector<Middlebox*>& boxes() const noexcept {
     return boxes_;
@@ -45,6 +54,7 @@ class CensorSet {
   [[nodiscard]] std::size_t tcb_total() const;
 
  private:
+  Country country_ = Country::kChina;
   std::unique_ptr<ChinaCensor> china_;
   std::unique_ptr<AirtelCensor> airtel_;
   std::unique_ptr<IranCensor> iran_;
@@ -52,5 +62,15 @@ class CensorSet {
   std::unique_ptr<TurkmenistanCensor> turkmen_;
   std::vector<Middlebox*> boxes_;
 };
+
+/// Thread-local recycled CensorSet: returns a warm set for `country`,
+/// reinitialized to `seed` — byte-identical to constructing a fresh
+/// CensorSet(country, seed) but without rebuilding the boxes. Honors the
+/// EnvironmentPool runtime gate: when pooling is disabled the cached set is
+/// rebuilt from scratch on every call, so A/B equivalence runs compare
+/// pooled-vs-fresh behaviour through the same accessor. The reference stays
+/// valid until the next call for the same country on this thread.
+[[nodiscard]] CensorSet& pooled_censor_set(Country country,
+                                           std::uint64_t seed);
 
 }  // namespace caya

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <utility>
 
+#include "eval/env_pool.h"
+
 namespace caya {
 
 std::string_view to_string(ImpairmentProfile profile) noexcept {
@@ -85,49 +87,59 @@ struct TrialOutcome {
   std::size_t attempts = 1;
 };
 
-RateReport run_trials(Country country, AppProtocol protocol,
-                      const std::optional<Strategy>& strategy,
-                      const RateOptions& options,
-                      const LinkModel::Config* link_override) {
-  // Each trial is an independent simulation seeded from base_seed + i, so
-  // the evaluator may run them on any worker; the outcome vector is reduced
-  // in index order, making the counters identical for every jobs value.
-  // Supervision happens inside each trial (retries keyed to the trial
-  // index), so outcomes — and therefore the whole report — are also
-  // identical across jobs values and across checkpoint resumes.
-  const ParallelEvaluator evaluator(options.jobs);
-  const std::vector<TrialOutcome> outcomes =
-      evaluator.map(options.trials, [&](std::size_t i) {
-        Environment::Config env_config;
-        env_config.country = country;
-        env_config.protocol = protocol;
-        env_config.seed = options.base_seed + i;
-        apply_profile(options.profile, env_config);
-        if (link_override != nullptr) env_config.net.link = *link_override;
+/// One batch's shared per-trial inputs, built once and borrowed by every
+/// worker: the profile expansion (which materializes a FaultSchedule) and
+/// the ConnectionOptions (which holds a deep Strategy copy) are identical
+/// for every trial of a batch, so paying for them per trial was pure churn.
+struct TrialCell {
+  Environment::Config base_config;  // seed is patched per trial
+  ConnectionOptions conn;
+  std::uint64_t digest = 0;  // substrate shape (pool key / batch key)
+  std::uint64_t base_seed = 1;
 
-        ConnectionOptions conn;
-        conn.server_strategy = strategy;
-        conn.client_os = options.client_os;
+  TrialCell(Country country, AppProtocol protocol,
+            const std::optional<Strategy>& strategy,
+            const RateOptions& options,
+            const LinkModel::Config* link_override) {
+    base_config.country = country;
+    base_config.protocol = protocol;
+    apply_profile(options.profile, base_config);
+    if (link_override != nullptr) base_config.net.link = *link_override;
+    digest = env_config_digest(base_config);
+    base_seed = options.base_seed;
+    conn.server_strategy = strategy;
+    conn.client_os = options.client_os;
+  }
 
-        const SupervisedOutcome outcome =
-            run_supervised_trial(env_config, conn, options.supervision, i);
-        TrialOutcome summary;
-        summary.success = outcome.result.success;
-        summary.timed_out = outcome.result.timed_out;
-        summary.error = outcome.error;
-        summary.attempts = outcome.attempts;
-        return summary;
-      });
+  /// Runs the cell's trial `t` (0-based within the cell) under supervision.
+  [[nodiscard]] TrialOutcome run(std::size_t t,
+                                 const SupervisionPolicy& policy) const {
+    Environment::Config env_config = base_config;
+    env_config.seed = base_seed + t;
+    const SupervisedOutcome outcome =
+        run_supervised_trial(env_config, conn, policy, t);
+    TrialOutcome summary;
+    summary.success = outcome.result.success;
+    summary.timed_out = outcome.result.timed_out;
+    summary.error = outcome.error;
+    summary.attempts = outcome.attempts;
+    return summary;
+  }
+};
 
-  // Reduce in index order. Completed trials (including timeouts — a starved
-  // client IS a censorship result) feed the rate; errored trials are
-  // excluded from it and accounted separately. Quarantine triggers on a run
-  // of consecutive errored trials, scanned in index order so the verdict
-  // does not depend on scheduling.
+/// Reduces outcomes[begin, end) in index order. Completed trials (including
+/// timeouts — a starved client IS a censorship result) feed the rate;
+/// errored trials are excluded from it and accounted separately. Quarantine
+/// triggers on a run of consecutive errored trials, scanned in index order
+/// so the verdict does not depend on scheduling.
+RateReport reduce_outcomes(const std::vector<TrialOutcome>& outcomes,
+                           std::size_t begin, std::size_t end,
+                           const SupervisionPolicy& policy) {
   RateReport report;
   std::size_t consecutive_errors = 0;
-  const std::size_t quarantine_after = options.supervision.quarantine_after;
-  for (const TrialOutcome& outcome : outcomes) {
+  const std::size_t quarantine_after = policy.quarantine_after;
+  for (std::size_t i = begin; i < end; ++i) {
+    const TrialOutcome& outcome = outcomes[i];
     report.retries += outcome.attempts - 1;
     const bool errored = outcome.error != TrialErrorKind::kNone &&
                          outcome.error != TrialErrorKind::kTimeout;
@@ -148,6 +160,24 @@ RateReport run_trials(Country country, AppProtocol protocol,
     }
   }
   return report;
+}
+
+RateReport run_trials(Country country, AppProtocol protocol,
+                      const std::optional<Strategy>& strategy,
+                      const RateOptions& options,
+                      const LinkModel::Config* link_override) {
+  // Each trial is an independent simulation seeded from base_seed + i, so
+  // the evaluator may run them on any worker; the outcome vector is reduced
+  // in index order, making the counters identical for every jobs value.
+  // Supervision happens inside each trial (retries keyed to the trial
+  // index), so outcomes — and therefore the whole report — are also
+  // identical across jobs values and across checkpoint resumes.
+  const ParallelEvaluator evaluator(options.jobs);
+  const TrialCell cell(country, protocol, strategy, options, link_override);
+  const std::vector<TrialOutcome> outcomes = evaluator.map_batched(
+      options.trials, [&](std::size_t) { return cell.digest; },
+      [&](std::size_t i) { return cell.run(i, options.supervision); });
+  return reduce_outcomes(outcomes, 0, outcomes.size(), options.supervision);
 }
 
 }  // namespace
@@ -377,13 +407,9 @@ LinkModel::Config sweep_link_config(SweepAxis axis, double value) {
   return link;
 }
 
-SweepPoint measure_sweep_cell(Country country, AppProtocol protocol,
-                              const std::optional<Strategy>& strategy,
-                              SweepAxis axis, double value,
-                              const RateOptions& options) {
-  const LinkModel::Config link = sweep_link_config(axis, value);
-  const RateReport report =
-      run_trials(country, protocol, strategy, options, &link);
+namespace {
+
+SweepPoint sweep_point_from_report(double value, const RateReport& report) {
   SweepPoint point;
   point.value = value;
   point.rate = report.rate;
@@ -397,21 +423,68 @@ SweepPoint measure_sweep_cell(Country country, AppProtocol protocol,
   return point;
 }
 
+}  // namespace
+
+SweepPoint measure_sweep_cell(Country country, AppProtocol protocol,
+                              const std::optional<Strategy>& strategy,
+                              SweepAxis axis, double value,
+                              const RateOptions& options) {
+  const LinkModel::Config link = sweep_link_config(axis, value);
+  const RateReport report =
+      run_trials(country, protocol, strategy, options, &link);
+  return sweep_point_from_report(value, report);
+}
+
 std::vector<SweepCurve> measure_impairment_sweep(
     Country country, AppProtocol protocol,
     const std::vector<std::pair<std::string, std::optional<Strategy>>>&
         strategies,
     SweepAxis axis, const std::vector<double>& values,
     const RateOptions& options) {
+  // Flattened batch: every (strategy, value) cell's trials feed ONE
+  // batch-scheduled map, keyed by (substrate digest, strategy) so each
+  // worker runs a cell's trials consecutively against a warm pooled
+  // environment instead of bouncing between cell shapes. Per-cell reports
+  // are reduced from contiguous slices of the flat outcome vector in trial
+  // order — byte-identical to the old serial per-cell loop at any jobs
+  // value. (The CLI sweep keeps its own per-cell loop: its checkpointing is
+  // cell-granular by design.)
+  const std::size_t trials = options.trials;
+  std::vector<TrialCell> cells;  // cell-major: strategy × value
+  cells.reserve(strategies.size() * values.size());
+  for (const auto& [name, strategy] : strategies) {
+    for (const double value : values) {
+      const LinkModel::Config link = sweep_link_config(axis, value);
+      cells.emplace_back(country, protocol, strategy, options, &link);
+    }
+  }
+
+  const ParallelEvaluator evaluator(options.jobs);
+  const std::vector<TrialOutcome> outcomes = evaluator.map_batched(
+      cells.size() * trials,
+      [&](std::size_t i) {
+        const std::size_t c = i / trials;
+        // (env digest, strategy): same-shape cells of the same strategy may
+        // merge into one batch; distinct strategies never do.
+        return cells[c].digest * 1099511628211ull + c / values.size();
+      },
+      [&](std::size_t i) {
+        return cells[i / trials].run(i % trials, options.supervision);
+      });
+
   std::vector<SweepCurve> curves;
   curves.reserve(strategies.size());
+  std::size_t c = 0;
   for (const auto& [name, strategy] : strategies) {
+    (void)strategy;
     SweepCurve curve;
     curve.strategy_name = name;
     curve.points.reserve(values.size());
     for (const double value : values) {
-      curve.points.push_back(measure_sweep_cell(country, protocol, strategy,
-                                                axis, value, options));
+      const RateReport report = reduce_outcomes(
+          outcomes, c * trials, (c + 1) * trials, options.supervision);
+      curve.points.push_back(sweep_point_from_report(value, report));
+      ++c;
     }
     curves.push_back(std::move(curve));
   }

@@ -25,7 +25,7 @@ class CountingInjector : public Injector {
 ReplayResult replay_through_censor(const std::vector<PcapRecord>& records,
                                    Country country, std::uint64_t seed,
                                    Trace* trace) {
-  CensorSet censors(country, seed);
+  CensorSet& censors = pooled_censor_set(country, seed);
   const std::vector<Middlebox*>& boxes = censors.boxes();
   auto censored_total = [&]() { return censors.censored_total(); };
 

@@ -3,6 +3,7 @@
 #include <exception>
 #include <sstream>
 
+#include "eval/env_pool.h"
 #include "util/selfcheck.h"
 
 namespace caya {
@@ -29,7 +30,9 @@ Ipv4Address eval_server_addr() {
 }
 
 Environment::Environment(Config config)
-    : config_(config), rng_(config.seed) {
+    : config_(config),
+      request_(client_request(config.country)),
+      rng_(config.seed) {
   net_ = std::make_unique<Network>(loop_, config_.net, rng_.fork());
   server_port_ = config_.server_port != 0 ? config_.server_port
                                           : default_port(config_.protocol);
@@ -76,6 +79,24 @@ Environment::Environment(Config config)
   }
 }
 
+void Environment::reset(std::uint64_t seed) {
+  // Replays the constructor's RNG stream exactly: seed the root, fork once
+  // for the Network, then once more for the censor — but only for the
+  // countries whose constructor consumed a fork (China, Turkmenistan).
+  config_.seed = seed;
+  rng_ = Rng(seed);
+  loop_.reset();
+  net_->reset(rng_.fork());
+  if (carrier_) carrier_->reinit();
+  if (china_) china_->reinit(rng_.fork());
+  if (airtel_) airtel_->reinit();
+  if (iran_) iran_->reinit();
+  if (kazakh_) kazakh_->reinit();
+  if (turkmen_) turkmen_->reinit(rng_.fork());
+  next_client_port_ = 40000;
+  next_isn_ = 11000;
+}
+
 bool Environment::run_bounded(Time deadline, std::size_t max_events) {
   const Time deadline_abs = loop_.now() + deadline;
   std::size_t ran = 0;
@@ -105,7 +126,7 @@ std::size_t Environment::censored_total() const {
 }
 
 TrialResult Environment::run_connection(const ConnectionOptions& options) {
-  const ClientRequest request = client_request(config_.country);
+  const ClientRequest& request = request_;
   const std::size_t censored_before = censored_total();
 
   net_->trace().clear();
@@ -114,22 +135,21 @@ TrialResult Environment::run_connection(const ConnectionOptions& options) {
   net_->trace().set_enabled(options.record_trace);
   if (selfcheck_enabled()) net_->selfcheck_begin_connection();
 
-  // Engines (the Geneva shims) for this connection.
-  std::unique_ptr<Engine> server_engine;
-  std::unique_ptr<Engine> client_engine;
+  // Engines (the Geneva shims) for this connection. Stack-resident: they
+  // live exactly as long as the connection, so there is nothing to heap.
+  std::optional<Engine> server_engine;
+  std::optional<Engine> client_engine;
   if (options.server_strategy) {
-    server_engine =
-        std::make_unique<Engine>(&*options.server_strategy, rng_.fork());
-    net_->set_server_processor(server_engine.get());
+    server_engine.emplace(&*options.server_strategy, rng_.fork());
+    net_->set_server_processor(&*server_engine);
   } else {
     net_->set_server_processor(nullptr);
   }
   if (options.client_processor != nullptr) {
     net_->set_client_processor(options.client_processor);
   } else if (options.client_strategy) {
-    client_engine =
-        std::make_unique<Engine>(&*options.client_strategy, rng_.fork());
-    net_->set_client_processor(client_engine.get());
+    client_engine.emplace(&*options.client_strategy, rng_.fork());
+    net_->set_client_processor(&*client_engine);
   } else {
     net_->set_client_processor(nullptr);
   }
@@ -237,8 +257,15 @@ TrialResult Environment::run_connection(const ConnectionOptions& options) {
 
 TrialResult run_trial(Environment::Config env_config,
                       const ConnectionOptions& options) {
-  Environment env(env_config);
-  return env.run_connection(options);
+  // Draw a warm substrate from the calling worker's pool (or construct one
+  // when the pool is cold/disabled). The lease shelves the environment for
+  // reuse only on clean completion: if run_connection throws, the lease
+  // destructor discards the substrate so retries never see poisoned state.
+  EnvironmentPool::Lease lease =
+      EnvironmentPool::local().acquire(env_config);
+  TrialResult result = lease->run_connection(options);
+  lease.keep();
+  return result;
 }
 
 bool SupervisionPolicy::injects_fault(std::size_t trial_index,

@@ -103,7 +103,19 @@ class Environment {
 
   explicit Environment(Config config);
 
+  /// Full substrate reset: returns the environment to the state a fresh
+  /// `Environment({... , .seed = seed})` of the same config would be in,
+  /// byte-identically, without reconstructing anything. Replays the
+  /// constructor's RNG fork order (network first, then the censor), rewinds
+  /// the event loop, wipes every censor's flow/counter/ledger state, and
+  /// rewinds fault-schedule cursors. Only `seed` may differ from the
+  /// original config; all other fields are assumed unchanged (the pool keys
+  /// on a digest of them).
+  void reset(std::uint64_t seed);
+
   TrialResult run_connection(const ConnectionOptions& options);
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
 
   [[nodiscard]] Network& network() noexcept { return *net_; }
   [[nodiscard]] EventLoop& loop() noexcept { return loop_; }
@@ -127,6 +139,7 @@ class Environment {
   bool run_bounded(Time deadline, std::size_t max_events);
 
   Config config_;
+  ClientRequest request_;  // per-country, built once (strings are hot-path)
   Rng rng_;
   EventLoop loop_;
   std::unique_ptr<Network> net_;

@@ -46,7 +46,10 @@ class OracleInjector : public Injector {
 OracleOutcome run_oracle(Country country, std::uint64_t seed,
                          const std::vector<PcapRecord>& hostile) {
   OracleOutcome out;
-  CensorSet censors(country, seed);
+  // A fuzz campaign runs this once per iteration with the same country: the
+  // recycled set skips rebuilding the boxes (and China's five-protocol
+  // stack) 20k+ times per smoke run.
+  CensorSet& censors = pooled_censor_set(country, seed);
   OracleInjector injector;
   std::map<FlowKey, bool> client_is_src;
 

@@ -157,6 +157,16 @@ class EventLoop {
   /// running event's slot is already released before its body executes.
   void clear();
 
+  /// Full substrate reset: clear() plus rewinding the clock and the FIFO
+  /// tiebreaker to their freshly-constructed values, so a recycled loop
+  /// schedules and fires events exactly like a new one. The heap, slot
+  /// stores, and free lists keep their capacity — that reuse is the point.
+  void reset() {
+    clear();
+    now_ = 0;
+    next_seq_ = 0;
+  }
+
  private:
   // Heap node: fire time, FIFO tiebreaker, and a handle into one of the two
   // slot stores (top bit selects the packet lane).

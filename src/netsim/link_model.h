@@ -104,6 +104,12 @@ class LinkModel {
 
   LinkModel(Config config, Rng rng);
 
+  /// Re-runs construction in place: reinstalls `config`, re-forks every
+  /// lane's impairment streams from `rng` in the exact constructor order,
+  /// and clears the burst-state flags. A reset model is byte-for-byte
+  /// indistinguishable from LinkModel(config, rng); lane storage is reused.
+  void reset(const Config& config, Rng rng);
+
   /// Decides the fate of one traversal of `segment` in direction `dir` at
   /// simulated time `now`. Every impairment stream consumes exactly one draw
   /// per traversal (two for the burst stream), independent of the other

@@ -96,6 +96,13 @@ class Middlebox {
     return faults_.empty() ? nullptr : &faults_;
   }
 
+  /// Rewinds the attached fault schedule's cursor. Part of full
+  /// trial-substrate reinitialization (a recycled trial restarts the
+  /// simulated timeline at t = 0, so the schedule must fire again exactly
+  /// as it did for a fresh box). Distinct from reset(), which is the
+  /// *mid-trial* fault flush and must not touch the schedule driving it.
+  void rewind_fault_schedule() noexcept { faults_.rewind(); }
+
  private:
   FaultSchedule faults_;
 };

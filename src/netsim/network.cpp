@@ -38,6 +38,21 @@ Network::Network(EventLoop& loop, Config config, Rng rng, Logger logger)
   loop_.set_packet_sink(this);
 }
 
+void Network::reset(Rng rng) {
+  // Replays the constructor's stream handling exactly: store the rng, then
+  // fork once for the link model.
+  rng_ = rng;
+  link_.reset(effective_link(config_), rng_.fork());
+  trace_.clear();
+  trace_.set_enabled(true);  // a fresh Trace records by default
+  accounting_ = PacketAccounting{};
+  tcb_baseline_.clear();
+  client_ = nullptr;
+  server_ = nullptr;
+  client_proc_ = nullptr;
+  server_proc_ = nullptr;
+}
+
 void Network::on_packet_event(Packet&& pkt, std::uint32_t tag) {
   const Direction dir = (tag & kTagDirServerToClient) != 0
                             ? Direction::kServerToClient
@@ -152,7 +167,10 @@ void Network::inject(Packet pkt, Direction toward) {
 void Network::trace_stage(const Packet& pkt, Direction dir,
                           std::string_view box, std::string_view stage,
                           std::string_view detail) {
-  if (!config_.trace_stages) return;
+  // The note string below is real per-packet allocation work; skip it
+  // whenever nothing would record it (stage tracing off OR the trial is not
+  // recording its trace at all).
+  if (!config_.trace_stages || !trace_.is_enabled()) return;
   std::string note = std::string(box) + "/" + std::string(stage);
   if (!detail.empty()) {
     note += ": ";

@@ -40,6 +40,15 @@ class Network : public Injector, public PacketEventSink {
 
   Network(EventLoop& loop, Config config, Rng rng, Logger logger = {});
 
+  /// Trial-substrate reset: replays construction against the existing
+  /// storage. `rng` must come from the same stream position construction
+  /// took it from (Environment::reset replays its fork order), so the link
+  /// model's impairment draws — and everything downstream — are
+  /// byte-identical to a freshly built Network. Endpoints, processors, and
+  /// the conservation ledger are cleared; attached middleboxes and the
+  /// packet-sink registration survive.
+  void reset(Rng rng);
+
   [[nodiscard]] int total_hops() const noexcept {
     return config_.client_to_censor_hops + config_.censor_to_server_hops;
   }

@@ -46,7 +46,15 @@ class Trace {
   /// anything. The evaluation hot path runs thousands of trials whose traces
   /// nobody reads; disabling recording there removes a packet copy and a
   /// vector append per hop. Enabled by default.
-  void set_enabled(bool enabled) noexcept { enabled_ = enabled; }
+  void set_enabled(bool enabled) {
+    enabled_ = enabled;
+    // A trial that records its trace appends per hop; pre-size the buffer
+    // so the common case never reallocates mid-connection. clear() keeps
+    // this capacity, so a recycled Trace pays the reserve once.
+    if (enabled_ && events_.capacity() < kReserveOnEnable) {
+      events_.reserve(kReserveOnEnable);
+    }
+  }
   [[nodiscard]] bool is_enabled() const noexcept { return enabled_; }
 
   void record(TraceEvent event) {
@@ -74,6 +82,8 @@ class Trace {
   [[nodiscard]] std::string to_text() const;
 
  private:
+  static constexpr std::size_t kReserveOnEnable = 128;
+
   std::vector<TraceEvent> events_;
   bool enabled_ = true;
 };

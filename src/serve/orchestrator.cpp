@@ -122,25 +122,39 @@ std::size_t Orchestrator::route_preview(std::size_t flow) const {
 std::vector<Orchestrator::FlowOutcome> Orchestrator::evaluate_span(
     std::size_t tier, std::size_t first, std::size_t count) {
   const ParallelEvaluator evaluator(config_.jobs);
-  const std::optional<Strategy>& strategy = tiers_[tier].strategy;
-  return evaluator.map(count, [&](std::size_t k) {
-    const std::size_t flow = first + k;
-    Environment::Config env;
-    env.country = config_.country;
-    env.protocol = config_.protocol;
-    env.seed = config_.base_seed + flow;
-    env.gfw_regime = (config_.regime_flip_at != ServeConfig::kNoRegimeFlip &&
-                      flow >= config_.regime_flip_at)
-                         ? config_.regime_after
-                         : config_.regime_before;
-    ConnectionOptions conn;
-    conn.server_strategy = strategy;
-    conn.client_os = config_.client_os;
-    const SupervisedOutcome outcome =
-        run_supervised_trial(env, conn, config_.supervision, flow);
-    return FlowOutcome{outcome.result.success, outcome.result.timed_out,
-                       outcome.error};
-  });
+  // Hoisted per-span constants: the ConnectionOptions holds a deep Strategy
+  // copy and the Environment::Config only varies in seed and (across the
+  // regime flip) gfw_regime — building both per flow was pure churn.
+  ConnectionOptions conn;
+  conn.server_strategy = tiers_[tier].strategy;
+  conn.client_os = config_.client_os;
+  Environment::Config base;
+  base.country = config_.country;
+  base.protocol = config_.protocol;
+  const auto regime_of = [this](std::size_t flow) {
+    return (config_.regime_flip_at != ServeConfig::kNoRegimeFlip &&
+            flow >= config_.regime_flip_at)
+               ? config_.regime_after
+               : config_.regime_before;
+  };
+  // Batched by regime: a span straddling the censor-drift flip runs each
+  // regime's flows consecutively, so pooled substrates stay warm on both
+  // sides of the flip instead of alternating shapes.
+  return evaluator.map_batched(
+      count,
+      [&](std::size_t k) {
+        return static_cast<std::uint64_t>(regime_of(first + k));
+      },
+      [&](std::size_t k) {
+        const std::size_t flow = first + k;
+        Environment::Config env = base;
+        env.seed = config_.base_seed + flow;
+        env.gfw_regime = regime_of(flow);
+        const SupervisedOutcome outcome =
+            run_supervised_trial(env, conn, config_.supervision, flow);
+        return FlowOutcome{outcome.result.success, outcome.result.timed_out,
+                           outcome.error};
+      });
 }
 
 void Orchestrator::emit(std::size_t flow, HealthEventKind kind,

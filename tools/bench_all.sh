@@ -1,0 +1,145 @@
+#!/usr/bin/env bash
+# Run every bench_* target, collect the BENCH_*.json outputs, and print a
+# seed-vs-current comparison table against the captures in bench/baseline/.
+#
+# Usage: tools/bench_all.sh [build_dir] [name_filter_regex]
+#   build_dir          cmake build tree (default: build)
+#   name_filter_regex  only run bench targets matching this regex
+#
+# Env knobs (CAYA_TRIALS, CAYA_WARMUP, CAYA_JOBS, ...) pass through to the
+# benches; CAYA_ENFORCE_BASELINE=1 additionally turns on each bench's own
+# regression gate where it has one. Exits nonzero if any bench fails.
+set -u
+
+REPO_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_DIR/build}"
+FILTER="${2:-.}"
+BASELINE_DIR="$REPO_DIR/bench/baseline"
+
+case "$BUILD_DIR" in
+  /*) ;;
+  *) BUILD_DIR="$REPO_DIR/$BUILD_DIR" ;;
+esac
+
+if [ ! -d "$BUILD_DIR" ]; then
+  echo "error: build dir $BUILD_DIR not found (run cmake -B build -S . first)" >&2
+  exit 1
+fi
+
+TARGETS=()
+for src in "$REPO_DIR"/bench/bench_*.cpp; do
+  name="$(basename "$src" .cpp)"
+  if echo "$name" | grep -Eq "$FILTER"; then
+    TARGETS+=("$name")
+  fi
+done
+if [ "${#TARGETS[@]}" -eq 0 ]; then
+  echo "error: no bench targets match filter '$FILTER'" >&2
+  exit 1
+fi
+
+echo "== building ${#TARGETS[@]} bench targets =="
+if ! cmake --build "$BUILD_DIR" -j --target "${TARGETS[@]}" >/dev/null; then
+  echo "error: bench build failed" >&2
+  exit 1
+fi
+
+cd "$BUILD_DIR"
+FAILED=()
+for name in "${TARGETS[@]}"; do
+  exe="$BUILD_DIR/bench/$name"
+  if [ ! -x "$exe" ]; then
+    echo "-- $name: MISSING ($exe)"
+    FAILED+=("$name")
+    continue
+  fi
+  printf -- "-- %-40s " "$name"
+  log="$BUILD_DIR/${name}.log"
+  if "$exe" >"$log" 2>&1; then
+    echo "ok"
+  else
+    echo "FAIL (see ${name}.log)"
+    FAILED+=("$name")
+  fi
+done
+
+echo
+echo "== BENCH_*.json vs bench/baseline seeds =="
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$BUILD_DIR" "$BASELINE_DIR" <<'EOF'
+import glob, json, os, sys
+
+build_dir, baseline_dir = sys.argv[1], sys.argv[2]
+# Headline metric per JSON: first of these keys present in the current run.
+PREFERRED = [
+    "trials_per_sec", "packets_per_sec", "fuzz_iters_per_sec",
+    "orchestrated_flows_per_sec", "parallel_trials_per_sec",
+]
+
+def headline(doc):
+    """First preferred key found in document order, searching dicts one
+    level deep; returns (dotted_path, value) or (None, None)."""
+    for key in PREFERRED:
+        if isinstance(doc.get(key), (int, float)):
+            return key, doc[key]
+    for outer, inner in doc.items():
+        if not isinstance(inner, dict):
+            continue
+        for key in PREFERRED:
+            if isinstance(inner.get(key), (int, float)):
+                return f"{outer}.{key}", inner[key]
+        for mid, leaf in inner.items():
+            if not isinstance(leaf, dict):
+                continue
+            for key in PREFERRED:
+                if isinstance(leaf.get(key), (int, float)):
+                    return f"{outer}.{mid}.{key}", leaf[key]
+    return None, None
+
+def lookup(doc, dotted):
+    for part in dotted.split("."):
+        if not isinstance(doc, dict) or part not in doc:
+            return None
+        doc = doc[part]
+    return doc if isinstance(doc, (int, float)) else None
+
+rows = []
+for path in sorted(glob.glob(os.path.join(build_dir, "BENCH_*.json"))):
+    name = os.path.basename(path)
+    with open(path) as f:
+        current = json.load(f)
+    key, value = headline(current)
+    if key is None:
+        rows.append((name, "-", "-", "-", "(no headline metric)"))
+        continue
+    seed_path = os.path.join(baseline_dir, name.replace(".json", "_seed.json"))
+    seed_value = None
+    if os.path.exists(seed_path):
+        with open(seed_path) as f:
+            seed_value = lookup(json.load(f), key)
+    if seed_value is None:
+        rows.append((name, key, "(no seed)", f"{value:.1f}", "-"))
+        continue
+    ratio = value / seed_value if seed_value else float("nan")
+    rows.append((name, key, f"{seed_value:.1f}", f"{value:.1f}",
+                 f"{ratio:.2f}x"))
+
+if not rows:
+    print("(no BENCH_*.json outputs found)")
+else:
+    widths = [max(len(r[i]) for r in rows + [("output", "metric", "seed",
+                                              "current", "ratio")])
+              for i in range(5)]
+    header = ("output", "metric", "seed", "current", "ratio")
+    for r in [header] + rows:
+        print("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+EOF
+else
+  echo "(python3 not found; raw outputs are in $BUILD_DIR/BENCH_*.json)"
+fi
+
+if [ "${#FAILED[@]}" -gt 0 ]; then
+  echo
+  echo "FAILED: ${FAILED[*]}" >&2
+  exit 1
+fi
